@@ -1,0 +1,87 @@
+// Shared plumbing for the figure/table harnesses: flag parsing, dataset
+// scaling, CSV emission, and the TVE ladder the paper sweeps.
+//
+// Every harness runs with no arguments at a laptop-friendly default scale
+// and accepts:
+//   --scale=<f>   dataset scale factor (1.0 = paper-size grids)
+//   --seed=<n>    dataset seed
+//   --csv         also write bench_results/<name>.csv
+//   --outdir=<d>  where CSV/PGM artifacts go (default bench_results)
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "util/cli.h"
+#include "util/format.h"
+
+namespace dpz::bench {
+
+struct BenchOptions {
+  double scale = 0.2;
+  std::uint64_t seed = 2021;
+  bool csv = false;
+  std::string outdir = "bench_results";
+};
+
+inline BenchOptions parse_options(int argc, const char* const* argv) {
+  const CliArgs args(argc, argv,
+                     {"scale", "seed", "csv", "outdir", "help"});
+  if (args.has("help")) {
+    std::cout << "flags: --scale=<f> --seed=<n> --csv --outdir=<dir>\n";
+    std::exit(0);
+  }
+  BenchOptions opt;
+  opt.scale = args.get_double("scale", opt.scale);
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+  opt.csv = args.get_bool("csv", false);
+  opt.outdir = args.get_string("outdir", opt.outdir);
+  return opt;
+}
+
+/// Writes the table as CSV under opt.outdir when --csv was passed.
+inline void maybe_write_csv(const BenchOptions& opt, const std::string& name,
+                            const TablePrinter& table) {
+  if (!opt.csv) return;
+  std::filesystem::create_directories(opt.outdir);
+  const std::string path = opt.outdir + "/" + name + ".csv";
+  std::ofstream out(path);
+  table.write_csv(out);
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Ensures the artifact directory exists and returns `outdir/name`.
+inline std::string artifact_path(const BenchOptions& opt,
+                                 const std::string& name) {
+  std::filesystem::create_directories(opt.outdir);
+  return opt.outdir + "/" + name;
+}
+
+/// The paper's TVE ladder: "three-nine" ... "eight-nine" (SS IV-B2).
+inline std::vector<double> tve_ladder() {
+  return {0.999, 0.9999, 0.99999, 0.999999, 0.9999999, 0.99999999};
+}
+
+/// Subset of the ladder used by Tables III/IV (99.9 / 99.999 / 99.99999).
+inline std::vector<double> tve_table_points() {
+  return {0.999, 0.99999, 0.9999999};
+}
+
+inline std::string tve_label(double tve) {
+  // 0.999 -> "99.9%", 0.99999 -> "99.999%", matching the paper's rows.
+  std::string s = fixed(tve * 100.0, 7);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s + "%";
+}
+
+/// Table II's six datasets (space-limited subset of the nine).
+inline std::vector<std::string> table_datasets() {
+  return {"Isotropic", "Channel", "CLDHGH", "PHIS", "HACC-x", "HACC-vx"};
+}
+
+}  // namespace dpz::bench

@@ -1,0 +1,47 @@
+// Figure 9: breakdown of DPZ compression time by stage across datasets.
+// Shape to reproduce: Stage 2 (PCA) and Stage 3 (quantization) dominate,
+// since both scale with the coefficient dimensions (SS V-C5).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/dpz.h"
+
+namespace {
+
+using namespace dpz;
+using namespace dpz::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_options(argc, argv);
+  std::cout << "=== Figure 9: DPZ compression-time breakdown by stage "
+               "===\n\n";
+
+  TablePrinter table({"dataset", "total s", "stage1 DCT %", "stage2 PCA %",
+                      "stage3 quant %", "zlib %"});
+
+  for (const std::string& name : table_datasets()) {
+    const Dataset ds = make_dataset(name, opt.scale, opt.seed);
+    DpzConfig config = DpzConfig::strict();
+    config.tve = 0.99999;
+    DpzStats stats;
+    const auto archive = dpz_compress(ds.data, config, &stats);
+    (void)archive;
+
+    const double total = stats.timers.grand_total();
+    auto pct = [&](const char* stage) {
+      return fixed(100.0 * stats.timers.total(stage) / total, 1) + "%";
+    };
+    table.add_row({name, fixed(total, 3), pct("stage1_dct"),
+                   pct("stage2_pca"), pct("stage3_quantize"),
+                   pct("zlib_encode")});
+    std::cout << "finished " << name << "\n";
+  }
+
+  std::cout << "\n";
+  table.print();
+  std::cout << "(paper: Stage 2 and Stage 3 contribute most of the cost)\n";
+  maybe_write_csv(opt, "fig09_time_breakdown", table);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// End-to-end micro-benchmarks of the compressors themselves: DPZ (with
+// and without sampling), the shared-basis codec, and all three baselines
+// on one CESM-class field.
+#include <benchmark/benchmark.h>
+
+#include "baselines/dctzlike.h"
+#include "baselines/szlike.h"
+#include "baselines/zfplike.h"
+#include "core/dpz.h"
+#include "core/shared_basis.h"
+#include "data/datasets.h"
+
+namespace {
+
+using namespace dpz;
+
+const FloatArray& test_field() {
+  static const FloatArray field =
+      make_dataset("FLDSC", 0.1, 2021).data;  // 180 x 360
+  return field;
+}
+
+void BM_DpzCompress(benchmark::State& state) {
+  DpzConfig config = DpzConfig::strict();
+  config.tve = 0.99999;
+  config.use_sampling = state.range(0) != 0;
+  for (auto _ : state) {
+    const auto archive = dpz_compress(test_field(), config);
+    benchmark::DoNotOptimize(archive.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_field().size()) *
+                          4);
+}
+BENCHMARK(BM_DpzCompress)->Arg(0)->Arg(1);
+
+void BM_DpzDecompress(benchmark::State& state) {
+  DpzConfig config = DpzConfig::strict();
+  config.tve = 0.99999;
+  const auto archive = dpz_compress(test_field(), config);
+  for (auto _ : state) {
+    const FloatArray out = dpz_decompress(archive);
+    benchmark::DoNotOptimize(out.flat().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_field().size()) *
+                          4);
+}
+BENCHMARK(BM_DpzDecompress);
+
+void BM_SharedBasisCompress(benchmark::State& state) {
+  DpzConfig config = DpzConfig::strict();
+  config.tve = 0.99999;
+  const SharedBasisCodec codec =
+      SharedBasisCodec::train(test_field(), config);
+  for (auto _ : state) {
+    const auto archive = codec.compress(test_field());
+    benchmark::DoNotOptimize(archive.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_field().size()) *
+                          4);
+}
+BENCHMARK(BM_SharedBasisCompress);
+
+void BM_SzLikeCompress(benchmark::State& state) {
+  SzLikeConfig config;
+  config.relative_bound = 1e-3;
+  for (auto _ : state) {
+    const auto archive = szlike_compress(test_field(), config);
+    benchmark::DoNotOptimize(archive.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_field().size()) *
+                          4);
+}
+BENCHMARK(BM_SzLikeCompress);
+
+void BM_DctzLikeCompress(benchmark::State& state) {
+  DctzLikeConfig config;
+  config.relative_bound = 1e-4;
+  for (auto _ : state) {
+    const auto archive = dctzlike_compress(test_field(), config);
+    benchmark::DoNotOptimize(archive.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_field().size()) *
+                          4);
+}
+BENCHMARK(BM_DctzLikeCompress);
+
+void BM_ZfpLikeCompress(benchmark::State& state) {
+  ZfpLikeConfig config;
+  config.precision = 16;
+  for (auto _ : state) {
+    const auto archive = zfplike_compress(test_field(), config);
+    benchmark::DoNotOptimize(archive.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(test_field().size()) *
+                          4);
+}
+BENCHMARK(BM_ZfpLikeCompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Substrate micro-benchmarks: FFT and DCT throughput across the lengths
+// the compressor actually uses (block sizes from the divisor-pair layout).
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "dsp/dct.h"
+#include "dsp/fft.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dpz;
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FftPlan plan(n);
+  Rng rng(1);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    plan.execute(data, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FftPlan plan(n);
+  Rng rng(2);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    plan.execute(data, false);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftBluestein)->Arg(360)->Arg(3600);
+
+void BM_DctForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DctPlan plan(n);
+  Rng rng(3);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.normal();
+  for (auto _ : state) {
+    plan.forward(data, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DctForward)->Arg(2048)->Arg(3600);
+
+void BM_DctRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const DctPlan plan(n);
+  Rng rng(4);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.normal();
+  for (auto _ : state) {
+    plan.forward(data, data);
+    plan.inverse(data, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_DctRoundTrip)->Arg(2048);
+
+void BM_DctNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> data(n);
+  for (auto& v : data) v = rng.normal();
+  for (auto _ : state) {
+    auto out = dct_naive_forward(data);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DctNaive)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Substrate micro-benchmarks: covariance, dense vs truncated symmetric
+// eigendecomposition (the sampling strategy's O(M^3) -> O(M^2 k) claim),
+// and PCA transform throughput.
+#include <benchmark/benchmark.h>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/pca.h"
+#include "linalg/subspace_iteration.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace dpz;
+
+Matrix random_data(std::size_t m, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(m, n);
+  for (double& v : x.flat()) v = rng.normal();
+  return x;
+}
+
+Matrix random_spd(std::size_t m, std::uint64_t seed) {
+  const Matrix x = random_data(m, 2 * m, seed);
+  return covariance(x);
+}
+
+void BM_Covariance(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_data(m, 2 * m, 1);
+  for (auto _ : state) {
+    const Matrix cov = covariance(x);
+    benchmark::DoNotOptimize(cov.flat().data());
+  }
+}
+BENCHMARK(BM_Covariance)->Arg(128)->Arg(256);
+
+void BM_EigenDense(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(m, 2);
+  for (auto _ : state) {
+    const SymmetricEigen eig = eigen_sym(a);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_EigenDense)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_EigenTopK(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const Matrix a = random_spd(m, 3);
+  for (auto _ : state) {
+    const SymmetricEigen eig = eigen_sym_topk(a, k);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_EigenTopK)->Args({256, 8})->Args({512, 8})->Args({512, 32});
+
+void BM_PcaTransform(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_data(m, 4 * m, 4);
+  const PcaModel model = fit_pca(x);
+  const std::size_t k = m / 8;
+  for (auto _ : state) {
+    const Matrix scores = model.transform(x, k);
+    benchmark::DoNotOptimize(scores.flat().data());
+  }
+}
+BENCHMARK(BM_PcaTransform)->Arg(256);
+
+void BM_JacobiReference(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(m, 5);
+  for (auto _ : state) {
+    const SymmetricEigen eig = eigen_sym_jacobi(a);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_JacobiReference)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

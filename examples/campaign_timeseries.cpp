@@ -1,0 +1,109 @@
+// Campaign time-series scenario: a simulation writes the same diagnostic
+// field every few steps; the field's spatial structure is stable while
+// its amplitude and mean level drift. The SharedBasisCodec trains DPZ's
+// PCA basis once on the first snapshot and then compresses the whole
+// series without re-running PCA or re-storing the basis — the dominant
+// archive overhead of standalone DPZ.
+//
+// Run:  ./campaign_timeseries [--snapshots=8] [--rows=360] [--cols=720]
+#include <cmath>
+#include <iostream>
+
+#include "core/shared_basis.h"
+#include "metrics/metrics.h"
+#include "util/cli.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dpz;
+
+FloatArray snapshot_at(std::size_t rows, std::size_t cols, double t,
+                       std::uint64_t seed) {
+  Rng rng(seed + static_cast<std::uint64_t>(t * 977));
+  FloatArray a({rows, cols});
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double lat =
+        (static_cast<double>(i) / static_cast<double>(rows) - 0.5) * 3.14159;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double lon =
+          static_cast<double>(j) / static_cast<double>(cols) * 6.28318;
+      a(i, j) = static_cast<float>(
+          (1.0 + 0.05 * t) *
+              (std::cos(lat) * (1.2 + std::sin(3.0 * lon + 0.02 * t)) +
+               0.4 * std::sin(2.0 * lat) * std::cos(5.0 * lon)) +
+          0.08 * t + 0.003 * rng.normal());
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"snapshots", "rows", "cols", "seed"});
+  const auto steps =
+      static_cast<std::size_t>(args.get_int("snapshots", 8));
+  const auto rows = static_cast<std::size_t>(args.get_int("rows", 360));
+  const auto cols = static_cast<std::size_t>(args.get_int("cols", 720));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+
+  std::cout << "campaign: " << steps << " snapshots of " << rows << " x "
+            << cols << "\n\n";
+
+  DpzConfig config = DpzConfig::strict();
+  config.tve = 0.99999;
+
+  // Train once on the first snapshot.
+  const FloatArray reference = snapshot_at(rows, cols, 0.0, seed);
+  Timer timer;
+  const SharedBasisCodec codec = SharedBasisCodec::train(reference, config);
+  const double train_s = timer.elapsed();
+  const auto basis_blob = codec.serialize();
+  std::cout << "trained basis: k = " << codec.k() << " (incl. DC guard), "
+            << human_bytes(basis_blob.size()) << ", " << fixed(train_s, 2)
+            << " s\n\n";
+
+  TablePrinter table({"t", "shared bytes", "shared PSNR", "standalone bytes",
+                      "standalone PSNR"});
+
+  std::uint64_t shared_total = basis_blob.size();
+  std::uint64_t standalone_total = 0;
+  std::uint64_t raw_total = 0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double t = static_cast<double>(s);
+    const FloatArray snap = snapshot_at(rows, cols, t, seed);
+    raw_total += snap.size() * sizeof(float);
+
+    const auto shared_archive = codec.compress(snap);
+    const FloatArray shared_back = codec.decompress(shared_archive);
+    const double shared_psnr =
+        compute_error_stats(snap.flat(), shared_back.flat()).psnr_db;
+    shared_total += shared_archive.size();
+
+    const auto standalone_archive = dpz_compress(snap, config);
+    const FloatArray standalone_back = dpz_decompress(standalone_archive);
+    const double standalone_psnr =
+        compute_error_stats(snap.flat(), standalone_back.flat()).psnr_db;
+    standalone_total += standalone_archive.size();
+
+    table.add_row({fixed(t, 0), human_bytes(shared_archive.size()),
+                   fixed(shared_psnr, 2),
+                   human_bytes(standalone_archive.size()),
+                   fixed(standalone_psnr, 2)});
+    std::cout << "snapshot " << s << " done\n";
+  }
+
+  std::cout << "\n";
+  table.print();
+  std::cout << "campaign totals (raw " << human_bytes(raw_total) << "):\n"
+            << "  shared basis: " << human_bytes(shared_total) << " ("
+            << fixed(compression_ratio(raw_total, shared_total), 2)
+            << "X, basis stored once)\n"
+            << "  standalone:   " << human_bytes(standalone_total) << " ("
+            << fixed(compression_ratio(raw_total, standalone_total), 2)
+            << "X, basis per snapshot + per-snapshot PCA cost)\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "baselines/dctzlike.h"
+
+#include "codec/bytes.h"
+#include "codec/quantizer.h"
+#include "codec/zlib_codec.h"
+#include "core/blocking.h"
+#include "dsp/dct.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315A4344;  // "DCZ1"
+
+}  // namespace
+
+std::vector<std::uint8_t> dctzlike_compress(const FloatArray& data,
+                                            const DctzLikeConfig& config) {
+  DPZ_REQUIRE(data.rank() >= 1 && data.rank() <= 4,
+              "DCTZ-like supports rank 1-4 data");
+  DPZ_REQUIRE(data.size() >= 8, "DCTZ-like needs at least 8 values");
+
+  const double eb = config.resolve_bound(data.value_range());
+  DPZ_REQUIRE(eb > 0.0, "error bound must resolve to a positive value");
+
+  const BlockLayout layout = choose_block_layout(data.size());
+  Matrix blocks = to_blocks(data.flat(), layout);
+  const DctPlan plan(layout.n);
+  parallel_for(0, layout.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.forward(row, row);
+  });
+
+  QuantizerConfig qcfg;
+  qcfg.error_bound = eb;
+  qcfg.wide_codes = config.wide_codes;
+  const QuantizedStream qs = quantize(blocks.flat(), qcfg);
+
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u8(config.wide_codes ? 1 : 0);
+  w.put_f64(eb);
+  w.put_u8(static_cast<std::uint8_t>(data.rank()));
+  for (const std::size_t d : data.shape()) w.put_u64(d);
+  w.put_u64(layout.m);
+  w.put_u64(layout.n);
+  w.put_u64(layout.original_total);
+  w.put_u64(qs.outliers.size());
+
+  w.put_u64(qs.codes.size());
+  w.put_blob(zlib_compress(qs.codes, config.zlib_level));
+  ByteWriter outlier_bytes;
+  for (const double v : qs.outliers)
+    outlier_bytes.put_f32(static_cast<float>(v));
+  w.put_u64(outlier_bytes.size());
+  w.put_blob(zlib_compress(outlier_bytes.bytes(), config.zlib_level));
+  return w.take();
+}
+
+FloatArray dctzlike_decompress(std::span<const std::uint8_t> archive) {
+  ByteReader r(archive);
+  if (r.get_u32() != kMagic) throw FormatError("not a DCTZ-like archive");
+  QuantizerConfig qcfg;
+  qcfg.wide_codes = r.get_u8() != 0;
+  qcfg.error_bound = r.get_f64();
+  if (!(qcfg.error_bound > 0.0))
+    throw FormatError("DCTZ-like archive: bad error bound");
+
+  const std::uint8_t rank = r.get_u8();
+  if (rank < 1 || rank > 4) throw FormatError("DCTZ-like archive: bad rank");
+  std::vector<std::size_t> shape(rank);
+  std::size_t total = 1;
+  for (auto& d : shape) {
+    d = static_cast<std::size_t>(r.get_u64());
+    if (d == 0) throw FormatError("DCTZ-like archive: zero extent");
+    total *= d;
+  }
+
+  BlockLayout layout;
+  layout.m = static_cast<std::size_t>(r.get_u64());
+  layout.n = static_cast<std::size_t>(r.get_u64());
+  layout.original_total = static_cast<std::size_t>(r.get_u64());
+  layout.padded = layout.m * layout.n != layout.original_total;
+  if (total != layout.original_total || layout.m == 0 || layout.n == 0)
+    throw FormatError("DCTZ-like archive: inconsistent geometry");
+
+  const std::uint64_t outlier_count = r.get_u64();
+  const std::uint64_t code_size = r.get_u64();
+  QuantizedStream qs;
+  qs.count = layout.m * layout.n;
+  qs.codes =
+      zlib_decompress(r.get_blob(), static_cast<std::size_t>(code_size));
+  const std::uint64_t outlier_bytes = r.get_u64();
+  const std::vector<std::uint8_t> outlier_raw =
+      zlib_decompress(r.get_blob(), static_cast<std::size_t>(outlier_bytes));
+  if (outlier_raw.size() != outlier_count * sizeof(float))
+    throw FormatError("DCTZ-like archive: outlier size mismatch");
+  ByteReader outlier_reader(outlier_raw);
+  qs.outliers.resize(static_cast<std::size_t>(outlier_count));
+  for (double& v : qs.outliers)
+    v = static_cast<double>(outlier_reader.get_f32());
+
+  Matrix blocks(layout.m, layout.n);
+  dequantize(qs, qcfg, blocks.flat());
+
+  const DctPlan plan(layout.n);
+  parallel_for(0, layout.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.inverse(row, row);
+  });
+
+  FloatArray out(shape);
+  from_blocks(blocks, layout, out.flat());
+  return out;
+}
+
+}  // namespace dpz

@@ -1,0 +1,66 @@
+// DCTZ-like baseline: a from-scratch reimplementation of the single-stage
+// transform compressor that preceded DPZ (Zhang et al., MSST'19 / HPEC'20
+// — cited as DPZ's predecessor in SS VI).
+//
+// Pipeline: block decomposition -> per-block orthonormal DCT-II ->
+// uniform quantization of the coefficients against one absolute bound
+// (bin width 2*eb, escape for out-of-range) -> zlib. Because the DCT is
+// orthonormal, a per-coefficient error e yields a reconstruction RMS
+// error of e/sqrt(3) (Parseval), so the bound maps predictably to PSNR.
+//
+// This is exactly DPZ minus Stage 2: comparing the two isolates what the
+// PCA stage contributes (the paper's core claim).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace dpz {
+
+struct DctzLikeConfig {
+  /// Absolute per-coefficient error bound. Ignored when relative_bound>0.
+  double error_bound = 1e-3;
+  /// Value-range-relative bound: eb = relative_bound * (max - min).
+  double relative_bound = 0.0;
+  /// 1-byte or 2-byte bin codes (like DPZ's two schemes).
+  bool wide_codes = true;
+  int zlib_level = 6;
+
+  [[nodiscard]] double resolve_bound(double value_range) const {
+    if (relative_bound > 0.0) {
+      const double r = value_range > 0.0 ? value_range : 1.0;
+      return relative_bound * r;
+    }
+    return error_bound;
+  }
+};
+
+std::vector<std::uint8_t> dctzlike_compress(const FloatArray& data,
+                                            const DctzLikeConfig& config);
+
+FloatArray dctzlike_decompress(std::span<const std::uint8_t> archive);
+
+/// Compressor-interface adapter.
+class DctzLikeCompressor final : public Compressor {
+ public:
+  explicit DctzLikeCompressor(DctzLikeConfig config = {})
+      : config_(config) {}
+
+  std::vector<std::uint8_t> compress(const FloatArray& data) override {
+    return dctzlike_compress(data, config_);
+  }
+  FloatArray decompress(std::span<const std::uint8_t> archive) override {
+    return dctzlike_decompress(archive);
+  }
+  [[nodiscard]] std::string name() const override { return "DCTZ-like"; }
+
+  [[nodiscard]] DctzLikeConfig& config() { return config_; }
+
+ private:
+  DctzLikeConfig config_;
+};
+
+}  // namespace dpz

@@ -1,0 +1,62 @@
+// ZFP-like baseline: a from-scratch reimplementation of ZFP 0.5.x's
+// single-precision compression path (ZFP binaries are not available
+// offline; see DESIGN.md SS2).
+//
+// Per 4^d block (d = rank 1-3): block-floating-point alignment to the
+// block's maximum exponent -> ZFP's reversible integer lifting transform
+// along each dimension -> total-sequency coefficient reordering ->
+// negabinary mapping -> embedded bit-plane coding with group testing,
+// MSB plane first.
+//
+// Two rate-control modes mirror ZFP's:
+//  * fixed-precision: every block stores exactly `precision` bit planes
+//    (the knob swept for rate-distortion curves);
+//  * fixed-accuracy: the plane count per block derives from an absolute
+//    error tolerance, like ZFP's accuracy mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compressor.h"
+
+namespace dpz {
+
+struct ZfpLikeConfig {
+  enum class Mode {
+    kFixedPrecision,
+    kFixedAccuracy,
+  };
+  Mode mode = Mode::kFixedPrecision;
+  /// Bit planes kept per block in fixed-precision mode (1..32).
+  unsigned precision = 16;
+  /// Absolute error tolerance in fixed-accuracy mode.
+  double tolerance = 1e-3;
+};
+
+std::vector<std::uint8_t> zfplike_compress(const FloatArray& data,
+                                           const ZfpLikeConfig& config);
+
+FloatArray zfplike_decompress(std::span<const std::uint8_t> archive);
+
+/// Compressor-interface adapter.
+class ZfpLikeCompressor final : public Compressor {
+ public:
+  explicit ZfpLikeCompressor(ZfpLikeConfig config = {}) : config_(config) {}
+
+  std::vector<std::uint8_t> compress(const FloatArray& data) override {
+    return zfplike_compress(data, config_);
+  }
+  FloatArray decompress(std::span<const std::uint8_t> archive) override {
+    return zfplike_decompress(archive);
+  }
+  [[nodiscard]] std::string name() const override { return "ZFP-like"; }
+
+  [[nodiscard]] ZfpLikeConfig& config() { return config_; }
+
+ private:
+  ZfpLikeConfig config_;
+};
+
+}  // namespace dpz

@@ -1,0 +1,197 @@
+#include "capi/dpz_c.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/dpz.h"
+#include "util/error.h"
+
+namespace {
+
+thread_local std::string g_last_error;
+
+int set_error(int code, const char* what) {
+  g_last_error = what;
+  return code;
+}
+
+int translate_exception() {
+  try {
+    throw;
+  } catch (const dpz::FormatError& e) {
+    return set_error(DPZ_ERR_FORMAT, e.what());
+  } catch (const dpz::InvalidArgument& e) {
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const std::exception& e) {
+    return set_error(DPZ_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return set_error(DPZ_ERR_INTERNAL, "unknown error");
+  }
+}
+
+dpz::DpzConfig to_config(const dpz_options* opt) {
+  dpz::DpzConfig config = opt->scheme == DPZ_SCHEME_LOOSE
+                              ? dpz::DpzConfig::loose()
+                              : dpz::DpzConfig::strict();
+  switch (opt->selection) {
+    case DPZ_SELECT_KNEE_1D:
+      config.selection = dpz::KSelectionMethod::kKneePoint;
+      config.knee_fit = dpz::KneeFit::kFit1D;
+      break;
+    case DPZ_SELECT_KNEE_POLY:
+      config.selection = dpz::KSelectionMethod::kKneePoint;
+      config.knee_fit = dpz::KneeFit::kFitPolyn;
+      break;
+    default:
+      config.selection = dpz::KSelectionMethod::kTveThreshold;
+      break;
+  }
+  config.tve = opt->tve;
+  config.use_sampling = opt->use_sampling != 0;
+  config.error_bound = opt->error_bound;
+  config.dct_keep_fraction = opt->dct_keep_fraction;
+  config.zlib_level = opt->zlib_level;
+  return config;
+}
+
+// Copies a byte vector into a malloc'd buffer the C caller owns.
+int export_bytes(const std::vector<std::uint8_t>& bytes,
+                 unsigned char** out, size_t* out_size) {
+  auto* buffer = static_cast<unsigned char*>(std::malloc(
+      bytes.empty() ? 1 : bytes.size()));
+  if (buffer == nullptr)
+    return set_error(DPZ_ERR_INTERNAL, "out of memory");
+  std::memcpy(buffer, bytes.data(), bytes.size());
+  *out = buffer;
+  *out_size = bytes.size();
+  return DPZ_OK;
+}
+
+template <typename T>
+int export_values(const dpz::NdArray<T>& array, T** out,
+                  size_t* out_count) {
+  auto* buffer =
+      static_cast<T*>(std::malloc(array.size() * sizeof(T)));
+  if (buffer == nullptr)
+    return set_error(DPZ_ERR_INTERNAL, "out of memory");
+  std::memcpy(buffer, array.flat().data(), array.size() * sizeof(T));
+  *out = buffer;
+  *out_count = array.size();
+  return DPZ_OK;
+}
+
+template <typename T>
+int compress_impl(const T* data, const size_t* dims, size_t rank,
+                  const dpz_options* opt, unsigned char** archive,
+                  size_t* archive_size) {
+  if (data == nullptr || dims == nullptr || opt == nullptr ||
+      archive == nullptr || archive_size == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  if (rank == 0 || rank > 4)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "rank must be 1..4");
+  try {
+    std::vector<std::size_t> shape(dims, dims + rank);
+    std::size_t total = 1;
+    for (const std::size_t d : shape) total *= d;
+    dpz::NdArray<T> array(shape, std::vector<T>(data, data + total));
+    const std::vector<std::uint8_t> bytes =
+        dpz::dpz_compress(array, to_config(opt));
+    g_last_error.clear();
+    return export_bytes(bytes, archive, archive_size);
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void dpz_options_default(dpz_options* opt) {
+  if (opt == nullptr) return;
+  opt->scheme = DPZ_SCHEME_STRICT;
+  opt->selection = DPZ_SELECT_TVE;
+  opt->tve = 0.99999;
+  opt->use_sampling = 0;
+  opt->error_bound = 0.0;
+  opt->dct_keep_fraction = 1.0;
+  opt->zlib_level = 6;
+}
+
+int dpz_compress_float(const float* data, const size_t* dims, size_t rank,
+                       const dpz_options* opt, unsigned char** archive,
+                       size_t* archive_size) {
+  return compress_impl(data, dims, rank, opt, archive, archive_size);
+}
+
+int dpz_compress_double(const double* data, const size_t* dims, size_t rank,
+                        const dpz_options* opt, unsigned char** archive,
+                        size_t* archive_size) {
+  return compress_impl(data, dims, rank, opt, archive, archive_size);
+}
+
+int dpz_decompress_float(const unsigned char* archive, size_t archive_size,
+                         float** out, size_t* out_count) {
+  if (archive == nullptr || out == nullptr || out_count == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  try {
+    const dpz::FloatArray array =
+        dpz::dpz_decompress({archive, archive_size});
+    g_last_error.clear();
+    return export_values(array, out, out_count);
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int dpz_decompress_double(const unsigned char* archive, size_t archive_size,
+                          double** out, size_t* out_count) {
+  if (archive == nullptr || out == nullptr || out_count == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  try {
+    const dpz::DoubleArray array =
+        dpz::dpz_decompress_f64({archive, archive_size});
+    g_last_error.clear();
+    return export_values(array, out, out_count);
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int dpz_archive_shape(const unsigned char* archive, size_t archive_size,
+                      size_t* dims, size_t* rank) {
+  if (archive == nullptr || dims == nullptr || rank == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  try {
+    const dpz::DpzArchiveInfo info =
+        dpz::dpz_inspect({archive, archive_size});
+    *rank = info.shape.size();
+    for (std::size_t d = 0; d < info.shape.size(); ++d)
+      dims[d] = info.shape[d];
+    g_last_error.clear();
+    return DPZ_OK;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
+int dpz_archive_is_double(const unsigned char* archive,
+                          size_t archive_size) {
+  if (archive == nullptr)
+    return -set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  try {
+    const dpz::DpzArchiveInfo info =
+        dpz::dpz_inspect({archive, archive_size});
+    g_last_error.clear();
+    return info.double_precision ? 1 : 0;
+  } catch (...) {
+    return -translate_exception();
+  }
+}
+
+void dpz_free(void* ptr) { std::free(ptr); }
+
+const char* dpz_last_error(void) { return g_last_error.c_str(); }
+
+}  // extern "C"

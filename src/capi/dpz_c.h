@@ -1,0 +1,109 @@
+/* C API for the DPZ compressor.
+ *
+ * Mirrors the embedding surface real scientific compressors (SZ, ZFP)
+ * expose so DPZ can be called from C, Fortran (via ISO_C_BINDING), or an
+ * I/O-library filter. The API is a thin shim over the C++ core: no
+ * exceptions cross the boundary (errors become status codes + a
+ * per-thread message), and all buffers are caller-visible malloc'd
+ * memory released with dpz_free().
+ *
+ * Usage:
+ *   dpz_options opt;
+ *   dpz_options_default(&opt);
+ *   opt.tve = 0.99999;
+ *   unsigned char* archive = NULL; size_t archive_size = 0;
+ *   size_t dims[2] = {1800, 3600};
+ *   int rc = dpz_compress_float(data, dims, 2, &opt,
+ *                               &archive, &archive_size);
+ *   ...
+ *   float* out = NULL; size_t out_count = 0;
+ *   rc = dpz_decompress_float(archive, archive_size, &out, &out_count);
+ *   dpz_free(archive); dpz_free(out);
+ */
+#ifndef DPZ_C_H_
+#define DPZ_C_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Status codes. */
+enum {
+  DPZ_OK = 0,
+  DPZ_ERR_INVALID_ARGUMENT = 1,
+  DPZ_ERR_FORMAT = 2,
+  DPZ_ERR_INTERNAL = 3
+};
+
+/* Scheme selectors (paper SS V-A). */
+enum {
+  DPZ_SCHEME_LOOSE = 0,  /* DPZ-l: P = 1e-3, 1-byte codes */
+  DPZ_SCHEME_STRICT = 1  /* DPZ-s: P = 1e-4, 2-byte codes */
+};
+
+/* k-selection methods (Algorithm 1). */
+enum {
+  DPZ_SELECT_TVE = 0,      /* explained-variance threshold */
+  DPZ_SELECT_KNEE_1D = 1,  /* knee point, 1-D interpolation */
+  DPZ_SELECT_KNEE_POLY = 2 /* knee point, polynomial fit */
+};
+
+typedef struct dpz_options {
+  int scheme;           /* DPZ_SCHEME_* */
+  int selection;        /* DPZ_SELECT_* */
+  double tve;           /* threshold for DPZ_SELECT_TVE */
+  int use_sampling;     /* Algorithm 2 on/off */
+  double error_bound;   /* 0 = scheme default */
+  double dct_keep_fraction; /* 1.0 = no truncation */
+  int zlib_level;       /* 1..9 */
+} dpz_options;
+
+/* Fills `opt` with the library defaults (strict scheme, five-nine TVE). */
+void dpz_options_default(dpz_options* opt);
+
+/* Compresses `count(dims)` floats of rank `rank` (1..4). On success the
+ * archive is malloc'd into *archive / *archive_size. Returns DPZ_OK or an
+ * error code; on error the outputs are untouched. */
+int dpz_compress_float(const float* data, const size_t* dims, size_t rank,
+                       const dpz_options* opt, unsigned char** archive,
+                       size_t* archive_size);
+
+/* Double-precision variant. */
+int dpz_compress_double(const double* data, const size_t* dims, size_t rank,
+                        const dpz_options* opt, unsigned char** archive,
+                        size_t* archive_size);
+
+/* Decompresses a float archive. *out receives a malloc'd buffer of
+ * *out_count floats (the flattened data); use dpz_archive_shape to
+ * recover the dimensions. */
+int dpz_decompress_float(const unsigned char* archive, size_t archive_size,
+                         float** out, size_t* out_count);
+
+/* Double-precision variant (archive must hold f64 data). */
+int dpz_decompress_double(const unsigned char* archive, size_t archive_size,
+                          double** out, size_t* out_count);
+
+/* Reads the shape from an archive header. `dims` must hold at least 4
+ * entries; *rank receives the actual rank. */
+int dpz_archive_shape(const unsigned char* archive, size_t archive_size,
+                      size_t* dims, size_t* rank);
+
+/* 1 if the archive holds double-precision data, 0 for single, negative
+ * error code on a malformed archive. */
+int dpz_archive_is_double(const unsigned char* archive,
+                          size_t archive_size);
+
+/* Frees any buffer returned by this API. Safe on NULL. */
+void dpz_free(void* ptr);
+
+/* Message describing the most recent error on this thread ("" if none).
+ * The pointer stays valid until the next API call on the same thread. */
+const char* dpz_last_error(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* DPZ_C_H_ */

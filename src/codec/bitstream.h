@@ -1,0 +1,86 @@
+// MSB-first bit-level I/O.
+//
+// Used by the canonical Huffman coder (SZ-like baseline entropy stage) and
+// by the ZFP-like baseline's embedded bit-plane coder, where variable-bit
+// group tests and plane bits interleave freely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dpz {
+
+/// Writes bits MSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  /// Appends the low `count` bits of `value` (MSB of the field first).
+  void put_bits(std::uint64_t value, unsigned count) {
+    DPZ_REQUIRE(count <= 64, "bit count must be <= 64");
+    for (unsigned i = count; i-- > 0;)
+      put_bit(static_cast<unsigned>((value >> i) & 1U));
+  }
+
+  void put_bit(unsigned bit) {
+    if (bit_pos_ == 0) bytes_.push_back(0);
+    if (bit != 0)
+      bytes_.back() |= static_cast<std::uint8_t>(0x80U >> bit_pos_);
+    bit_pos_ = (bit_pos_ + 1) & 7U;
+  }
+
+  /// Total bits written so far.
+  [[nodiscard]] std::size_t bit_count() const {
+    return bytes_.empty() ? 0
+                          : (bytes_.size() - 1) * 8 +
+                                (bit_pos_ == 0 ? 8 : bit_pos_);
+  }
+
+  /// Finishes the stream (zero-pads the final byte) and returns the bytes.
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    bit_pos_ = 0;
+    return std::move(bytes_);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  unsigned bit_pos_ = 0;  // next free bit within the last byte
+};
+
+/// Reads bits MSB-first; throws FormatError when reading past the end.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  unsigned get_bit() {
+    const std::size_t byte = pos_ >> 3;
+    if (byte >= data_.size()) throw FormatError("bit stream exhausted");
+    const unsigned bit =
+        (data_[byte] >> (7U - (pos_ & 7U))) & 1U;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint64_t get_bits(unsigned count) {
+    DPZ_REQUIRE(count <= 64, "bit count must be <= 64");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < count; ++i) v = (v << 1) | get_bit();
+    return v;
+  }
+
+  [[nodiscard]] std::size_t bit_position() const { return pos_; }
+  [[nodiscard]] std::size_t bits_remaining() const {
+    return data_.size() * 8 - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dpz

@@ -1,0 +1,123 @@
+// Little-endian byte-stream serialization used by every archive format in
+// the repository (DPZ, the SZ-like and ZFP-like baselines). Integers are
+// written LSB-first regardless of host endianness; floats go through
+// bit_cast to the same-width integer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dpz {
+
+/// Appends primitive values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v));
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v));
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void put_u64(std::uint64_t v) {
+    put_u32(static_cast<std::uint32_t>(v));
+    put_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void put_f32(float v) { put_u32(std::bit_cast<std::uint32_t>(v)); }
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void put_bytes(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u64) byte blob.
+  void put_blob(std::span<const std::uint8_t> data) {
+    put_u64(data.size());
+    put_bytes(data);
+  }
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() {
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte buffer; throws FormatError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t get_u16() {
+    const std::uint16_t lo = get_u8();
+    const std::uint16_t hi = get_u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t get_u32() {
+    const std::uint32_t lo = get_u16();
+    const std::uint32_t hi = get_u16();
+    return lo | (hi << 16);
+  }
+
+  std::uint64_t get_u64() {
+    const std::uint64_t lo = get_u32();
+    const std::uint64_t hi = get_u32();
+    return lo | (hi << 32);
+  }
+
+  float get_f32() { return std::bit_cast<float>(get_u32()); }
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  std::vector<std::uint8_t> get_bytes(std::size_t n) {
+    require(n);
+    std::vector<std::uint8_t> out(data_.begin() + pos_,
+                                  data_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Reads a blob written by ByteWriter::put_blob.
+  std::vector<std::uint8_t> get_blob() {
+    const std::uint64_t n = get_u64();
+    DPZ_REQUIRE(n <= data_.size() - pos_, "blob length exceeds stream");
+    return get_bytes(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+      throw FormatError("byte stream truncated (need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()) + ")");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dpz

@@ -1,0 +1,193 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "codec/bitstream.h"
+#include "codec/bytes.h"
+#include "util/error.h"
+
+namespace dpz {
+
+namespace {
+
+constexpr unsigned kMaxCodeLength = 58;  // fits every code in a u64 field
+
+struct Node {
+  std::uint64_t weight;
+  std::uint32_t order;  // tie-break for deterministic trees
+  int left = -1;
+  int right = -1;
+  std::uint32_t symbol = 0;
+};
+
+// Assigns canonical codes from lengths: symbols sorted by (length, value).
+// Returns codes indexed by symbol (undefined for length-0 symbols).
+std::vector<std::uint64_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s] != 0) order.push_back(s);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+              return a < b;
+            });
+
+  std::vector<std::uint64_t> codes(lengths.size(), 0);
+  std::uint64_t code = 0;
+  unsigned prev_len = 0;
+  for (const std::uint32_t s : order) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> counts) {
+  std::vector<std::uint8_t> lengths(counts.size(), 0);
+
+  std::vector<Node> nodes;
+  auto cmp = [&](int a, int b) {
+    if (nodes[a].weight != nodes[b].weight)
+      return nodes[a].weight > nodes[b].weight;
+    return nodes[a].order > nodes[b].order;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+  for (std::uint32_t s = 0; s < counts.size(); ++s) {
+    if (counts[s] == 0) continue;
+    nodes.push_back({counts[s], s, -1, -1, s});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    lengths[nodes[0].symbol] = 1;  // degenerate alphabet: one 1-bit code
+    return lengths;
+  }
+
+  std::uint32_t order = static_cast<std::uint32_t>(counts.size());
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    nodes.push_back(
+        {nodes[a].weight + nodes[b].weight, order++, a, b, 0});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+
+  // Depth-first traversal assigning lengths.
+  struct Frame {
+    int node;
+    unsigned depth;
+  };
+  std::vector<Frame> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[f.node];
+    if (n.left < 0) {
+      DPZ_REQUIRE(f.depth <= kMaxCodeLength,
+                  "Huffman code length overflow (pathological counts)");
+      lengths[n.symbol] = static_cast<std::uint8_t>(std::max(1U, f.depth));
+    } else {
+      stack.push_back({n.left, f.depth + 1});
+      stack.push_back({n.right, f.depth + 1});
+    }
+  }
+  return lengths;
+}
+
+std::vector<std::uint8_t> huffman_encode(
+    std::span<const std::uint32_t> symbols, std::uint32_t alphabet_size) {
+  DPZ_REQUIRE(alphabet_size >= 1, "alphabet must be non-empty");
+
+  std::vector<std::uint64_t> counts(alphabet_size, 0);
+  for (const std::uint32_t s : symbols) {
+    DPZ_REQUIRE(s < alphabet_size, "symbol outside the declared alphabet");
+    ++counts[s];
+  }
+  const std::vector<std::uint8_t> lengths = huffman_code_lengths(counts);
+  const std::vector<std::uint64_t> codes = canonical_codes(lengths);
+
+  ByteWriter header;
+  header.put_u32(alphabet_size);
+  header.put_u64(symbols.size());
+  header.put_bytes(lengths);
+
+  BitWriter bits;
+  for (const std::uint32_t s : symbols) bits.put_bits(codes[s], lengths[s]);
+
+  std::vector<std::uint8_t> out = header.take();
+  const std::vector<std::uint8_t> payload = bits.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::uint32_t> huffman_decode(
+    std::span<const std::uint8_t> data) {
+  ByteReader reader(data);
+  const std::uint32_t alphabet_size = reader.get_u32();
+  const std::uint64_t count = reader.get_u64();
+  if (alphabet_size == 0) throw FormatError("huffman: empty alphabet");
+  const std::vector<std::uint8_t> lengths = reader.get_bytes(alphabet_size);
+
+  // Canonical decode tables: per length, the first code value and the
+  // index of its first symbol in the sorted order.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t s = 0; s < alphabet_size; ++s)
+    if (lengths[s] != 0) order.push_back(s);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+              return a < b;
+            });
+  if (order.empty()) {
+    if (count != 0) throw FormatError("huffman: symbols without codes");
+    return {};
+  }
+
+  const unsigned max_len = lengths[order.back()];
+  std::vector<std::uint64_t> first_code(max_len + 2, 0);
+  std::vector<std::uint32_t> first_index(max_len + 2, 0);
+  std::vector<std::uint32_t> length_count(max_len + 2, 0);
+  for (const std::uint32_t s : order) ++length_count[lengths[s]];
+
+  std::uint64_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned len = 1; len <= max_len; ++len) {
+    first_code[len] = code;
+    first_index[len] = index;
+    code = (code + length_count[len]) << 1;
+    index += length_count[len];
+  }
+
+  BitReader bits(data.subspan(reader.position()));
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    unsigned len = 0;
+    for (;;) {
+      v = (v << 1) | bits.get_bit();
+      ++len;
+      if (len > max_len) throw FormatError("huffman: invalid code");
+      if (length_count[len] != 0 &&
+          v < first_code[len] + length_count[len] && v >= first_code[len]) {
+        out.push_back(
+            order[first_index[len] +
+                  static_cast<std::uint32_t>(v - first_code[len])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpz

@@ -1,0 +1,32 @@
+// Canonical Huffman coding.
+//
+// The SZ-like baseline entropy-codes its quantization bins with Huffman
+// before the final zlib pass, mirroring SZ's own pipeline. The coder is
+// canonical: only the per-symbol code lengths travel in the stream, and
+// codes are reassigned deterministically on both sides.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dpz {
+
+/// Encodes `symbols` (each < alphabet_size) into a self-describing buffer.
+/// Layout: u32 alphabet_size, u64 symbol count, u8 code-length per symbol,
+/// then the MSB-first bit stream. Works for empty input and for streams
+/// with a single distinct symbol.
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint32_t> symbols,
+                                         std::uint32_t alphabet_size);
+
+/// Decodes a buffer produced by huffman_encode. Throws FormatError on a
+/// malformed stream.
+std::vector<std::uint32_t> huffman_decode(std::span<const std::uint8_t> data);
+
+/// Code lengths a Huffman tree would assign to the given symbol counts
+/// (0 for absent symbols). Exposed for tests: lengths must satisfy Kraft's
+/// inequality with equality when more than one symbol is present.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> counts);
+
+}  // namespace dpz

@@ -1,0 +1,70 @@
+#include "codec/quantizer.h"
+
+#include <cmath>
+
+namespace dpz {
+
+QuantizedStream quantize(std::span<const double> values,
+                         const QuantizerConfig& config) {
+  DPZ_REQUIRE(config.error_bound > 0.0, "error bound must be positive");
+
+  const double p = config.error_bound;
+  const double half = config.half_range();
+  const std::uint32_t bins = config.bin_count();
+  const std::uint32_t escape = bins;  // == code_count() - 1
+
+  QuantizedStream out;
+  out.count = values.size();
+  out.codes.reserve(values.size() * config.code_bytes());
+
+  for (const double v : values) {
+    std::uint32_t code;
+    if (!(v >= -half && v <= half)) {  // NaN routes to the escape as well
+      code = escape;
+      out.outliers.push_back(v);
+    } else {
+      auto bin = static_cast<std::uint32_t>((v + half) / (2.0 * p));
+      if (bin >= bins) bin = bins - 1;  // v == +half lands one past the end
+      code = bin;
+    }
+    out.codes.push_back(static_cast<std::uint8_t>(code & 0xFFU));
+    if (config.wide_codes)
+      out.codes.push_back(static_cast<std::uint8_t>((code >> 8) & 0xFFU));
+  }
+  return out;
+}
+
+void dequantize(const QuantizedStream& stream, const QuantizerConfig& config,
+                std::span<double> out) {
+  DPZ_REQUIRE(out.size() == stream.count,
+              "output span must match the quantized count");
+  DPZ_REQUIRE(stream.codes.size() == stream.count * config.code_bytes(),
+              "code buffer size mismatch");
+
+  const double p = config.error_bound;
+  const double half = config.half_range();
+  const std::uint32_t escape = config.bin_count();
+
+  std::size_t outlier_pos = 0;
+  const std::size_t stride = config.code_bytes();
+  for (std::size_t i = 0; i < stream.count; ++i) {
+    std::uint32_t code = stream.codes[i * stride];
+    if (config.wide_codes)
+      code |= static_cast<std::uint32_t>(stream.codes[i * stride + 1]) << 8;
+
+    if (code == escape) {
+      if (outlier_pos >= stream.outliers.size())
+        throw FormatError("quantized stream: missing outlier value");
+      out[i] = stream.outliers[outlier_pos++];
+    } else {
+      if (code > escape)
+        throw FormatError("quantized stream: invalid code value");
+      // Bin center: -half + P * (2*code + 1).
+      out[i] = -half + p * (2.0 * static_cast<double>(code) + 1.0);
+    }
+  }
+  if (outlier_pos != stream.outliers.size())
+    throw FormatError("quantized stream: unconsumed outlier values");
+}
+
+}  // namespace dpz

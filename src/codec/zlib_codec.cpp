@@ -1,0 +1,44 @@
+#include "codec/zlib_codec.h"
+
+#include <zlib.h>
+
+#include <string>
+
+#include "util/error.h"
+
+namespace dpz {
+
+std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data,
+                                        int level) {
+  DPZ_REQUIRE(level >= 1 && level <= 9, "zlib level must be in [1, 9]");
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  std::vector<std::uint8_t> out(bound);
+  const int rc =
+      compress2(out.data(), &bound,
+                data.empty() ? reinterpret_cast<const Bytef*>("")
+                             : data.data(),
+                static_cast<uLong>(data.size()), level);
+  if (rc != Z_OK)
+    throw Error("zlib compress2 failed with code " + std::to_string(rc));
+  out.resize(bound);
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_decompress(
+    std::span<const std::uint8_t> data, std::size_t expected_size) {
+  std::vector<std::uint8_t> out(expected_size);
+  uLongf out_size = static_cast<uLongf>(expected_size);
+  const int rc = uncompress(
+      out.empty() ? reinterpret_cast<Bytef*>(&out_size) : out.data(),
+      &out_size, data.data(), static_cast<uLong>(data.size()));
+  if (rc != Z_OK)
+    throw FormatError("zlib uncompress failed with code " +
+                      std::to_string(rc));
+  if (out_size != expected_size)
+    throw FormatError("zlib output size mismatch: expected " +
+                      std::to_string(expected_size) + ", got " +
+                      std::to_string(out_size));
+  return out;
+}
+
+}  // namespace dpz

@@ -1,0 +1,154 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+#include "codec/zlib_codec.h"
+#include "core/archive_detail.h"
+#include "dsp/dct.h"
+#include "stats/knee.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+DpzAnalysis::DpzAnalysis(const FloatArray& data, bool standardize,
+                         std::optional<BlockLayout> forced_layout)
+    : original_(data), standardized_(standardize) {
+  DPZ_REQUIRE(data.size() >= 8, "DPZ needs at least 8 values");
+  if (forced_layout.has_value()) {
+    DPZ_REQUIRE(forced_layout->original_total == data.size() &&
+                    forced_layout->padded_total() >= data.size() &&
+                    forced_layout->m >= 2 && forced_layout->n >= 2,
+                "forced layout does not cover the input");
+    layout_ = *forced_layout;
+  } else {
+    layout_ = choose_block_layout(data.size());
+  }
+  dct_blocks_ = to_blocks(data.flat(), layout_);
+  const DctPlan plan(layout_.n);
+  parallel_for(0, layout_.m, [&](std::size_t i) {
+    auto row = dct_blocks_.row(i);
+    plan.forward(row, row);
+  });
+  model_ = fit_pca(dct_blocks_, standardize);
+  tve_ = model_.tve_curve();
+}
+
+std::size_t DpzAnalysis::k_for_knee(KneeFit fit) const {
+  return detect_knee(tve_, fit).k;
+}
+
+std::size_t DpzAnalysis::k_for_psnr_knee(const QuantizerConfig& qcfg,
+                                         KneeFit fit,
+                                         std::size_t grid_points) const {
+  DPZ_REQUIRE(grid_points >= 4, "PSNR knee needs at least 4 grid points");
+  const std::size_t m = layout_.m;
+
+  // Geometric k grid over [1, M], deduplicated.
+  std::vector<std::size_t> ks;
+  const double ratio = std::pow(static_cast<double>(m),
+                                1.0 / static_cast<double>(grid_points - 1));
+  double value = 1.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const auto k = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(value)), 1, m);
+    if (ks.empty() || k != ks.back()) ks.push_back(k);
+    value *= ratio;
+  }
+  if (ks.back() != m) ks.push_back(m);
+
+  // The expensive part the paper warns about: one reconstruction per
+  // grid point.
+  std::vector<double> psnr(ks.size());
+  for (std::size_t i = 0; i < ks.size(); ++i)
+    psnr[i] = evaluate(ks[i], qcfg).stage3_error.psnr_db;
+
+  const std::size_t idx =
+      std::clamp<std::size_t>(detect_knee(psnr, fit).k, 1, ks.size());
+  return ks[idx - 1];
+}
+
+FloatArray DpzAnalysis::reconstruct_from_scores(const Matrix& scores) const {
+  Matrix blocks = model_.inverse_transform(scores);
+  const DctPlan plan(layout_.n);
+  parallel_for(0, layout_.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.inverse(row, row);
+  });
+  FloatArray out(original_.shape());
+  from_blocks(blocks, layout_, out.flat());
+  return out;
+}
+
+FloatArray DpzAnalysis::reconstruct_exact(std::size_t k) const {
+  const Matrix scores = model_.transform(dct_blocks_, k);
+  return reconstruct_from_scores(scores);
+}
+
+DpzAnalysis::Evaluation DpzAnalysis::evaluate(std::size_t k,
+                                              const QuantizerConfig& qcfg,
+                                              int zlib_level,
+                                              double score_sigma_scale) const {
+  DPZ_REQUIRE(k >= 1 && k <= layout_.m, "k must be in [1, M]");
+  Evaluation ev;
+  ev.k = k;
+
+  Matrix scores = model_.transform(dct_blocks_, k);
+
+  // Stage 1&2 reference: exact scores.
+  {
+    const FloatArray exact = reconstruct_from_scores(scores);
+    ev.stage12_error =
+        compute_error_stats(original_.flat(), exact.flat());
+  }
+
+  // Stage 3: normalize per component, quantize, and round-trip.
+  detail::SideData side;
+  side.mean = model_.mean;
+  side.scale = model_.scale;
+  side.score_scale = detail::component_scale(scores.row(0));
+  if (score_sigma_scale > 0.0)
+    side.score_scale *=
+        score_sigma_scale / detail::kScoreSigmaScale;
+  const double inv_scale = 1.0 / side.score_scale;
+  for (double& v : scores.flat()) v *= inv_scale;
+  const QuantizedStream qs = quantize(scores.flat(), qcfg);
+
+  Matrix restored(k, layout_.n);
+  dequantize(qs, qcfg, restored.flat());
+  for (double& v : restored.flat()) v *= side.score_scale;
+  ev.reconstructed = reconstruct_from_scores(restored);
+  ev.stage3_error =
+      compute_error_stats(original_.flat(), ev.reconstructed.flat());
+
+  // Accounting identical to dpz_compress's sections.
+  side.basis = Matrix(layout_.m, k);
+  for (std::size_t i = 0; i < layout_.m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      side.basis(i, j) = model_.components(i, j);
+
+  DpzStats& st = ev.accounting;
+  st.layout = layout_;
+  st.k = k;
+  st.standardized = standardized_;
+  st.outlier_count = qs.outliers.size();
+  st.original_bytes = original_.size() * sizeof(float);
+  st.stage12_bytes =
+      static_cast<std::uint64_t>(k) * layout_.n * sizeof(float);
+  st.stage3_bytes = qs.codes.size() + qs.outliers.size() * sizeof(float);
+
+  const std::vector<std::uint8_t> side_raw =
+      detail::serialize_side(side, standardized_);
+  st.side_bytes = zlib_compress(side_raw, zlib_level).size() + 16;
+  ByteWriter outlier_bytes;
+  for (const float v : qs.outliers) outlier_bytes.put_f32(v);
+  st.zlib_payload_bytes =
+      zlib_compress(qs.codes, zlib_level).size() +
+      zlib_compress(outlier_bytes.bytes(), zlib_level).size() + 32;
+  // Header: magic/version/flags/P + shape + layout + k + outlier count.
+  const std::uint64_t header_bytes =
+      4 + 1 + 1 + 8 + 1 + 8 * original_.shape().size() + 8 * 3 + 4 + 8;
+  st.archive_bytes = header_bytes + st.side_bytes + st.zlib_payload_bytes;
+  return ev;
+}
+
+}  // namespace dpz

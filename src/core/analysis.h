@@ -1,0 +1,88 @@
+// DpzAnalysis: a cached DPZ pipeline for parameter sweeps.
+//
+// The evaluation harnesses sweep many (TVE, scheme) operating points per
+// dataset (Fig 6's rate-distortion curves; Tables II-IV). Re-running the
+// full pipeline per point would repeat the block DCT and the O(M^3)
+// eigenanalysis dozens of times, so this class runs Stage 1 and the PCA
+// fit once and lets callers evaluate any k / quantizer combination against
+// the cached state. Byte sizes reported by evaluate() are computed exactly
+// like dpz_compress's archive sections, so the accounting matches the real
+// compressor bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "codec/quantizer.h"
+#include "core/blocking.h"
+#include "core/dpz.h"
+#include "linalg/pca.h"
+#include "metrics/metrics.h"
+
+namespace dpz {
+
+class DpzAnalysis {
+ public:
+  /// Runs Stage 1 (blocking + DCT) and the full PCA fit on `data`.
+  /// `forced_layout` overrides the automatic divisor-pair choice (used by
+  /// the block-layout ablation bench); it must cover data.size().
+  explicit DpzAnalysis(const FloatArray& data, bool standardize = false,
+                       std::optional<BlockLayout> forced_layout = {});
+
+  [[nodiscard]] const BlockLayout& layout() const { return layout_; }
+  [[nodiscard]] const PcaModel& model() const { return model_; }
+  [[nodiscard]] const Matrix& dct_blocks() const { return dct_blocks_; }
+  [[nodiscard]] const std::vector<double>& tve_curve() const { return tve_; }
+
+  [[nodiscard]] std::size_t k_for_tve(double threshold) const {
+    return model_.k_for_tve(threshold);
+  }
+  [[nodiscard]] std::size_t k_for_knee(KneeFit fit) const;
+
+  /// Knee detection on the compression-performance (PSNR) curve rather
+  /// than the TVE curve — the variant SS IV-B notes "can be applied to
+  /// the compression performance curve ... but it requires a
+  /// time-consuming reconstruction step". PSNR is evaluated at
+  /// `grid_points` k values spread geometrically over [1, M] (each point
+  /// costs a full reconstruction), the curve is knee-detected, and the
+  /// nearest evaluated k is returned.
+  [[nodiscard]] std::size_t k_for_psnr_knee(const QuantizerConfig& qcfg,
+                                            KneeFit fit = KneeFit::kFit1D,
+                                            std::size_t grid_points = 12)
+      const;
+
+  /// Reconstruction with exact (unquantized) k scores — the "Stage 1&2"
+  /// output whose PSNR Table IV compares against the quantized pipeline.
+  [[nodiscard]] FloatArray reconstruct_exact(std::size_t k) const;
+
+  /// One full operating point: quantized reconstruction plus paper-style
+  /// and end-to-end accounting.
+  struct Evaluation {
+    std::size_t k = 0;
+    ErrorStats stage12_error;  ///< exact-score reconstruction vs original
+    ErrorStats stage3_error;   ///< quantized reconstruction vs original
+    DpzStats accounting;       ///< sizes matching a real archive
+    FloatArray reconstructed;  ///< the quantized reconstruction
+  };
+  /// `score_sigma_scale` overrides the global normalization calibration
+  /// (detail::kScoreSigmaScale) for the quantizer-calibration ablation;
+  /// 0 keeps the default.
+  [[nodiscard]] Evaluation evaluate(std::size_t k,
+                                    const QuantizerConfig& qcfg,
+                                    int zlib_level = 6,
+                                    double score_sigma_scale = 0.0) const;
+
+ private:
+  [[nodiscard]] FloatArray reconstruct_from_scores(
+      const Matrix& scores) const;
+
+  FloatArray original_;
+  bool standardized_;
+  BlockLayout layout_;
+  Matrix dct_blocks_;
+  PcaModel model_;
+  std::vector<double> tve_;
+};
+
+}  // namespace dpz

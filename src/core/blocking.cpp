@@ -1,0 +1,62 @@
+#include "core/blocking.h"
+
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace dpz {
+
+BlockLayout choose_block_layout(std::size_t total, std::size_t max_ratio) {
+  DPZ_REQUIRE(total >= 8, "block decomposition needs at least 8 values");
+  DPZ_REQUIRE(max_ratio >= 2, "max_ratio must be at least 2");
+
+  BlockLayout layout;
+  layout.original_total = total;
+
+  // The paper's rule first: N/M equal to the smallest divisor p > 1 such
+  // that M = sqrt(total/p) is an integer. This reproduces the published
+  // examples exactly: 128^3 -> 1024 x 2048 (p=2) and 1800 x 3600 CESM
+  // (p=2). Only small p keeps the pair balanced, so larger ratios fall
+  // through to the balanced-divisor search below.
+  for (const std::size_t p : {2, 3, 4}) {
+    if (total % p != 0) continue;
+    const std::size_t s = total / p;
+    const auto r = static_cast<std::size_t>(
+        std::llround(std::sqrt(static_cast<double>(s))));
+    if (r >= 2 && r * r == s) {
+      layout.m = r;
+      layout.n = r * p;
+      layout.padded = false;
+      return layout;
+    }
+  }
+
+  // Exact divisor pair with M < N, minimizing N/M (equivalently, the
+  // largest divisor strictly below sqrt(total)).
+  const auto root = static_cast<std::size_t>(std::sqrt(
+      static_cast<double>(total)));
+  for (std::size_t m = root; m >= 2; --m) {
+    if (total % m != 0) continue;
+    const std::size_t n = total / m;
+    if (n <= m) continue;  // need strictly fewer features than samples
+    if (n / m > max_ratio) break;  // only gets worse as m shrinks
+    layout.m = m;
+    layout.n = n;
+    layout.padded = false;
+    return layout;
+  }
+
+  // Fallback: power-of-two M near sqrt(total/2) (so N ~ 2M), pad the tail.
+  std::size_t m = next_power_of_two(static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(total) / 2.0)));
+  if (m < 2) m = 2;
+  std::size_t n = (total + m - 1) / m;
+  if (n <= m) n = m + 1;
+  layout.m = m;
+  layout.n = n;
+  layout.padded = m * n != total;
+  return layout;
+}
+
+}  // namespace dpz

@@ -1,0 +1,78 @@
+// Stage 1a: block decomposition (SS IV-A of the paper).
+//
+// DPZ flattens data of any dimensionality to 1-D (preserving the original
+// order, which preserves spatial locality) and re-arranges it into an
+// M x N matrix: M 1-D blocks ("features") of N datapoints ("samples").
+// PCA requires M < N, and the paper's empirical rule is to make N/M the
+// smallest divisor ratio greater than 1 — e.g. 128^3 -> M=1024, N=2048,
+// and 1800x3600 CESM -> M=1800, N=3600.
+//
+// When the total has no balanced divisor pair (prime-ish sizes), we fall
+// back to a power-of-two M near sqrt(total/2) and pad the tail with
+// edge-replicated values; the layout records both sizes so decompression
+// can strip the padding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+
+namespace dpz {
+
+struct BlockLayout {
+  std::size_t m = 0;               ///< number of blocks (PCA features)
+  std::size_t n = 0;               ///< datapoints per block (PCA samples)
+  std::size_t original_total = 0;  ///< flattened input size
+  bool padded = false;             ///< m*n > original_total
+
+  [[nodiscard]] std::size_t padded_total() const { return m * n; }
+};
+
+/// Picks the (M, N) pair for a flattened size following the paper's rule.
+/// `max_ratio` bounds how unbalanced an exact divisor pair may be before
+/// the padding fallback kicks in. Requires total >= 8.
+BlockLayout choose_block_layout(std::size_t total, std::size_t max_ratio = 64);
+
+/// Rearranges flat data into the M x N block matrix (row i = block i).
+/// Padding slots replicate the last data value, keeping the tail block
+/// smooth instead of introducing an artificial step edge. T is float or
+/// double (the pipeline supports both element widths).
+template <typename T>
+Matrix to_blocks(std::span<const T> flat, const BlockLayout& layout) {
+  DPZ_REQUIRE(flat.size() == layout.original_total,
+              "input size does not match the layout");
+  DPZ_REQUIRE(layout.padded_total() >= flat.size(),
+              "layout smaller than the input");
+
+  Matrix blocks(layout.m, layout.n);
+  std::size_t idx = 0;
+  const double pad_value =
+      flat.empty() ? 0.0 : static_cast<double>(flat.back());
+  for (std::size_t i = 0; i < layout.m; ++i) {
+    double* row = blocks.row(i).data();
+    for (std::size_t j = 0; j < layout.n; ++j, ++idx)
+      row[j] = idx < flat.size() ? static_cast<double>(flat[idx])
+                                 : pad_value;
+  }
+  return blocks;
+}
+
+/// Inverse of to_blocks: writes the first `layout.original_total` values.
+template <typename T>
+void from_blocks(const Matrix& blocks, const BlockLayout& layout,
+                 std::span<T> out) {
+  DPZ_REQUIRE(blocks.rows() == layout.m && blocks.cols() == layout.n,
+              "block matrix does not match the layout");
+  DPZ_REQUIRE(out.size() == layout.original_total,
+              "output size does not match the layout");
+
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < layout.m && idx < out.size(); ++i) {
+    const double* row = blocks.row(i).data();
+    for (std::size_t j = 0; j < layout.n && idx < out.size(); ++j, ++idx)
+      out[idx] = static_cast<T>(row[j]);
+  }
+}
+
+}  // namespace dpz

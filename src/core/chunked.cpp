@@ -1,0 +1,170 @@
+#include "core/chunked.h"
+
+#include "codec/bytes.h"
+#include "util/error.h"
+
+namespace dpz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B435A44;  // "DZCK"
+
+struct ContainerHeader {
+  std::vector<std::size_t> shape;
+  std::size_t total = 0;
+  std::size_t chunk_values = 0;
+  std::size_t frame_count = 0;
+  std::vector<std::uint64_t> frame_offsets;  // relative to frame area
+  std::vector<std::uint64_t> frame_sizes;
+  std::size_t frames_begin = 0;  // byte offset of the frame area
+};
+
+ContainerHeader parse_header(std::span<const std::uint8_t> container) {
+  ByteReader r(container);
+  if (r.get_u32() != kMagic) throw FormatError("not a chunked DPZ container");
+
+  ContainerHeader h;
+  const std::uint8_t rank = r.get_u8();
+  if (rank == 0 || rank > 4)
+    throw FormatError("chunked container: bad rank");
+  h.shape.resize(rank);
+  h.total = 1;
+  for (auto& d : h.shape) {
+    d = static_cast<std::size_t>(r.get_u64());
+    if (d == 0 || d > (1ULL << 40))
+      throw FormatError("chunked container: implausible extent");
+    h.total *= d;
+    if (h.total > (1ULL << 40))
+      throw FormatError("chunked container: implausible total");
+  }
+  h.chunk_values = static_cast<std::size_t>(r.get_u64());
+  h.frame_count = static_cast<std::size_t>(r.get_u64());
+  if (h.chunk_values < 8 || h.frame_count == 0 ||
+      h.frame_count > h.total / 8 + 1)
+    throw FormatError("chunked container: inconsistent chunking");
+
+  h.frame_offsets.resize(h.frame_count);
+  h.frame_sizes.resize(h.frame_count);
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    h.frame_offsets[f] = r.get_u64();
+    h.frame_sizes[f] = r.get_u64();
+  }
+  h.frames_begin = r.position();
+
+  // Frame table sanity: contiguous, in-bounds frames.
+  std::uint64_t expected = 0;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    if (h.frame_offsets[f] != expected)
+      throw FormatError("chunked container: non-contiguous frame table");
+    expected += h.frame_sizes[f];
+  }
+  if (h.frames_begin + expected != container.size())
+    throw FormatError("chunked container: frame area size mismatch");
+  return h;
+}
+
+// Chunk boundaries over `total` values: every chunk has `chunk_values`
+// values except the last, which absorbs the tail (and is merged into the
+// previous chunk when the tail would fall below the pipeline minimum).
+std::vector<std::size_t> chunk_starts(std::size_t total,
+                                      std::size_t chunk_values) {
+  std::vector<std::size_t> starts;
+  for (std::size_t s = 0; s < total; s += chunk_values) starts.push_back(s);
+  if (starts.size() > 1 && total - starts.back() < 8) starts.pop_back();
+  return starts;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
+                                           const ChunkedConfig& config,
+                                           ChunkedStats* stats) {
+  DPZ_REQUIRE(config.chunk_values >= 8, "chunk must hold at least 8 values");
+  DPZ_REQUIRE(data.size() >= 8, "chunked DPZ needs at least 8 values");
+
+  ChunkedStats local;
+  ChunkedStats& st = stats != nullptr ? *stats : local;
+  st = ChunkedStats{};
+  st.original_bytes = data.size() * sizeof(float);
+
+  const std::vector<std::size_t> starts =
+      chunk_starts(data.size(), config.chunk_values);
+
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(starts.size());
+  for (std::size_t f = 0; f < starts.size(); ++f) {
+    const std::size_t begin = starts[f];
+    const std::size_t end =
+        (f + 1 < starts.size()) ? starts[f + 1] : data.size();
+    const std::span<const float> slice =
+        data.flat().subspan(begin, end - begin);
+    FloatArray chunk({slice.size()},
+                     std::vector<float>(slice.begin(), slice.end()));
+    DpzStats frame_stats;
+    frames.push_back(dpz_compress(chunk, config.dpz, &frame_stats));
+    if (frame_stats.stored_raw) ++st.stored_raw_frames;
+  }
+
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u8(static_cast<std::uint8_t>(data.shape().size()));
+  for (const std::size_t d : data.shape()) w.put_u64(d);
+  w.put_u64(config.chunk_values);
+  w.put_u64(frames.size());
+  std::uint64_t offset = 0;
+  for (const auto& frame : frames) {
+    w.put_u64(offset);
+    w.put_u64(frame.size());
+    offset += frame.size();
+  }
+  for (const auto& frame : frames) w.put_bytes(frame);
+
+  std::vector<std::uint8_t> out = w.take();
+  st.frame_count = frames.size();
+  st.archive_bytes = out.size();
+  return out;
+}
+
+FloatArray chunked_decompress(std::span<const std::uint8_t> container) {
+  const ContainerHeader h = parse_header(container);
+  FloatArray out(h.shape);
+
+  std::size_t written = 0;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    const auto frame = container.subspan(
+        h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
+        static_cast<std::size_t>(h.frame_sizes[f]));
+    const FloatArray chunk = dpz_decompress(frame);
+    if (written + chunk.size() > out.size())
+      throw FormatError("chunked container: frames exceed the shape");
+    for (std::size_t i = 0; i < chunk.size(); ++i)
+      out[written + i] = chunk[i];
+    written += chunk.size();
+  }
+  if (written != out.size())
+    throw FormatError("chunked container: frames do not cover the shape");
+  return out;
+}
+
+ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
+                                   std::size_t frame_index) {
+  const ContainerHeader h = parse_header(container);
+  DPZ_REQUIRE(frame_index < h.frame_count, "frame index out of range");
+
+  const auto frame = container.subspan(
+      h.frames_begin + static_cast<std::size_t>(h.frame_offsets[frame_index]),
+      static_cast<std::size_t>(h.frame_sizes[frame_index]));
+  const FloatArray chunk = dpz_decompress(frame);
+
+  ChunkView view;
+  view.frame_index = frame_index;
+  view.value_offset = frame_index * h.chunk_values;
+  view.values.assign(chunk.flat().begin(), chunk.flat().end());
+  return view;
+}
+
+std::size_t chunked_frame_count(std::span<const std::uint8_t> container) {
+  return parse_header(container).frame_count;
+}
+
+}  // namespace dpz

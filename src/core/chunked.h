@@ -1,0 +1,75 @@
+// Chunked container format: DPZ for datasets larger than memory.
+//
+// The core pipeline holds one M x N block matrix (plus its covariance)
+// in memory, which caps practical input size. The chunked container
+// splits the flattened input into fixed-size chunks, compresses each
+// chunk as an independent DPZ archive frame, and concatenates the frames
+// behind a container header. Properties:
+//
+//   * peak memory is O(chunk) regardless of input size;
+//   * frames are independent — a corrupted frame loses only its chunk,
+//     and frames can be decompressed selectively (random access at chunk
+//     granularity);
+//   * each chunk gets its own PCA basis, so slowly varying statistics
+//     across a long file do not smear one global basis (the flip side:
+//     per-chunk basis overhead — use SharedBasisCodec when the statistics
+//     are stationary).
+//
+// Format: magic, element width, shape, chunk size, frame count, then a
+// frame table (u64 offsets) and the frames themselves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dpz.h"
+
+namespace dpz {
+
+struct ChunkedConfig {
+  DpzConfig dpz;
+  /// Values per chunk (the last chunk may be smaller, but never below
+  /// the pipeline minimum of 8 values — the tail merges into the
+  /// previous chunk when needed).
+  std::size_t chunk_values = 1 << 20;
+};
+
+/// Per-container accounting.
+struct ChunkedStats {
+  std::size_t frame_count = 0;
+  std::uint64_t original_bytes = 0;
+  std::uint64_t archive_bytes = 0;
+  std::size_t stored_raw_frames = 0;  ///< frames that hit the fallback
+
+  [[nodiscard]] double cr() const {
+    return archive_bytes == 0 ? 0.0
+                              : static_cast<double>(original_bytes) /
+                                    static_cast<double>(archive_bytes);
+  }
+};
+
+/// Compresses a flat f32 sequence chunk by chunk. The shape is recorded
+/// for reconstruction but chunking operates on the flattened order.
+std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
+                                           const ChunkedConfig& config,
+                                           ChunkedStats* stats = nullptr);
+
+/// Decompresses a whole chunked container.
+FloatArray chunked_decompress(std::span<const std::uint8_t> container);
+
+/// Decompresses a single frame (0-based). Returns the chunk's values in
+/// flattened order along with its offset into the flat dataset. This is
+/// the random-access path: only the requested frame is decoded.
+struct ChunkView {
+  std::size_t frame_index = 0;
+  std::size_t value_offset = 0;  ///< position in the flattened dataset
+  std::vector<float> values;
+};
+ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
+                                   std::size_t frame_index);
+
+/// Number of frames in a container (header-only parse).
+std::size_t chunked_frame_count(std::span<const std::uint8_t> container);
+
+}  // namespace dpz

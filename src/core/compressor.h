@@ -1,0 +1,31 @@
+// Common interface every compressor in this repository implements (DPZ and
+// the SZ-like / ZFP-like baselines), so the rate-distortion harnesses can
+// sweep them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/ndarray.h"
+
+namespace dpz {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  /// Compresses a float array (any supported rank) into a self-describing
+  /// archive buffer.
+  virtual std::vector<std::uint8_t> compress(const FloatArray& data) = 0;
+
+  /// Reconstructs the array (shape travels inside the archive).
+  virtual FloatArray decompress(std::span<const std::uint8_t> archive) = 0;
+
+  /// Human-readable name used in tables ("DPZ-l", "SZ-like", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace dpz

@@ -1,0 +1,534 @@
+#include "core/dpz.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/bytes.h"
+#include "codec/quantizer.h"
+#include "codec/shuffle.h"
+#include "codec/zlib_codec.h"
+#include "core/archive_detail.h"
+#include "core/sampling.h"
+#include "dsp/dct.h"
+#include "linalg/pca.h"
+#include "stats/descriptive.h"
+#include "stats/vif.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+namespace detail {
+
+std::vector<std::uint8_t> serialize_side(const SideData& side,
+                                         bool standardized) {
+  ByteWriter w;
+  for (const double v : side.mean) w.put_f64(v);
+  if (standardized)
+    for (const double v : side.scale) w.put_f64(v);
+  w.put_f64(side.score_scale);
+
+  // Basis as byte-shuffled f32: the shuffle groups sign/exponent bytes of
+  // neighboring basis entries together so the section-level zlib pass can
+  // actually compress them (raw float soup is nearly incompressible).
+  ByteWriter basis_bytes;
+  for (std::size_t i = 0; i < side.basis.rows(); ++i)
+    for (std::size_t j = 0; j < side.basis.cols(); ++j)
+      basis_bytes.put_f32(static_cast<float>(side.basis(i, j)));
+  w.put_bytes(shuffle_bytes(basis_bytes.bytes(), sizeof(float)));
+  return w.take();
+}
+
+SideData deserialize_side(std::span<const std::uint8_t> bytes,
+                          std::size_t m, std::size_t k, bool standardized) {
+  ByteReader r(bytes);
+  SideData side;
+  side.mean.resize(m);
+  for (double& v : side.mean) v = r.get_f64();
+  side.scale.assign(m, 1.0);
+  if (standardized)
+    for (double& v : side.scale) v = r.get_f64();
+  side.score_scale = r.get_f64();
+  if (!(side.score_scale > 0.0))
+    throw FormatError("DPZ side section: invalid score scale");
+
+  const std::vector<std::uint8_t> shuffled =
+      r.get_bytes(m * k * sizeof(float));
+  const std::vector<std::uint8_t> raw =
+      unshuffle_bytes(shuffled, sizeof(float));
+  ByteReader basis_reader(raw);
+  side.basis = Matrix(m, k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      side.basis(i, j) = static_cast<double>(basis_reader.get_f32());
+  if (r.remaining() != 0)
+    throw FormatError("DPZ side section has trailing bytes");
+  return side;
+}
+
+double component_scale(std::span<const double> scores) {
+  double mean = 0.0;
+  for (const double v : scores) mean += v;
+  mean /= static_cast<double>(scores.size());
+  double var = 0.0;
+  double peak = 0.0;
+  for (const double v : scores) {
+    var += (v - mean) * (v - mean);
+    peak = std::max(peak, std::abs(v));
+  }
+  var /= static_cast<double>(scores.size());
+  if (var > 0.0) return kScoreSigmaScale * std::sqrt(var);
+  return peak > 0.0 ? peak : 1.0;
+}
+
+void put_section(ByteWriter& w, std::span<const std::uint8_t> raw,
+                 int level) {
+  w.put_u64(raw.size());
+  const std::vector<std::uint8_t> z = zlib_compress(raw, level);
+  w.put_blob(z);
+}
+
+std::vector<std::uint8_t> get_section(ByteReader& r) {
+  const std::uint64_t raw_size = r.get_u64();
+  const std::vector<std::uint8_t> z = r.get_blob();
+  // A corrupted raw-size field must not drive the output allocation:
+  // deflate expands at most ~1032:1, so anything beyond that bound (plus
+  // slack for tiny sections) is a forged header.
+  if (raw_size > z.size() * 1100 + 4096)
+    throw FormatError("section raw size implausible for its payload");
+  return zlib_decompress(z, static_cast<std::size_t>(raw_size));
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::SideData;
+using detail::deserialize_side;
+using detail::get_section;
+using detail::put_section;
+using detail::serialize_side;
+
+constexpr std::uint32_t kMagic = 0x315A5044;  // "DPZ1" little-endian
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint8_t kFlagWideCodes = 0x01;
+constexpr std::uint8_t kFlagStandardized = 0x02;
+constexpr std::uint8_t kFlagStoredRaw = 0x04;
+constexpr std::uint8_t kFlagDouble = 0x08;
+
+// Upper bound on the element count an archive may claim. Prevents a
+// corrupted header from triggering a runaway allocation before any
+// payload validation can run (2^40 elements = 4 TiB of f32).
+constexpr std::uint64_t kMaxArchiveElements = 1ULL << 40;
+
+// Reads and validates a shape header; throws FormatError on nonsense.
+std::vector<std::size_t> read_shape(ByteReader& r) {
+  const std::uint8_t rank = r.get_u8();
+  if (rank == 0 || rank > 4) throw FormatError("unsupported data rank");
+  std::vector<std::size_t> shape(rank);
+  std::uint64_t total = 1;
+  for (auto& d : shape) {
+    const std::uint64_t e = r.get_u64();
+    if (e == 0 || e > kMaxArchiveElements)
+      throw FormatError("implausible extent in DPZ archive");
+    total *= e;
+    if (total > kMaxArchiveElements)
+      throw FormatError("implausible total size in DPZ archive");
+    d = static_cast<std::size_t>(e);
+  }
+  return shape;
+}
+
+template <typename T>
+void put_element(ByteWriter& w, double v) {
+  if constexpr (sizeof(T) == 8) {
+    w.put_f64(v);
+  } else {
+    w.put_f32(static_cast<float>(v));
+  }
+}
+
+template <typename T>
+double get_element(ByteReader& r) {
+  if constexpr (sizeof(T) == 8) {
+    return r.get_f64();
+  } else {
+    return static_cast<double>(r.get_f32());
+  }
+}
+
+// Incompressible-input fallback: when the pipeline's archive would exceed
+// the input size (low-linearity data where k ~ M and the basis dominates),
+// emit a stored archive instead — header + zlib of the raw floats. The
+// paper's accounting ignores the PCA basis so it never sees this case; a
+// real codec must never expand its input unboundedly.
+template <typename T>
+std::vector<std::uint8_t> make_stored_archive(const NdArray<T>& data,
+                                              int zlib_level) {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u8(kVersion);
+  w.put_u8(static_cast<std::uint8_t>(
+      kFlagStoredRaw | (sizeof(T) == 8 ? kFlagDouble : 0)));
+  w.put_f64(1.0);  // error bound slot (unused for stored archives)
+  w.put_u8(static_cast<std::uint8_t>(data.shape().size()));
+  for (const std::size_t d : data.shape()) w.put_u64(d);
+
+  ByteWriter raw;
+  for (const T v : data.flat())
+    put_element<T>(raw, static_cast<double>(v));
+  put_section(w, raw.bytes(), zlib_level);
+  return w.take();
+}
+
+template <typename T>
+std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
+                                        const DpzConfig& config,
+                                        DpzStats* stats) {
+  DPZ_REQUIRE(data.size() >= 8, "DPZ needs at least 8 values");
+  DpzStats local_stats;
+  DpzStats& st = stats != nullptr ? *stats : local_stats;
+  st = DpzStats{};
+  st.original_bytes = data.size() * sizeof(T);
+
+  // ---- Stage 1: block decomposition + per-block DCT -------------------
+  Matrix blocks;
+  BlockLayout layout;
+  std::vector<double> spatial_vifs;
+  {
+    const ScopedStage stage(st.timers, "stage1_dct");
+    layout = choose_block_layout(data.size());
+    blocks = to_blocks(data.flat(), layout);
+
+    // Algorithm 2 probes collinearity on the raw block-data, so sample
+    // the VIFs before the DCT rearranges the correlation structure.
+    if (config.use_sampling && layout.m >= 2 * config.subset_count) {
+      Rng vif_rng(config.sampling_seed);
+      spatial_vifs = sampled_vif(blocks, config.vif_sampling_rate, 256,
+                                 vif_rng);
+    }
+
+    const DctPlan plan(layout.n);
+    parallel_for(0, layout.m, [&](std::size_t i) {
+      auto row = blocks.row(i);
+      plan.forward(row, row);
+    });
+
+    // Optional future-work pre-filter: truncate each block's trailing
+    // (high-frequency) DCT coefficients before PCA sees them.
+    DPZ_REQUIRE(config.dct_keep_fraction > 0.0 &&
+                    config.dct_keep_fraction <= 1.0,
+                "dct_keep_fraction must be in (0, 1]");
+    if (config.dct_keep_fraction < 1.0) {
+      const auto keep = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(config.dct_keep_fraction *
+                              static_cast<double>(layout.n))));
+      parallel_for(0, layout.m, [&](std::size_t i) {
+        auto row = blocks.row(i);
+        std::fill(row.begin() + static_cast<std::ptrdiff_t>(keep),
+                  row.end(), 0.0);
+      });
+    }
+  }
+  st.layout = layout;
+
+  // ---- Stage 2: PCA in the DCT domain + k selection -------------------
+  PcaModel model;
+  std::size_t k = 1;
+  bool standardized = config.standardize > 0;
+  {
+    const ScopedStage stage(st.timers, "stage2_pca");
+    if (config.use_sampling && layout.m >= 2 * config.subset_count) {
+      SamplingConfig scfg;
+      scfg.subset_count = config.subset_count;
+      scfg.sample_subset_count = config.sample_subset_count;
+      scfg.tve = config.tve;
+      scfg.use_knee = config.selection == KSelectionMethod::kKneePoint;
+      scfg.knee_fit = config.knee_fit;
+      scfg.vif_sampling_rate = config.vif_sampling_rate;
+      scfg.seed = config.sampling_seed;
+      scfg.quant_error_bound = config.effective_error_bound();
+      scfg.wide_codes = config.effective_wide_codes();
+      scfg.precomputed_vifs = spatial_vifs;
+      const SamplingReport report = run_sampling(blocks, scfg);
+
+      st.vif_median = report.vif_median;
+      if (config.standardize < 0) standardized = report.low_linearity;
+      k = config.fixed_k != 0
+              ? std::clamp<std::size_t>(config.fixed_k, 1, layout.m)
+              : report.full_k;
+      model = fit_pca_topk(blocks, k, standardized);
+    } else {
+      model = fit_pca(blocks, standardized);
+      if (config.fixed_k != 0) {
+        k = std::clamp<std::size_t>(config.fixed_k, 1, layout.m);
+      } else if (config.selection == KSelectionMethod::kKneePoint) {
+        k = detect_knee(model.tve_curve(), config.knee_fit).k;
+      } else {
+        k = model.k_for_tve(config.tve);
+      }
+    }
+  }
+  st.k = k;
+  st.standardized = standardized;
+  st.stage12_bytes = static_cast<std::uint64_t>(k) * layout.n * sizeof(T);
+
+  // ---- Stage 3: per-component normalization + quantization ------------
+  QuantizerConfig qcfg;
+  qcfg.error_bound = config.effective_error_bound();
+  qcfg.wide_codes = config.effective_wide_codes();
+
+  Matrix scores = model.transform(blocks, k);
+  SideData side;
+  side.mean = model.mean;
+  side.scale = model.scale;
+  QuantizedStream qs;
+  {
+    const ScopedStage stage(st.timers, "stage3_quantize");
+    side.score_scale = detail::component_scale(scores.row(0));
+    const double inv = 1.0 / side.score_scale;
+    for (double& v : scores.flat()) v *= inv;
+    qs = quantize(scores.flat(), qcfg);
+  }
+  st.outlier_count = qs.outliers.size();
+  st.stage3_bytes = qs.codes.size() + qs.outliers.size() * sizeof(T);
+
+  side.basis = Matrix(layout.m, k);
+  for (std::size_t i = 0; i < layout.m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      side.basis(i, j) = model.components(i, j);
+
+  // ---- Serialization + zlib add-on -------------------------------------
+  ByteWriter w;
+  {
+    const ScopedStage stage(st.timers, "zlib_encode");
+    w.put_u32(kMagic);
+    w.put_u8(kVersion);
+    std::uint8_t flags = 0;
+    if (qcfg.wide_codes) flags |= kFlagWideCodes;
+    if (standardized) flags |= kFlagStandardized;
+    if (sizeof(T) == 8) flags |= kFlagDouble;
+    w.put_u8(flags);
+    w.put_f64(qcfg.error_bound);
+
+    w.put_u8(static_cast<std::uint8_t>(data.shape().size()));
+    for (const std::size_t d : data.shape()) w.put_u64(d);
+    w.put_u64(layout.m);
+    w.put_u64(layout.n);
+    w.put_u64(layout.original_total);
+    w.put_u32(static_cast<std::uint32_t>(k));
+    w.put_u64(qs.outliers.size());
+
+    const std::size_t before_side = w.size();
+    put_section(w, serialize_side(side, standardized), config.zlib_level);
+    st.side_bytes = w.size() - before_side;
+
+    const std::size_t before_payload = w.size();
+    put_section(w, qs.codes, config.zlib_level);
+    ByteWriter outlier_bytes;
+    for (const double v : qs.outliers) put_element<T>(outlier_bytes, v);
+    put_section(w, outlier_bytes.bytes(), config.zlib_level);
+    st.zlib_payload_bytes = w.size() - before_payload;
+  }
+
+  std::vector<std::uint8_t> archive = w.take();
+
+  // Never expand the input: fall back to a stored archive when the
+  // pipeline loses to plain zlib (see make_stored_archive).
+  if (archive.size() >= st.original_bytes) {
+    archive = make_stored_archive(data, config.zlib_level);
+    st.stored_raw = true;
+  }
+  st.archive_bytes = archive.size();
+  return archive;
+}
+
+template <typename T>
+NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
+                           std::size_t max_components) {
+  ByteReader r(archive);
+  if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
+  if (r.get_u8() != kVersion)
+    throw FormatError("unsupported DPZ archive version");
+  const std::uint8_t flags = r.get_u8();
+  const bool wide_codes = (flags & kFlagWideCodes) != 0;
+  const bool standardized = (flags & kFlagStandardized) != 0;
+  const bool is_double = (flags & kFlagDouble) != 0;
+  if (is_double != (sizeof(T) == 8))
+    throw FormatError(is_double
+                          ? "archive holds double-precision data; use "
+                            "dpz_decompress_f64"
+                          : "archive holds single-precision data; use "
+                            "dpz_decompress");
+
+  if ((flags & kFlagStoredRaw) != 0) {
+    r.get_f64();  // unused error-bound slot
+    const std::vector<std::size_t> shape = read_shape(r);
+    std::size_t total = 1;
+    for (const std::size_t d : shape) total *= d;
+    const std::vector<std::uint8_t> raw = get_section(r);
+    if (raw.size() != total * sizeof(T))
+      throw FormatError("stored DPZ archive size mismatch");
+    ByteReader raw_reader(raw);
+    NdArray<T> out(shape);
+    for (T& v : out.flat()) v = static_cast<T>(get_element<T>(raw_reader));
+    return out;
+  }
+
+  QuantizerConfig qcfg;
+  qcfg.error_bound = r.get_f64();
+  qcfg.wide_codes = wide_codes;
+  if (!(qcfg.error_bound > 0.0))
+    throw FormatError("DPZ archive has a non-positive error bound");
+
+  const std::vector<std::size_t> shape = read_shape(r);
+
+  BlockLayout layout;
+  layout.m = static_cast<std::size_t>(r.get_u64());
+  layout.n = static_cast<std::size_t>(r.get_u64());
+  layout.original_total = static_cast<std::size_t>(r.get_u64());
+  layout.padded = layout.m * layout.n != layout.original_total;
+  const std::size_t k = r.get_u32();
+  const std::uint64_t outlier_count = r.get_u64();
+
+  std::size_t shape_total = 1;
+  for (const std::size_t d : shape) shape_total *= d;
+  // Geometry invariants the compressor always satisfies; anything else is
+  // a corrupted header (and would otherwise size downstream allocations).
+  if (shape_total != layout.original_total || layout.m == 0 ||
+      layout.n == 0 || layout.m >= layout.n || k == 0 || k > layout.m ||
+      layout.m > kMaxArchiveElements / layout.n ||
+      layout.padded_total() < layout.original_total ||
+      layout.padded_total() > 4 * layout.original_total + 16 ||
+      outlier_count > static_cast<std::uint64_t>(k) * layout.n)
+    throw FormatError("inconsistent DPZ archive geometry");
+
+  const std::vector<std::uint8_t> side_bytes = get_section(r);
+  const SideData side =
+      deserialize_side(side_bytes, layout.m, k, standardized);
+
+  QuantizedStream qs;
+  qs.count = k * layout.n;
+  qs.codes = get_section(r);
+  const std::vector<std::uint8_t> outlier_raw = get_section(r);
+  if (outlier_raw.size() != outlier_count * sizeof(T))
+    throw FormatError("DPZ outlier section size mismatch");
+  ByteReader outlier_reader(outlier_raw);
+  qs.outliers.resize(static_cast<std::size_t>(outlier_count));
+  for (double& v : qs.outliers) v = get_element<T>(outlier_reader);
+
+  // Progressive reconstruction: score streams are stored in component
+  // order, so truncating the code stream after use_k components (and the
+  // outlier list after the escapes that prefix contains) yields a valid
+  // lower-rank archive view.
+  const std::size_t use_k =
+      max_components == 0 ? k : std::min(max_components, k);
+  if (use_k < k) {
+    const std::size_t code_bytes = qcfg.code_bytes();
+    if (qs.codes.size() != qs.count * code_bytes)
+      throw FormatError("DPZ code section size mismatch");
+    qs.count = use_k * layout.n;
+    qs.codes.resize(qs.count * code_bytes);
+
+    const std::uint32_t escape = qcfg.bin_count();
+    std::size_t escapes = 0;
+    for (std::size_t i = 0; i < qs.count; ++i) {
+      std::uint32_t code = qs.codes[i * code_bytes];
+      if (qcfg.wide_codes)
+        code |= static_cast<std::uint32_t>(qs.codes[i * code_bytes + 1])
+                << 8;
+      if (code == escape) ++escapes;
+    }
+    if (escapes > qs.outliers.size())
+      throw FormatError("DPZ outlier count inconsistent with codes");
+    qs.outliers.resize(escapes);
+  }
+
+  // Stage 3 inverse: codes -> normalized scores -> scores.
+  Matrix scores(use_k, layout.n);
+  dequantize(qs, qcfg, scores.flat());
+  for (double& v : scores.flat()) v *= side.score_scale;
+
+  // Stage 2 inverse: back-project through the stored basis (leading use_k
+  // columns only).
+  PcaModel model;
+  model.mean = side.mean;
+  model.scale = side.scale;
+  model.eigenvalues.assign(use_k, 0.0);  // not needed for reconstruction
+  if (use_k < k) {
+    Matrix truncated(layout.m, use_k);
+    for (std::size_t i = 0; i < layout.m; ++i)
+      for (std::size_t j = 0; j < use_k; ++j)
+        truncated(i, j) = side.basis(i, j);
+    model.components = std::move(truncated);
+  } else {
+    model.components = side.basis;
+  }
+  Matrix blocks = model.inverse_transform(scores);
+
+  // Stage 1 inverse: inverse DCT per block, then de-block.
+  const DctPlan plan(layout.n);
+  parallel_for(0, layout.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.inverse(row, row);
+  });
+
+  NdArray<T> out(shape);
+  from_blocks(blocks, layout, out.flat());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> dpz_compress(const FloatArray& data,
+                                       const DpzConfig& config,
+                                       DpzStats* stats) {
+  return compress_impl(data, config, stats);
+}
+
+std::vector<std::uint8_t> dpz_compress(const DoubleArray& data,
+                                       const DpzConfig& config,
+                                       DpzStats* stats) {
+  return compress_impl(data, config, stats);
+}
+
+FloatArray dpz_decompress(std::span<const std::uint8_t> archive,
+                          std::size_t max_components) {
+  return decompress_impl<float>(archive, max_components);
+}
+
+DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
+                               std::size_t max_components) {
+  return decompress_impl<double>(archive, max_components);
+}
+
+DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive) {
+  ByteReader r(archive);
+  if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
+  if (r.get_u8() != kVersion)
+    throw FormatError("unsupported DPZ archive version");
+  const std::uint8_t flags = r.get_u8();
+
+  DpzArchiveInfo info;
+  info.archive_bytes = archive.size();
+  info.stored_raw = (flags & kFlagStoredRaw) != 0;
+  info.wide_codes = (flags & kFlagWideCodes) != 0;
+  info.standardized = (flags & kFlagStandardized) != 0;
+  info.double_precision = (flags & kFlagDouble) != 0;
+  info.error_bound = r.get_f64();
+
+  info.shape = read_shape(r);
+  if (info.stored_raw) return info;
+
+  info.layout.m = static_cast<std::size_t>(r.get_u64());
+  info.layout.n = static_cast<std::size_t>(r.get_u64());
+  info.layout.original_total = static_cast<std::size_t>(r.get_u64());
+  info.layout.padded =
+      info.layout.m * info.layout.n != info.layout.original_total;
+  info.k = r.get_u32();
+  info.outlier_count = r.get_u64();
+  return info;
+}
+
+}  // namespace dpz

@@ -1,0 +1,289 @@
+#include "core/shared_basis.h"
+
+#include <cmath>
+
+#include "codec/bytes.h"
+#include "codec/shuffle.h"
+#include "codec/zlib_codec.h"
+#include "core/archive_detail.h"
+#include "dsp/dct.h"
+#include "stats/knee.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+namespace {
+
+constexpr std::uint32_t kBasisMagic = 0x42505A44;     // "DZPB"
+constexpr std::uint32_t kSnapshotMagic = 0x53505A44;  // "DZPS"
+
+// Stage 1 helper shared by train/compress.
+Matrix dct_blocks_of(const FloatArray& data, const BlockLayout& layout) {
+  Matrix blocks = to_blocks(data.flat(), layout);
+  const DctPlan plan(layout.n);
+  parallel_for(0, layout.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.forward(row, row);
+  });
+  return blocks;
+}
+
+// Row means of a block matrix (the per-snapshot centering vector).
+std::vector<double> row_means(const Matrix& blocks) {
+  std::vector<double> mean(blocks.rows());
+  for (std::size_t i = 0; i < blocks.rows(); ++i) {
+    double sum = 0.0;
+    for (const double v : blocks.row(i)) sum += v;
+    mean[i] = sum / static_cast<double>(blocks.cols());
+  }
+  return mean;
+}
+
+}  // namespace
+
+SharedBasisCodec SharedBasisCodec::train(const FloatArray& reference,
+                                         const DpzConfig& config) {
+  DPZ_REQUIRE(reference.size() >= 8, "training snapshot too small");
+  SharedBasisCodec codec;
+  codec.layout_ = choose_block_layout(reference.size());
+  codec.shape_ = reference.shape();
+  codec.qcfg_.error_bound = config.effective_error_bound();
+  codec.qcfg_.wide_codes = config.effective_wide_codes();
+  codec.zlib_level_ = config.zlib_level;
+
+  const Matrix blocks = dct_blocks_of(reference, codec.layout_);
+  const PcaModel model = fit_pca(blocks, config.standardize > 0);
+  std::size_t k;
+  if (config.selection == KSelectionMethod::kKneePoint) {
+    k = detect_knee(model.tve_curve(), config.knee_fit).k;
+  } else {
+    k = model.k_for_tve(config.tve);
+  }
+
+  // Campaign drift guard: a global offset in a later snapshot lands in
+  // the DC coefficient of every block, i.e. along the all-ones feature
+  // direction — which a reference without offset variance never puts in
+  // its eigenbasis. Append that direction (orthogonalized against the
+  // selected components) so uniform drift stays representable.
+  const std::size_t m = codec.layout_.m;
+  std::vector<double> dc(m, 1.0 / std::sqrt(static_cast<double>(m)));
+  for (std::size_t j = 0; j < k; ++j) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < m; ++i) dot += dc[i] * model.components(i, j);
+    for (std::size_t i = 0; i < m; ++i) dc[i] -= dot * model.components(i, j);
+  }
+  double dc_norm2 = 0.0;
+  for (const double v : dc) dc_norm2 += v * v;
+  const bool add_dc = dc_norm2 > 1e-12;
+  if (add_dc) {
+    const double inv = 1.0 / std::sqrt(dc_norm2);
+    for (double& v : dc) v *= inv;
+  }
+
+  // Round the basis through f32 immediately: the serialized blob stores
+  // f32 columns, and the encoder must use exactly the basis a restored
+  // reader will hold, or reconstructions would differ across the wire.
+  const std::size_t cols = k + (add_dc ? 1 : 0);
+  codec.basis_ = Matrix(m, cols);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < k; ++j)
+      codec.basis_(i, j) = static_cast<double>(
+          static_cast<float>(model.components(i, j)));
+    if (add_dc)
+      codec.basis_(i, k) =
+          static_cast<double>(static_cast<float>(dc[i]));
+  }
+  return codec;
+}
+
+std::vector<std::uint8_t> SharedBasisCodec::serialize() const {
+  ByteWriter w;
+  w.put_u32(kBasisMagic);
+  w.put_u8(qcfg_.wide_codes ? 1 : 0);
+  w.put_f64(qcfg_.error_bound);
+  w.put_u8(static_cast<std::uint8_t>(shape_.size()));
+  for (const std::size_t d : shape_) w.put_u64(d);
+  w.put_u64(layout_.m);
+  w.put_u64(layout_.n);
+  w.put_u64(layout_.original_total);
+  w.put_u32(static_cast<std::uint32_t>(basis_.cols()));
+
+  ByteWriter basis_bytes;
+  for (std::size_t i = 0; i < basis_.rows(); ++i)
+    for (std::size_t j = 0; j < basis_.cols(); ++j)
+      basis_bytes.put_f32(static_cast<float>(basis_(i, j)));
+  const auto shuffled = shuffle_bytes(basis_bytes.bytes(), sizeof(float));
+  w.put_u64(shuffled.size());
+  w.put_blob(zlib_compress(shuffled, zlib_level_));
+  return w.take();
+}
+
+SharedBasisCodec SharedBasisCodec::deserialize(
+    std::span<const std::uint8_t> blob) {
+  ByteReader r(blob);
+  if (r.get_u32() != kBasisMagic)
+    throw FormatError("not a shared-basis blob");
+  SharedBasisCodec codec;
+  codec.qcfg_.wide_codes = r.get_u8() != 0;
+  codec.qcfg_.error_bound = r.get_f64();
+  if (!(codec.qcfg_.error_bound > 0.0))
+    throw FormatError("shared-basis blob: bad error bound");
+
+  const std::uint8_t rank = r.get_u8();
+  if (rank == 0 || rank > 4)
+    throw FormatError("shared-basis blob: bad rank");
+  codec.shape_.resize(rank);
+  std::size_t total = 1;
+  for (auto& d : codec.shape_) {
+    d = static_cast<std::size_t>(r.get_u64());
+    if (d == 0) throw FormatError("shared-basis blob: zero extent");
+    total *= d;
+  }
+  codec.layout_.m = static_cast<std::size_t>(r.get_u64());
+  codec.layout_.n = static_cast<std::size_t>(r.get_u64());
+  codec.layout_.original_total = static_cast<std::size_t>(r.get_u64());
+  codec.layout_.padded =
+      codec.layout_.m * codec.layout_.n != codec.layout_.original_total;
+  const std::size_t k = r.get_u32();
+  if (total != codec.layout_.original_total || k == 0 ||
+      k > codec.layout_.m)
+    throw FormatError("shared-basis blob: inconsistent geometry");
+
+  const std::uint64_t raw_size = r.get_u64();
+  const std::vector<std::uint8_t> shuffled =
+      zlib_decompress(r.get_blob(), static_cast<std::size_t>(raw_size));
+  if (shuffled.size() != codec.layout_.m * k * sizeof(float))
+    throw FormatError("shared-basis blob: basis size mismatch");
+  const std::vector<std::uint8_t> raw =
+      unshuffle_bytes(shuffled, sizeof(float));
+  ByteReader basis_reader(raw);
+  codec.basis_ = Matrix(codec.layout_.m, k);
+  for (std::size_t i = 0; i < codec.layout_.m; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      codec.basis_(i, j) = static_cast<double>(basis_reader.get_f32());
+  return codec;
+}
+
+std::vector<std::uint8_t> SharedBasisCodec::compress(
+    const FloatArray& snapshot, DpzStats* stats) const {
+  DPZ_REQUIRE(snapshot.shape() == shape_,
+              "snapshot shape differs from the training snapshot");
+  DpzStats local;
+  DpzStats& st = stats != nullptr ? *stats : local;
+  st = DpzStats{};
+  st.layout = layout_;
+  st.k = basis_.cols();
+  st.original_bytes = snapshot.size() * sizeof(float);
+  st.stage12_bytes =
+      static_cast<std::uint64_t>(st.k) * layout_.n * sizeof(float);
+
+  const Matrix blocks = dct_blocks_of(snapshot, layout_);
+  const std::vector<double> mean = row_means(blocks);
+
+  // Scores against the frozen basis: Y = D_k^T (Z - mean).
+  const std::size_t k = basis_.cols();
+  Matrix scores(k, layout_.n);
+  parallel_for(0, k, [&](std::size_t j) {
+    double* out = scores.row(j).data();
+    for (std::size_t i = 0; i < layout_.m; ++i) {
+      const double d = basis_(i, j);
+      if (d == 0.0) continue;
+      const double* zi = blocks.row(i).data();
+      const double mu = mean[i];
+      for (std::size_t c = 0; c < layout_.n; ++c)
+        out[c] += d * (zi[c] - mu);
+    }
+  });
+
+  const double score_scale = detail::component_scale(scores.row(0));
+  const double inv = 1.0 / score_scale;
+  for (double& v : scores.flat()) v *= inv;
+  const QuantizedStream qs = quantize(scores.flat(), qcfg_);
+  st.outlier_count = qs.outliers.size();
+  st.stage3_bytes = qs.codes.size() + qs.outliers.size() * sizeof(float);
+
+  ByteWriter w;
+  w.put_u32(kSnapshotMagic);
+  w.put_f64(score_scale);
+  w.put_u64(qs.outliers.size());
+
+  ByteWriter mean_bytes;
+  for (const double v : mean) mean_bytes.put_f64(v);
+  detail::put_section(w, mean_bytes.bytes(), zlib_level_);
+
+  const std::size_t before_payload = w.size();
+  detail::put_section(w, qs.codes, zlib_level_);
+  ByteWriter outlier_bytes;
+  for (const double v : qs.outliers)
+    outlier_bytes.put_f32(static_cast<float>(v));
+  detail::put_section(w, outlier_bytes.bytes(), zlib_level_);
+  st.zlib_payload_bytes = w.size() - before_payload;
+
+  std::vector<std::uint8_t> archive = w.take();
+  st.archive_bytes = archive.size();
+  return archive;
+}
+
+FloatArray SharedBasisCodec::decompress(
+    std::span<const std::uint8_t> archive) const {
+  ByteReader r(archive);
+  if (r.get_u32() != kSnapshotMagic)
+    throw FormatError("not a shared-basis snapshot archive");
+  const double score_scale = r.get_f64();
+  if (!(score_scale > 0.0))
+    throw FormatError("snapshot archive: bad score scale");
+  const std::uint64_t outlier_count = r.get_u64();
+
+  const std::vector<std::uint8_t> mean_raw = detail::get_section(r);
+  if (mean_raw.size() != layout_.m * sizeof(double))
+    throw FormatError("snapshot archive: mean size mismatch");
+  ByteReader mean_reader(mean_raw);
+  std::vector<double> mean(layout_.m);
+  for (double& v : mean) v = mean_reader.get_f64();
+
+  const std::size_t k = basis_.cols();
+  QuantizedStream qs;
+  qs.count = k * layout_.n;
+  qs.codes = detail::get_section(r);
+  const std::vector<std::uint8_t> outlier_raw = detail::get_section(r);
+  if (outlier_raw.size() != outlier_count * sizeof(float))
+    throw FormatError("snapshot archive: outlier size mismatch");
+  ByteReader outlier_reader(outlier_raw);
+  qs.outliers.resize(static_cast<std::size_t>(outlier_count));
+  for (double& v : qs.outliers)
+    v = static_cast<double>(outlier_reader.get_f32());
+
+  Matrix scores(k, layout_.n);
+  dequantize(qs, qcfg_, scores.flat());
+  for (double& v : scores.flat()) v *= score_scale;
+
+  // Back-project: Z = D_k Y + mean, then inverse DCT + de-block.
+  Matrix blocks(layout_.m, layout_.n);
+  parallel_for(0, layout_.m, [&](std::size_t i) {
+    double* out = blocks.row(i).data();
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = basis_(i, j);
+      if (d == 0.0) continue;
+      const double* y = scores.row(j).data();
+      for (std::size_t c = 0; c < layout_.n; ++c) out[c] += d * y[c];
+    }
+    const double mu = mean[i];
+    for (std::size_t c = 0; c < layout_.n; ++c) out[c] += mu;
+  });
+
+  const DctPlan plan(layout_.n);
+  parallel_for(0, layout_.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.inverse(row, row);
+  });
+
+  FloatArray out(shape_);
+  from_blocks(blocks, layout_, out.flat());
+  return out;
+}
+
+std::uint64_t SharedBasisCodec::basis_bytes() const {
+  return serialize().size();
+}
+
+}  // namespace dpz

@@ -1,0 +1,74 @@
+// Shared-basis campaign compression.
+//
+// Simulation campaigns emit many snapshots of the same field whose
+// spatial correlation structure drifts slowly. DPZ's dominant archive
+// overhead — the PCA basis — is then nearly identical across snapshots,
+// so a codec trained once on a representative snapshot can compress the
+// whole series while storing the basis a single time:
+//
+//   SharedBasisCodec codec = SharedBasisCodec::train(snapshot0, config);
+//   auto basis_blob = codec.serialize();          // once per campaign
+//   auto a1 = codec.compress(snapshot1);          // no basis inside
+//   auto a2 = codec.compress(snapshot2);
+//   ...
+//   SharedBasisCodec reader = SharedBasisCodec::deserialize(basis_blob);
+//   FloatArray s1 = reader.decompress(a1);
+//
+// Per-snapshot archives carry only the block means, the score scale, the
+// quantization codes, and the outliers; everything else lives in the
+// shared blob. This is an extension of the paper's design (its
+// information-oriented framing makes the basis a reusable "retrieval
+// model"), not something it evaluates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/quantizer.h"
+#include "core/blocking.h"
+#include "core/dpz.h"
+#include "linalg/pca.h"
+
+namespace dpz {
+
+class SharedBasisCodec {
+ public:
+  /// Fits the basis on a representative snapshot: Stage 1 + full PCA +
+  /// the config's k selection. The codec then freezes (layout, k, basis,
+  /// quantizer scheme).
+  static SharedBasisCodec train(const FloatArray& reference,
+                                const DpzConfig& config);
+
+  /// Serializes the frozen state (layout, quantizer, k, basis columns).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Restores a codec from serialize()'s output.
+  static SharedBasisCodec deserialize(std::span<const std::uint8_t> blob);
+
+  /// Compresses one snapshot; its shape must match the training snapshot.
+  /// The returned archive contains no basis and can only be opened by a
+  /// codec holding the same basis.
+  [[nodiscard]] std::vector<std::uint8_t> compress(
+      const FloatArray& snapshot, DpzStats* stats = nullptr) const;
+
+  /// Reconstructs a snapshot compressed by this codec (or one restored
+  /// from the same serialized basis).
+  [[nodiscard]] FloatArray decompress(
+      std::span<const std::uint8_t> archive) const;
+
+  [[nodiscard]] const BlockLayout& layout() const { return layout_; }
+  [[nodiscard]] std::size_t k() const { return basis_.cols(); }
+  [[nodiscard]] std::uint64_t basis_bytes() const;
+
+ private:
+  SharedBasisCodec() = default;
+
+  BlockLayout layout_;
+  std::vector<std::size_t> shape_;
+  QuantizerConfig qcfg_;
+  int zlib_level_ = 6;
+  Matrix basis_;  // M x k
+};
+
+}  // namespace dpz

@@ -1,0 +1,224 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/spectral_field.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dpz {
+
+namespace {
+
+std::uint64_t field_seed(std::uint64_t base, const std::string& name) {
+  // FNV-1a over the field name, mixed with the user seed.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  return h ^ (base * 0x9E3779B97F4A7C15ULL);
+}
+
+std::size_t scaled(std::size_t full, double scale, std::size_t floor_to) {
+  const auto s = static_cast<std::size_t>(
+      std::llround(static_cast<double>(full) * scale));
+  return std::max(floor_to, s);
+}
+
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// --- CESM-ATM 2-D climate analogues (1800 x 3600 at scale 1) -----------
+
+FloatArray make_cloud_fraction(std::vector<std::size_t> shape,
+                               std::uint64_t seed, double beta,
+                               double gain) {
+  // Cloud-fraction fields live in [0, 1] with broad saturated patches —
+  // a squashed band-limited field reproduces that patchy, highly linear
+  // look (and the low intrinsic rank CESM shows in Stage 2).
+  SpectralOptions opt;
+  opt.beta = beta;
+  opt.cutoff = 0.08;
+  opt.noise = 1e-3;
+  FloatArray g = gaussian_random_field(std::move(shape), opt, seed);
+  for (float& v : g.flat())
+    v = static_cast<float>(logistic(gain * static_cast<double>(v)));
+  return g;
+}
+
+FloatArray make_fldsc(std::vector<std::size_t> shape, std::uint64_t seed) {
+  // Downwelling solar flux: smooth positive field with a strong meridional
+  // (row-wise) trend, like insolation varying with latitude.
+  SpectralOptions opt;
+  opt.beta = 3.6;
+  opt.cutoff = 0.06;
+  opt.noise = 5e-4;
+  FloatArray g = gaussian_random_field(shape, opt, seed);
+  const std::size_t rows = shape[0], cols = shape[1];
+  FloatArray out(shape);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double lat = (static_cast<double>(i) / static_cast<double>(rows) -
+                        0.5) *
+                       3.141592653589793;
+    const double base = 180.0 * std::cos(lat) + 40.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = base + 45.0 * static_cast<double>(g(i, j));
+      out(i, j) = static_cast<float>(std::max(0.0, v));
+    }
+  }
+  return out;
+}
+
+FloatArray make_phis(std::vector<std::size_t> shape, std::uint64_t seed) {
+  // Surface geopotential: mostly smooth lowlands with ridged mountain
+  // chains; the |.|^1.4 fold sharpens the ridges the way orography does.
+  SpectralOptions broad_opt;
+  broad_opt.beta = 3.8;
+  broad_opt.cutoff = 0.05;
+  SpectralOptions fine_opt;
+  fine_opt.beta = 3.0;
+  fine_opt.cutoff = 0.15;
+  fine_opt.noise = 1e-3;
+  const FloatArray broad = gaussian_random_field(shape, broad_opt, seed);
+  const FloatArray fine = gaussian_random_field(shape, fine_opt, seed + 17);
+  FloatArray out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double b = static_cast<double>(broad[i]);
+    const double ridged =
+        std::pow(std::abs(b), 1.4) * (b > 0 ? 1.0 : 0.15);
+    const double v =
+        9.80665 * (2200.0 * ridged + 120.0 * static_cast<double>(fine[i]));
+    out[i] = static_cast<float>(std::max(-500.0, v));
+  }
+  return out;
+}
+
+// --- JHTDB 3-D turbulence analogues (128^3 at scale 1) -----------------
+
+FloatArray make_isotropic(std::vector<std::size_t> shape,
+                          std::uint64_t seed) {
+  // Kolmogorov cascade: E(k) ~ k^-5/3 means a 3-D power spectral density
+  // ~ k^-11/3, plus the energy-containing large-scale structures real
+  // isotropic turbulence carries (the coherent component is what gives
+  // JHTDB blocks their moderate-but-real collinearity in the paper's VIF
+  // probe; pure random-phase noise would have almost none at bench-scale
+  // grids). Velocities are O(1) m/s.
+  const FloatArray fine =
+      gaussian_random_field(shape, 11.0 / 3.0, seed);
+  SpectralOptions large_opt;
+  large_opt.beta = 11.0 / 3.0;
+  large_opt.cutoff = 0.12;
+  const FloatArray large =
+      gaussian_random_field(shape, large_opt, seed + 31);
+  FloatArray out(shape);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<float>(2.4 * static_cast<double>(large[i]) +
+                                0.7 * static_cast<double>(fine[i]));
+  return out;
+}
+
+FloatArray make_channel(std::vector<std::size_t> shape, std::uint64_t seed) {
+  // Channel flow: parabolic streamwise mean profile across the
+  // wall-normal axis plus anisotropic fluctuations that weaken at the
+  // walls (with a coherent large-scale part, as in make_isotropic).
+  // Axis 1 is wall-normal.
+  const FloatArray fine = gaussian_random_field(shape, 3.4, seed);
+  SpectralOptions large_opt;
+  large_opt.beta = 3.4;
+  large_opt.cutoff = 0.15;
+  const FloatArray large = gaussian_random_field(shape, large_opt, seed + 41);
+  FloatArray g(shape);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = static_cast<float>(1.2 * static_cast<double>(large[i]) +
+                              0.7 * static_cast<double>(fine[i]));
+  const std::size_t nx = shape[0], ny = shape[1], nz = shape[2];
+  FloatArray out(shape);
+  for (std::size_t x = 0; x < nx; ++x) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      const double eta =
+          2.0 * static_cast<double>(y) / static_cast<double>(ny - 1) - 1.0;
+      const double mean_u = 18.0 * (1.0 - eta * eta);
+      const double intensity = 1.8 * (1.0 - 0.75 * eta * eta) + 0.2;
+      for (std::size_t z = 0; z < nz; ++z) {
+        out(x, y, z) = static_cast<float>(
+            mean_u + intensity * static_cast<double>(g(x, y, z)));
+      }
+    }
+  }
+  return out;
+}
+
+// --- HACC 1-D particle analogues (2097152 values at scale 1) -----------
+
+FloatArray make_hacc_x(std::size_t n, std::uint64_t seed) {
+  // Positions in a 256 Mpc box, ordered by the simulation's spatial
+  // traversal: long quasi-linear sweeps with cluster-scale jitter, which
+  // gives blocks the moderate linearity the paper measures for "x".
+  Rng rng(seed);
+  FloatArray out({n});
+  double x = rng.uniform(0.0, 256.0);
+  double drift = 0.02;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Occasionally re-seat the sweep (new cluster / new rank block).
+    if (rng.uniform() < 2e-5) {
+      x = rng.uniform(0.0, 256.0);
+      drift = rng.uniform(0.005, 0.05);
+    }
+    x += drift + 0.01 * rng.normal();
+    if (x >= 256.0) x -= 256.0;
+    if (x < 0.0) x += 256.0;
+    out[i] = static_cast<float>(x);
+  }
+  return out;
+}
+
+FloatArray make_hacc_vx(std::size_t n, std::uint64_t seed) {
+  // Velocities: nearly white Gaussian mixture (bulk + hot cluster tail).
+  // Neighboring particles share almost no signal, so block-features are
+  // close to independent — the low-VIF, hard-to-compress case.
+  Rng rng(seed);
+  FloatArray out({n});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sigma = rng.uniform() < 0.07 ? 900.0 : 300.0;
+    out[i] = static_cast<float>(rng.normal(0.0, sigma));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> dataset_names() {
+  return {"Isotropic", "Channel", "CLDHGH", "CLDLOW", "PHIS",
+          "FREQSH",    "FLDSC",   "HACC-x", "HACC-vx"};
+}
+
+Dataset make_dataset(const std::string& name, double scale,
+                     std::uint64_t seed) {
+  DPZ_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  const std::uint64_t s = field_seed(seed, name);
+
+  const std::vector<std::size_t> cesm_shape{scaled(1800, scale, 32),
+                                            scaled(3600, scale, 64)};
+  const std::size_t jh = scaled(128, scale, 16);
+  const std::vector<std::size_t> jhtdb_shape{jh, jh, jh};
+  const std::size_t hacc_n = scaled(2097152, scale, 4096);
+
+  if (name == "Isotropic")
+    return {name, "JHTDB", make_isotropic(jhtdb_shape, s)};
+  if (name == "Channel") return {name, "JHTDB", make_channel(jhtdb_shape, s)};
+  if (name == "CLDHGH")
+    return {name, "CESM", make_cloud_fraction(cesm_shape, s, 3.2, 2.6)};
+  if (name == "CLDLOW")
+    return {name, "CESM", make_cloud_fraction(cesm_shape, s, 3.0, 2.2)};
+  if (name == "PHIS") return {name, "CESM", make_phis(cesm_shape, s)};
+  if (name == "FREQSH")
+    return {name, "CESM", make_cloud_fraction(cesm_shape, s, 2.8, 1.8)};
+  if (name == "FLDSC") return {name, "CESM", make_fldsc(cesm_shape, s)};
+  if (name == "HACC-x") return {name, "HACC", make_hacc_x(hacc_n, s)};
+  if (name == "HACC-vx") return {name, "HACC", make_hacc_vx(hacc_n, s)};
+
+  throw InvalidArgument("unknown dataset name: " + name);
+}
+
+}  // namespace dpz

@@ -1,0 +1,40 @@
+// Synthetic stand-ins for the paper's Table I datasets.
+//
+// Three applications, nine fields (SS V-B):
+//   JHTDB   — "Isotropic1024-coarse", "Channel": 3-D turbulence, 128^3
+//   CESM-ATM — "CLDHGH","CLDLOW","PHIS","FREQSH","FLDSC": 2-D climate,
+//              1800 x 3600
+//   HACC    — "x","vx": 1-D cosmology particles, 2097152 values
+//
+// Each generator reproduces the *compressibility class* of its original
+// (DESIGN.md SS2): smooth high-linearity 2-D fields for CESM, band-limited
+// turbulence for JHTDB, clustered-but-ordered positions for HACC-x and
+// near-white velocities for HACC-vx. All generators are deterministic in
+// their seed and support a `scale` factor that shrinks the grid for quick
+// runs (scale 1.0 = paper-size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/ndarray.h"
+
+namespace dpz {
+
+struct Dataset {
+  std::string name;    ///< paper's field name, e.g. "CLDHGH"
+  std::string source;  ///< application family: "JHTDB", "CESM", "HACC"
+  FloatArray data;
+};
+
+/// Names accepted by make_dataset, in the paper's Table I order.
+std::vector<std::string> dataset_names();
+
+/// Generates the named dataset. `scale` in (0, 1] shrinks each dimension
+/// (e.g. scale 0.5 turns 1800x3600 into 900x1800); the default seed matches
+/// the figures in EXPERIMENTS.md. Throws InvalidArgument for unknown names.
+Dataset make_dataset(const std::string& name, double scale = 1.0,
+                     std::uint64_t seed = 2021);
+
+}  // namespace dpz

@@ -1,0 +1,168 @@
+#include "data/spectral_field.h"
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+namespace {
+
+// Signed frequency index for bin i of an n-point DFT, in cycles per grid.
+double freq_index(std::size_t i, std::size_t n) {
+  const auto ii = static_cast<double>(i);
+  const auto nn = static_cast<double>(n);
+  return (ii <= nn / 2.0) ? ii : ii - nn;
+}
+
+// In-place FFT along one axis of a (possibly) multi-dimensional complex
+// grid stored row-major. `stride` is the element stride along the axis,
+// `count` the axis length, and `lines` enumerates the 1-D lines.
+void fft_axis(std::vector<std::complex<double>>& grid,
+              const std::vector<std::size_t>& line_starts, std::size_t count,
+              std::size_t stride, bool inverse) {
+  const FftPlan plan(count);
+  parallel_for(0, line_starts.size(), [&](std::size_t li) {
+    std::vector<std::complex<double>> line(count);
+    const std::size_t base = line_starts[li];
+    for (std::size_t i = 0; i < count; ++i) line[i] = grid[base + i * stride];
+    plan.execute(line, inverse);
+    for (std::size_t i = 0; i < count; ++i) grid[base + i * stride] = line[i];
+  });
+}
+
+// Enumerates the starting offsets of every 1-D line along `axis` of a grid
+// with the given shape (row-major).
+std::vector<std::size_t> axis_lines(const std::vector<std::size_t>& shape,
+                                    std::size_t axis) {
+  std::size_t total = 1;
+  for (const std::size_t e : shape) total *= e;
+  const std::size_t count = shape[axis];
+
+  // Row-major strides.
+  std::vector<std::size_t> strides(shape.size(), 1);
+  for (std::size_t d = shape.size() - 1; d-- > 0;)
+    strides[d] = strides[d + 1] * shape[d + 1];
+
+  std::vector<std::size_t> starts;
+  starts.reserve(total / count);
+  std::vector<std::size_t> idx(shape.size(), 0);
+  for (;;) {
+    std::size_t off = 0;
+    for (std::size_t d = 0; d < shape.size(); ++d)
+      off += idx[d] * strides[d];
+    starts.push_back(off);
+
+    // Odometer over all dimensions except `axis`.
+    std::size_t d = shape.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (d == axis) continue;
+      if (++idx[d] < shape[d]) {
+        done = false;
+        break;
+      }
+      idx[d] = 0;
+    }
+    if (done) break;
+  }
+  return starts;
+}
+
+}  // namespace
+
+FloatArray gaussian_random_field(std::vector<std::size_t> shape, double beta,
+                                 std::uint64_t seed) {
+  SpectralOptions options;
+  options.beta = beta;
+  return gaussian_random_field(std::move(shape), options, seed);
+}
+
+FloatArray gaussian_random_field(std::vector<std::size_t> shape,
+                                 const SpectralOptions& options,
+                                 std::uint64_t seed) {
+  DPZ_REQUIRE(!shape.empty() && shape.size() <= 3,
+              "spectral synthesis supports 1-D to 3-D shapes");
+  DPZ_REQUIRE(options.cutoff > 0.0 && options.cutoff <= 1.0,
+              "cutoff must be in (0, 1]");
+  DPZ_REQUIRE(options.noise >= 0.0, "noise level must be non-negative");
+  const double beta = options.beta;
+  std::size_t total = 1;
+  for (const std::size_t e : shape) total *= e;
+
+  // Complex white noise shaped by the isotropic power-law filter.
+  Rng rng(seed);
+  std::vector<std::complex<double>> grid(total);
+  std::vector<double> inv_extent(shape.size());
+  for (std::size_t d = 0; d < shape.size(); ++d)
+    inv_extent[d] = 1.0 / static_cast<double>(shape[d]);
+
+  std::vector<std::size_t> idx(shape.size(), 0);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    double k2 = 0.0;
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+      const double f = freq_index(idx[d], shape[d]) * inv_extent[d];
+      k2 += f * f;
+    }
+    const double re = rng.normal();
+    const double im = rng.normal();
+    // freq_index is in cycles/grid scaled by 1/extent, so the Nyquist
+    // radius is 0.5 along each axis.
+    const double cutoff2 = 0.25 * options.cutoff * options.cutoff;
+    if (k2 == 0.0 || k2 > cutoff2) {
+      grid[flat] = {0.0, 0.0};  // DC suppressed; passband low-passed
+    } else {
+      const double amp = std::pow(k2, -beta / 4.0);  // |k|^(-beta/2)
+      grid[flat] = {re * amp, im * amp};
+    }
+
+    // Row-major odometer.
+    std::size_t d = shape.size();
+    while (d-- > 0) {
+      if (++idx[d] < shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+
+  // Inverse FFT along every axis; the real part is the synthesized field.
+  for (std::size_t axis = 0; axis < shape.size(); ++axis) {
+    std::vector<std::size_t> strides(shape.size(), 1);
+    for (std::size_t d = shape.size() - 1; d-- > 0;)
+      strides[d] = strides[d + 1] * shape[d + 1];
+    fft_axis(grid, axis_lines(shape, axis), shape[axis], strides[axis],
+             /*inverse=*/true);
+  }
+
+  FloatArray out(shape);
+  for (std::size_t i = 0; i < total; ++i)
+    out[i] = static_cast<float>(grid[i].real());
+  normalize_field(out);
+
+  if (options.noise > 0.0) {
+    for (float& v : out.flat())
+      v += static_cast<float>(options.noise * rng.normal());
+    normalize_field(out);
+  }
+  return out;
+}
+
+void normalize_field(FloatArray& field) {
+  const std::size_t n = field.size();
+  if (n == 0) return;
+  double mean = 0.0;
+  for (const float v : field.flat()) mean += static_cast<double>(v);
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const float v : field.flat()) {
+    const double d = static_cast<double>(v) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  const double inv_std = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (float& v : field.flat())
+    v = static_cast<float>((static_cast<double>(v) - mean) * inv_std);
+}
+
+}  // namespace dpz

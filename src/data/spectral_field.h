@@ -1,0 +1,51 @@
+// Gaussian random fields by spectral synthesis.
+//
+// SDRBench's real datasets are not downloadable in this offline
+// environment, so the repository simulates each application's field class
+// (see DESIGN.md SS2). The core tool is the classic spectral method:
+// fill a Fourier grid with complex white noise, shape its amplitude by a
+// power-law |k|^(-beta/2) (power spectrum ~ k^-beta), inverse-FFT and take
+// the real part. beta controls smoothness: ~3-4 gives smooth climate-like
+// fields; 11/3 along the energy-spectrum convention reproduces a
+// Kolmogorov turbulence cascade in 3-D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/ndarray.h"
+#include "util/rng.h"
+
+namespace dpz {
+
+struct SpectralOptions {
+  /// Power-spectrum slope: P(k) ~ |k|^-beta inside the passband.
+  double beta = 3.0;
+  /// Low-pass cutoff as a fraction of the Nyquist frequency (1.0 = full
+  /// band). Climate-class fields are strongly band-limited: their large-
+  /// scale structure lives far below the grid Nyquist, which is exactly
+  /// what gives CESM datasets their low intrinsic rank (small k at tight
+  /// TVE) in the paper's Stage 2.
+  double cutoff = 1.0;
+  /// White-noise floor added after synthesis (relative to the field's unit
+  /// standard deviation). Models instrument/solver noise; keeps covariance
+  /// matrices full-rank.
+  double noise = 0.0;
+};
+
+/// Synthesizes a zero-mean, unit-variance random field of the given shape
+/// (1-D, 2-D or 3-D) with isotropic power spectrum ~ |k|^-beta inside the
+/// cutoff. Deterministic in `seed`.
+FloatArray gaussian_random_field(std::vector<std::size_t> shape,
+                                 const SpectralOptions& options,
+                                 std::uint64_t seed);
+
+/// Full-band convenience overload (cutoff 1, no noise floor).
+FloatArray gaussian_random_field(std::vector<std::size_t> shape, double beta,
+                                 std::uint64_t seed);
+
+/// Normalizes a field in place to zero mean and unit standard deviation
+/// (no-op for constant fields).
+void normalize_field(FloatArray& field);
+
+}  // namespace dpz

@@ -1,0 +1,156 @@
+#include "dsp/dct.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace dpz {
+
+DctPlan::DctPlan(std::size_t n)
+    : n_(n),
+      fft_(n),
+      scale0_(std::sqrt(1.0 / static_cast<double>(n))),
+      scale_(std::sqrt(2.0 / static_cast<double>(n))) {
+  DPZ_REQUIRE(n >= 1, "DCT length must be >= 1");
+  shift_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double angle = -std::numbers::pi * static_cast<double>(k) /
+                         (2.0 * static_cast<double>(n_));
+    shift_[k] = {std::cos(angle), std::sin(angle)};
+  }
+}
+
+void DctPlan::forward(std::span<const double> in,
+                      std::span<double> out) const {
+  DPZ_REQUIRE(in.size() == n_ && out.size() == n_,
+              "DCT buffer length must match plan size");
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+
+  // Makhoul reordering: v = [x0, x2, x4, ..., x5, x3, x1].
+  std::vector<std::complex<double>> v(n_);
+  const std::size_t half = (n_ + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) v[i] = in[2 * i];
+  for (std::size_t i = 0; i < n_ / 2; ++i) v[n_ - 1 - i] = in[2 * i + 1];
+
+  fft_.execute(v, /*inverse=*/false);
+
+  // Unnormalized DCT-II coefficient: C[k] = Re(exp(-i*pi*k/2n) * V[k]).
+  out[0] = v[0].real() * scale0_;
+  for (std::size_t k = 1; k < n_; ++k)
+    out[k] = (shift_[k] * v[k]).real() * scale_;
+}
+
+void DctPlan::inverse(std::span<const double> in,
+                      std::span<double> out) const {
+  DPZ_REQUIRE(in.size() == n_ && out.size() == n_,
+              "DCT buffer length must match plan size");
+  if (n_ == 1) {
+    out[0] = in[0];
+    return;
+  }
+
+  // Undo the orthonormal scaling to recover the unnormalized C[k], then
+  // invert the Makhoul construction: V[k] = exp(i*pi*k/2n)(C[k] - iC[n-k]).
+  std::vector<std::complex<double>> v(n_);
+  v[0] = std::complex<double>(in[0] / scale0_, 0.0);
+  for (std::size_t k = 1; k < n_; ++k) {
+    const double ck = in[k] / scale_;
+    const double cnk = in[n_ - k] / scale_;
+    v[k] = std::conj(shift_[k]) * std::complex<double>(ck, -cnk);
+  }
+
+  fft_.execute(v, /*inverse=*/true);
+
+  const std::size_t half = (n_ + 1) / 2;
+  std::vector<double> tmp(n_);
+  for (std::size_t i = 0; i < half; ++i) tmp[2 * i] = v[i].real();
+  for (std::size_t i = 0; i < n_ / 2; ++i)
+    tmp[2 * i + 1] = v[n_ - 1 - i].real();
+  for (std::size_t i = 0; i < n_; ++i) out[i] = tmp[i];
+}
+
+std::vector<double> dct_naive_forward(std::span<const double> x) {
+  const std::size_t n = x.size();
+  DPZ_REQUIRE(n >= 1, "DCT length must be >= 1");
+  std::vector<double> out(n);
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += x[i] * std::cos(std::numbers::pi *
+                             (2.0 * static_cast<double>(i) + 1.0) *
+                             static_cast<double>(k) /
+                             (2.0 * static_cast<double>(n)));
+    }
+    out[k] = sum * (k == 0 ? norm0 : norm);
+  }
+  return out;
+}
+
+std::vector<double> dct_naive_inverse(std::span<const double> x) {
+  const std::size_t n = x.size();
+  DPZ_REQUIRE(n >= 1, "DCT length must be >= 1");
+  std::vector<double> out(n);
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = x[0] * norm0;
+    for (std::size_t k = 1; k < n; ++k) {
+      sum += x[k] * norm *
+             std::cos(std::numbers::pi *
+                      (2.0 * static_cast<double>(i) + 1.0) *
+                      static_cast<double>(k) /
+                      (2.0 * static_cast<double>(n)));
+    }
+    out[i] = sum;
+  }
+  return out;
+}
+
+void dct_2d_forward(std::span<const double> in, std::span<double> out,
+                    std::size_t rows, std::size_t cols) {
+  DPZ_REQUIRE(in.size() == rows * cols && out.size() == rows * cols,
+              "2-D DCT buffer size mismatch");
+  const DctPlan row_plan(cols);
+  const DctPlan col_plan(rows);
+
+  // Rows first.
+  std::vector<double> tmp(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    row_plan.forward(in.subspan(r * cols, cols),
+                     std::span<double>(tmp).subspan(r * cols, cols));
+
+  // Then columns (gather/scatter through a contiguous scratch column).
+  std::vector<double> col(rows), col_out(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = tmp[r * cols + c];
+    col_plan.forward(col, col_out);
+    for (std::size_t r = 0; r < rows; ++r) out[r * cols + c] = col_out[r];
+  }
+}
+
+void dct_2d_inverse(std::span<const double> in, std::span<double> out,
+                    std::size_t rows, std::size_t cols) {
+  DPZ_REQUIRE(in.size() == rows * cols && out.size() == rows * cols,
+              "2-D DCT buffer size mismatch");
+  const DctPlan row_plan(cols);
+  const DctPlan col_plan(rows);
+
+  std::vector<double> tmp(rows * cols);
+  std::vector<double> col(rows), col_out(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) col[r] = in[r * cols + c];
+    col_plan.inverse(col, col_out);
+    for (std::size_t r = 0; r < rows; ++r) tmp[r * cols + c] = col_out[r];
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    row_plan.inverse(std::span<const double>(tmp).subspan(r * cols, cols),
+                     out.subspan(r * cols, cols));
+}
+
+}  // namespace dpz

@@ -1,0 +1,64 @@
+// Orthonormal DCT-II / DCT-III (Stage 1 of the DPZ pipeline).
+//
+// The paper's first retrieval stage applies DCT-II to each decomposed
+// block (SS IV-A); because the transform matrix A is orthogonal
+// (A^T = A^-1), the forward transform is z = A^T x and the inverse is
+// x = A z, and Parseval's identity makes the energy-compaction ratio (ECR,
+// Eq. 1) well defined on coefficients.
+//
+// Two execution paths are provided:
+//  * DctPlan       — O(n log n) via Makhoul's single-length-n FFT method,
+//                    used by the compressor;
+//  * dct_naive_*   — O(n^2) direct evaluation, kept as the oracle the unit
+//                    tests cross-validate against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace dpz {
+
+/// Plan for repeated orthonormal DCTs of a fixed length.
+///
+/// Immutable after construction; safe to share across worker threads when
+/// each thread uses its own scratch via the explicit-workspace overloads.
+class DctPlan {
+ public:
+  explicit DctPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Forward orthonormal DCT-II: out[k] = s_k * sum x[i] cos(pi(2i+1)k/2n),
+  /// s_0 = sqrt(1/n), s_k = sqrt(2/n). `in` and `out` may alias.
+  void forward(std::span<const double> in, std::span<double> out) const;
+
+  /// Inverse transform (orthonormal DCT-III). `in` and `out` may alias.
+  void inverse(std::span<const double> in, std::span<double> out) const;
+
+ private:
+  std::size_t n_;
+  FftPlan fft_;
+  std::vector<std::complex<double>> shift_;  // exp(-i*pi*k/(2n))
+  double scale0_;                            // sqrt(1/n)
+  double scale_;                             // sqrt(2/n)
+};
+
+/// Reference O(n^2) orthonormal DCT-II.
+std::vector<double> dct_naive_forward(std::span<const double> x);
+
+/// Reference O(n^2) orthonormal DCT-III (inverse of dct_naive_forward).
+std::vector<double> dct_naive_inverse(std::span<const double> x);
+
+/// Separable 2-D orthonormal DCT-II over a rows x cols row-major matrix
+/// (Z = A_M^T X A_N in the paper's notation). Used by analysis figures.
+void dct_2d_forward(std::span<const double> in, std::span<double> out,
+                    std::size_t rows, std::size_t cols);
+
+/// Inverse of dct_2d_forward.
+void dct_2d_inverse(std::span<const double> in, std::span<double> out,
+                    std::size_t rows, std::size_t cols);
+
+}  // namespace dpz

@@ -1,0 +1,96 @@
+#include "io/file_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dpz {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_file(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw IoError("cannot open file: " + path);
+  return f;
+}
+
+}  // namespace
+
+FloatArray read_f32(const std::string& path,
+                    std::vector<std::size_t> shape) {
+  FloatArray array(std::move(shape));
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(array.size()) * sizeof(float);
+  if (file_size(path) != expected) {
+    throw IoError("file " + path + " has unexpected size (expected " +
+                  std::to_string(expected) + " bytes)");
+  }
+  FilePtr f = open_file(path, "rb");
+  const std::size_t read =
+      std::fread(array.flat().data(), sizeof(float), array.size(), f.get());
+  if (read != array.size()) throw IoError("short read from " + path);
+  return array;
+}
+
+void write_f32(const std::string& path, const FloatArray& array) {
+  FilePtr f = open_file(path, "wb");
+  const std::size_t written = std::fwrite(
+      array.flat().data(), sizeof(float), array.size(), f.get());
+  if (written != array.size()) throw IoError("short write to " + path);
+}
+
+DoubleArray read_f64(const std::string& path,
+                     std::vector<std::size_t> shape) {
+  DoubleArray array(std::move(shape));
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(array.size()) * sizeof(double);
+  if (file_size(path) != expected) {
+    throw IoError("file " + path + " has unexpected size (expected " +
+                  std::to_string(expected) + " bytes)");
+  }
+  FilePtr f = open_file(path, "rb");
+  const std::size_t read =
+      std::fread(array.flat().data(), sizeof(double), array.size(), f.get());
+  if (read != array.size()) throw IoError("short read from " + path);
+  return array;
+}
+
+void write_f64(const std::string& path, const DoubleArray& array) {
+  FilePtr f = open_file(path, "wb");
+  const std::size_t written = std::fwrite(
+      array.flat().data(), sizeof(double), array.size(), f.get());
+  if (written != array.size()) throw IoError("short write to " + path);
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  const std::uint64_t n = file_size(path);
+  std::vector<std::uint8_t> bytes(n);
+  FilePtr f = open_file(path, "rb");
+  if (n != 0 && std::fread(bytes.data(), 1, n, f.get()) != n)
+    throw IoError("short read from " + path);
+  return bytes;
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  FilePtr f = open_file(path, "wb");
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
+    throw IoError("short write to " + path);
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw IoError("cannot stat file: " + path + " (" + ec.message() +
+                        ")");
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace dpz

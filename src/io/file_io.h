@@ -1,0 +1,37 @@
+// Raw binary dataset I/O in the SDRBench convention: a flat stream of
+// little-endian IEEE-754 values with the shape supplied out of band. This
+// is the format the paper's datasets (JHTDB / CESM-ATM / HACC) ship in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/ndarray.h"
+
+namespace dpz {
+
+/// Reads a flat binary file of `float` into an array of the given shape.
+/// Throws IoError when the file is missing or its size does not match.
+FloatArray read_f32(const std::string& path, std::vector<std::size_t> shape);
+
+/// Writes the array as a flat binary stream of float32.
+void write_f32(const std::string& path, const FloatArray& array);
+
+/// Reads a flat binary file of `double` into an array of the given shape.
+DoubleArray read_f64(const std::string& path, std::vector<std::size_t> shape);
+
+/// Writes the array as a flat binary stream of float64.
+void write_f64(const std::string& path, const DoubleArray& array);
+
+/// Reads the whole file into a byte buffer.
+std::vector<std::uint8_t> read_bytes(const std::string& path);
+
+/// Writes a byte buffer to a file (truncating).
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes);
+
+/// Size of the file in bytes; throws IoError when it cannot be stat'ed.
+std::uint64_t file_size(const std::string& path);
+
+}  // namespace dpz

@@ -1,0 +1,83 @@
+#include "io/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace dpz {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+std::unique_ptr<std::FILE, FileCloser> open_for_write(
+    const std::string& path) {
+  std::unique_ptr<std::FILE, FileCloser> f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw IoError("cannot open image file for writing: " + path);
+  return f;
+}
+
+unsigned char to_byte(double v) {
+  return static_cast<unsigned char>(
+      std::clamp(std::lround(v * 255.0), 0L, 255L));
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const FloatArray& field, float lo,
+               float hi) {
+  DPZ_REQUIRE(field.rank() == 2, "write_pgm expects a 2-D field");
+  if (lo >= hi) {
+    const auto [mn, mx] = field.min_max();
+    lo = mn;
+    hi = mx;
+  }
+  const double span = (hi > lo) ? static_cast<double>(hi) - lo : 1.0;
+
+  const std::size_t rows = field.extent(0), cols = field.extent(1);
+  auto f = open_for_write(path);
+  std::fprintf(f.get(), "P5\n%zu %zu\n255\n", cols, rows);
+  std::vector<unsigned char> row(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j)
+      row[j] = to_byte((static_cast<double>(field(i, j)) - lo) / span);
+    if (std::fwrite(row.data(), 1, cols, f.get()) != cols)
+      throw IoError("short write to " + path);
+  }
+}
+
+void write_error_ppm(const std::string& path, const FloatArray& field) {
+  DPZ_REQUIRE(field.rank() == 2, "write_error_ppm expects a 2-D field");
+  double max_abs = 0.0;
+  for (const float v : field.flat())
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(v)));
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  const std::size_t rows = field.extent(0), cols = field.extent(1);
+  auto f = open_for_write(path);
+  std::fprintf(f.get(), "P6\n%zu %zu\n255\n", cols, rows);
+  std::vector<unsigned char> row(cols * 3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      // t in [-1, 1]: negative -> blue, zero -> white, positive -> red.
+      const double t =
+          std::clamp(static_cast<double>(field(i, j)) / max_abs, -1.0, 1.0);
+      const double mag = std::abs(t);
+      const double r = t >= 0 ? 1.0 : 1.0 - mag;
+      const double g = 1.0 - mag;
+      const double b = t <= 0 ? 1.0 : 1.0 - mag;
+      row[3 * j + 0] = to_byte(r);
+      row[3 * j + 1] = to_byte(g);
+      row[3 * j + 2] = to_byte(b);
+    }
+    if (std::fwrite(row.data(), 1, row.size(), f.get()) != row.size())
+      throw IoError("short write to " + path);
+  }
+}
+
+}  // namespace dpz

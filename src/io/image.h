@@ -1,0 +1,22 @@
+// Grayscale / false-color image output for the paper's visual artifacts:
+// Figure 4 (absolute-error maps) and Figure 7 (decompressed CLDHGH renders).
+// PGM/PPM are chosen because they need no external codec and every common
+// viewer opens them.
+#pragma once
+
+#include <string>
+
+#include "io/ndarray.h"
+
+namespace dpz {
+
+/// Writes a 2-D field as an 8-bit PGM, linearly mapping [lo, hi] -> [0,255].
+/// Pass lo >= hi to auto-scale to the field's own min/max.
+void write_pgm(const std::string& path, const FloatArray& field,
+               float lo = 0.0F, float hi = -1.0F);
+
+/// Writes a 2-D field as a PPM with a blue-white-red diverging colormap
+/// centered on zero — the conventional rendering for signed error maps.
+void write_error_ppm(const std::string& path, const FloatArray& field);
+
+}  // namespace dpz

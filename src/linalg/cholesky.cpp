@@ -1,0 +1,81 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace dpz {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  DPZ_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0)) return std::nullopt;  // also rejects NaN
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  DPZ_REQUIRE(b.size() == n, "Cholesky solve dimension mismatch");
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_(i, k) * y[k];
+    y[i] = sum / l_(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l_(k, ii) * x[k];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const {
+  const std::size_t n = l_.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const std::vector<double> col = solve(e);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  return inv;
+}
+
+std::vector<double> Cholesky::inverse_diagonal() const {
+  // [A^-1]_jj = e_j^T A^-1 e_j = || L^-1 e_j ||^2: one forward
+  // substitution per column, no back substitution needed.
+  const std::size_t n = l_.rows();
+  std::vector<double> diag(n, 0.0);
+  std::vector<double> y(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) y[i] = 0.0;
+    y[j] = 1.0 / l_(j, j);
+    double acc = y[j] * y[j];
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t k = j; k < i; ++k) sum -= l_(i, k) * y[k];
+      y[i] = sum / l_(i, i);
+      acc += y[i] * y[i];
+    }
+    diag[j] = acc;
+  }
+  return diag;
+}
+
+}  // namespace dpz

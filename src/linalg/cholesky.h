@@ -1,0 +1,42 @@
+// Cholesky factorization and SPD inverse.
+//
+// The sampling strategy's compressibility probe needs the diagonal of the
+// inverse correlation matrix (VIF_i = [R^-1]_ii, SS IV-D2 of the paper);
+// Cholesky is the cheap, stable route for that symmetric positive-definite
+// solve. Polynomial least-squares fitting (knee-point curve smoothing)
+// also solves its normal equations through this factorization.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpz {
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+class Cholesky {
+ public:
+  /// Factors `a` (symmetric positive definite; only the lower triangle is
+  /// read). Returns std::nullopt when `a` is not positive definite.
+  static std::optional<Cholesky> factor(const Matrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Full inverse A^-1 (symmetric).
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Diagonal of A^-1 without forming the full inverse elsewhere; this is
+  /// exactly the VIF vector when A is a correlation matrix.
+  [[nodiscard]] std::vector<double> inverse_diagonal() const;
+
+  [[nodiscard]] const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace dpz

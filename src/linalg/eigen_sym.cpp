@@ -1,0 +1,236 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace dpz {
+
+namespace {
+
+// Copies sign of b onto |a| (Fortran SIGN intrinsic).
+double sign_of(double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); }
+
+// Householder reduction of a symmetric matrix to tridiagonal form with
+// accumulation of the orthogonal transform (EISPACK TRED2 lineage).
+// On exit `z` holds the accumulated orthogonal matrix Q such that
+// Q^T A Q = tridiag(d, e); d is the diagonal, e the subdiagonal (e[0]=0).
+void tridiagonalize(Matrix& z, std::vector<double>& d,
+                    std::vector<double>& e) {
+  const std::size_t n = z.rows();
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (std::size_t k = 0; k <= j; ++k)
+            z(j, k) -= f * e[k] + g * z(i, k);
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+        for (std::size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+}
+
+// Implicit-shift QL iteration on the tridiagonal (d, e), rotations applied
+// to the columns of z so that z ends up holding the eigenvectors of the
+// original matrix. Classic TQL2 lineage.
+void ql_implicit(Matrix& z, std::vector<double>& d, std::vector<double>& e) {
+  const std::size_t n = z.rows();
+  if (n == 1) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  constexpr int kMaxIterations = 64;
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m = l;
+    for (;;) {
+      // Find the first negligible subdiagonal element at or after l.
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= std::numeric_limits<double>::epsilon() * dd)
+          break;
+      }
+      if (m == l) break;
+      if (iter++ == kMaxIterations)
+        throw NumericalError("QL iteration failed to converge");
+
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + sign_of(r, g));
+      double s = 1.0, c = 1.0, p = 0.0;
+      bool underflow = false;
+      for (std::size_t ii = m; ii-- > l;) {
+        const std::size_t i = ii;
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        for (std::size_t k = 0; k < n; ++k) {
+          f = z(k, i + 1);
+          z(k, i + 1) = s * z(k, i) + c * f;
+          z(k, i) = c * z(k, i) - s * f;
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+}
+
+// Sorts eigenpairs descending by eigenvalue, permuting vector columns.
+SymmetricEigen sort_descending(std::vector<double> d, Matrix z) {
+  const std::size_t n = d.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return d[a] > d[b]; });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i)
+      out.vectors(i, j) = z(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace
+
+SymmetricEigen eigen_sym(const Matrix& a) {
+  DPZ_REQUIRE(a.rows() == a.cols(), "eigen_sym requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix z = a;  // overwritten with eigenvectors
+  std::vector<double> d(n, 0.0), e(n, 0.0);
+  if (n == 1) {
+    d[0] = a(0, 0);
+    z(0, 0) = 1.0;
+    return sort_descending(std::move(d), std::move(z));
+  }
+  tridiagonalize(z, d, e);
+  ql_implicit(z, d, e);
+  return sort_descending(std::move(d), std::move(z));
+}
+
+SymmetricEigen eigen_sym_jacobi(const Matrix& input) {
+  DPZ_REQUIRE(input.rows() == input.cols(),
+              "eigen_sym_jacobi requires a square matrix");
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    if (off < 1e-300) break;
+
+    bool rotated = false;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        const double threshold =
+            1e-15 * std::sqrt(std::abs(a(p, p) * a(q, q))) + 1e-300;
+        if (std::abs(apq) <= threshold) continue;
+        rotated = true;
+
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = sign_of(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = a(i, i);
+  return sort_descending(std::move(d), std::move(v));
+}
+
+}  // namespace dpz

@@ -1,0 +1,36 @@
+// Symmetric eigendecomposition (the numerical heart of Stage 2).
+//
+// DPZ acquires its PCA projection by eigenanalysis of the M x M covariance
+// matrix of block-DCT coefficients (Eq. 3-5 in the paper). We provide two
+// solvers:
+//  * eigen_sym        — Householder tridiagonalization followed by the
+//                       implicit-shift QL iteration: O(n^3) with a small
+//                       constant, the production path;
+//  * eigen_sym_jacobi — cyclic Jacobi rotations: slower but transparently
+//                       correct, kept as the cross-validation oracle.
+// Both return eigenvalues sorted descending (PCA convention: the first
+// component explains the most variance) with matching eigenvector columns.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpz {
+
+struct SymmetricEigen {
+  /// Eigenvalues sorted descending.
+  std::vector<double> values;
+  /// Orthonormal eigenvectors; column j corresponds to values[j].
+  Matrix vectors;
+};
+
+/// Householder + implicit-shift QL. `a` must be symmetric (only the lower
+/// triangle is read). Throws NumericalError if the QL sweep fails to
+/// converge (pathological only; the iteration cap is generous).
+SymmetricEigen eigen_sym(const Matrix& a);
+
+/// Cyclic Jacobi reference solver (O(n^3) per sweep, ~6-10 sweeps).
+SymmetricEigen eigen_sym_jacobi(const Matrix& a);
+
+}  // namespace dpz

@@ -1,0 +1,89 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  DPZ_REQUIRE(cols_ == other.rows_, "matrix multiply dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  const std::size_t n = other.cols_;
+  // ikj order: the inner loop streams one row of `other` and one row of
+  // `out`, both contiguous.
+  parallel_for(0, rows_, [&](std::size_t i) {
+    double* out_row = out.row(i).data();
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* other_row = other.row(k).data();
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += a * other_row[j];
+    }
+  });
+  return out;
+}
+
+Matrix Matrix::transpose_multiply(const Matrix& other) const {
+  DPZ_REQUIRE(rows_ == other.rows_,
+              "transpose_multiply dimension mismatch");
+  Matrix out(cols_, other.cols_);
+  const std::size_t n = other.cols_;
+  // out(i,j) = sum_k this(k,i) * other(k,j): accumulate rank-1 updates row
+  // by row of the inputs so all accesses stay contiguous. Each worker owns
+  // a contiguous band of output rows i.
+  const unsigned workers = ThreadPool::global().thread_count();
+  const std::size_t band =
+      (cols_ + workers - 1) / std::max<std::size_t>(workers, 1);
+  parallel_for(0, workers, [&](std::size_t w) {
+    const std::size_t lo = w * band;
+    const std::size_t hi = std::min(cols_, lo + band);
+    for (std::size_t k = 0; k < rows_; ++k) {
+      const double* a_row = row(k).data();
+      const double* b_row = other.row(k).data();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double a = a_row[i];
+        if (a == 0.0) continue;
+        double* out_row = out.row(i).data();
+        for (std::size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  DPZ_REQUIRE(v.size() == cols_, "matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* a_row = row(r).data();
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += a_row[c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  DPZ_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+              "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+}  // namespace dpz

@@ -1,0 +1,87 @@
+// Dense row-major double-precision matrix.
+//
+// Eigen is not available in this environment; this is the self-contained
+// matrix type the PCA stage (Stage 2 of DPZ) and the statistics substrate
+// are built on. Operations are deliberately simple and cache-aware (ikj
+// multiply loops, contiguous row access) rather than clever — M rarely
+// exceeds a few thousand in the paper's workloads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dpz {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+    DPZ_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  }
+
+  /// Wraps existing data (row-major; size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    DPZ_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+    DPZ_REQUIRE(data_.size() == rows * cols,
+                "matrix data size does not match dimensions");
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row r.
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    DPZ_REQUIRE(r < rows_, "row index out of range");
+    return std::span<double>(data_).subspan(r * cols_, cols_);
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    DPZ_REQUIRE(r < rows_, "row index out of range");
+    return std::span<const double>(data_).subspan(r * cols_, cols_);
+  }
+
+  [[nodiscard]] std::span<double> flat() { return std::span<double>(data_); }
+  [[nodiscard]] std::span<const double> flat() const {
+    return std::span<const double>(data_);
+  }
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// this * other (dimensions must be compatible). Parallelized over rows.
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// this^T * other without materializing the transpose.
+  [[nodiscard]] Matrix transpose_multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v.
+  [[nodiscard]] std::vector<double> multiply(
+      std::span<const double> v) const;
+
+  /// Max |a_ij - b_ij| between two equal-shaped matrices.
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dpz

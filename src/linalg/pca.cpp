@@ -1,0 +1,181 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/subspace_iteration.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+
+std::vector<double> PcaModel::tve_curve() const {
+  const std::size_t m = eigenvalues.size();
+  std::vector<double> tve(m, 1.0);
+  double total = 0.0;
+  for (const double l : eigenvalues) total += l;
+  if (total <= 0.0) return tve;  // degenerate (constant data): all-ones
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    acc += eigenvalues[i];
+    tve[i] = acc / total;
+  }
+  tve[m - 1] = 1.0;  // guard against rounding drift
+  return tve;
+}
+
+std::size_t PcaModel::k_for_tve(double threshold) const {
+  DPZ_REQUIRE(threshold > 0.0 && threshold <= 1.0,
+              "TVE threshold must be in (0, 1]");
+  const std::vector<double> tve = tve_curve();
+  for (std::size_t k = 0; k < tve.size(); ++k)
+    if (tve[k] >= threshold) return k + 1;
+  return tve.size();
+}
+
+Matrix PcaModel::transform(const Matrix& x, std::size_t k) const {
+  const std::size_t m = feature_count();
+  DPZ_REQUIRE(x.rows() == m, "PCA transform feature-count mismatch");
+  DPZ_REQUIRE(k >= 1 && k <= m, "k must be in [1, M]");
+  const std::size_t n = x.cols();
+
+  Matrix scores(k, n);
+  parallel_for(0, k, [&](std::size_t j) {
+    double* out = scores.row(j).data();
+    for (std::size_t i = 0; i < m; ++i) {
+      const double d = components(i, j) / scale[i];
+      if (d == 0.0) continue;
+      const double* xi = x.row(i).data();
+      const double mu = mean[i];
+      for (std::size_t c = 0; c < n; ++c) out[c] += d * (xi[c] - mu);
+    }
+  });
+  return scores;
+}
+
+Matrix PcaModel::inverse_transform(const Matrix& scores) const {
+  const std::size_t m = feature_count();
+  const std::size_t k = scores.rows();
+  DPZ_REQUIRE(k >= 1 && k <= m, "score rank must be in [1, M]");
+  const std::size_t n = scores.cols();
+
+  Matrix x(m, n);
+  parallel_for(0, m, [&](std::size_t i) {
+    double* out = x.row(i).data();
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = components(i, j);
+      if (d == 0.0) continue;
+      const double* y = scores.row(j).data();
+      for (std::size_t c = 0; c < n; ++c) out[c] += d * y[c];
+    }
+    const double s = scale[i];
+    const double mu = mean[i];
+    for (std::size_t c = 0; c < n; ++c) out[c] = out[c] * s + mu;
+  });
+  return x;
+}
+
+Matrix covariance(const Matrix& x) {
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+  DPZ_REQUIRE(n >= 1, "covariance needs at least one sample");
+
+  std::vector<double> mean(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = x.row(i).data();
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) sum += row[c];
+    mean[i] = sum / static_cast<double>(n);
+  }
+
+  Matrix cov(m, m);
+  parallel_for(0, m, [&](std::size_t i) {
+    const double* xi = x.row(i).data();
+    const double mi = mean[i];
+    for (std::size_t j = i; j < m; ++j) {
+      const double* xj = x.row(j).data();
+      const double mj = mean[j];
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c)
+        sum += (xi[c] - mi) * (xj[c] - mj);
+      cov(i, j) = sum / static_cast<double>(n);
+    }
+  });
+  // Mirror the upper triangle (disjoint writes above, so safe afterwards).
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < i; ++j) cov(i, j) = cov(j, i);
+  return cov;
+}
+
+namespace {
+
+// Fills mean/scale and returns the centered (optionally standardized)
+// working copy shared by the full and truncated fits.
+Matrix prepare_centered(const Matrix& x, bool standardize, PcaModel& model) {
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+  DPZ_REQUIRE(n >= 2, "PCA needs at least two samples per feature");
+
+  model.mean.resize(m);
+  model.scale.assign(m, 1.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* row = x.row(i).data();
+    double sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) sum += row[c];
+    model.mean[i] = sum / static_cast<double>(n);
+  }
+
+  Matrix centered(m, n);
+  if (standardize) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* row = x.row(i).data();
+      const double mu = model.mean[i];
+      double var = 0.0;
+      for (std::size_t c = 0; c < n; ++c)
+        var += (row[c] - mu) * (row[c] - mu);
+      var /= static_cast<double>(n);
+      if (var > 0.0) model.scale[i] = std::sqrt(var);
+    }
+  }
+  parallel_for(0, m, [&](std::size_t i) {
+    const double* row = x.row(i).data();
+    double* out = centered.row(i).data();
+    const double mu = model.mean[i];
+    const double inv_s = 1.0 / model.scale[i];
+    for (std::size_t c = 0; c < n; ++c) out[c] = (row[c] - mu) * inv_s;
+  });
+  return centered;
+}
+
+}  // namespace
+
+PcaModel fit_pca(const Matrix& x, bool standardize) {
+  PcaModel model;
+  const Matrix centered = prepare_centered(x, standardize, model);
+
+  // Covariance of the prepared matrix (means are now ~0, but recompute to
+  // stay exact) and its eigendecomposition.
+  const Matrix cov = covariance(centered);
+  SymmetricEigen eig = eigen_sym(cov);
+
+  for (double& v : eig.values)
+    if (v < 0.0) v = 0.0;  // clamp tiny negative rounding residue
+  model.eigenvalues = std::move(eig.values);
+  model.components = std::move(eig.vectors);
+  return model;
+}
+
+PcaModel fit_pca_topk(const Matrix& x, std::size_t k, bool standardize) {
+  DPZ_REQUIRE(k >= 1 && k <= x.rows(), "k must be in [1, M]");
+  PcaModel model;
+  const Matrix centered = prepare_centered(x, standardize, model);
+  const Matrix cov = covariance(centered);
+  SymmetricEigen eig = eigen_sym_topk(cov, k);
+
+  for (double& v : eig.values)
+    if (v < 0.0) v = 0.0;
+  model.eigenvalues = std::move(eig.values);
+  model.components = std::move(eig.vectors);
+  return model;
+}
+
+}  // namespace dpz

@@ -1,0 +1,66 @@
+// Principal component analysis over block-feature matrices.
+//
+// DPZ's Stage 2 (SS IV-B): the decomposed blocks form the feature matrix
+// X in R^{M x N} (M block-features, N datapoints per block). PCA
+// eigenanalyzes the M x M covariance of X's columns; the paper's key
+// result (Eq. 3-6) is that this may be done directly on the DCT
+// coefficients. Scores of the leading k components, Y = D_k^T (X - mean),
+// are what later stages quantize and encode; reconstruction is
+// X_hat = D_k Y + mean.
+//
+// Standardization (dividing features by their standard deviation) is
+// optional and applied only to low-linearity data — the paper notes that
+// scaling would redistribute the variance weight of unit-norm DCT block
+// features (SS IV-B), so the compressor gates it on the VIF probe.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpz {
+
+/// A fitted PCA basis.
+struct PcaModel {
+  std::vector<double> mean;         ///< per-feature mean, length M
+  std::vector<double> scale;        ///< per-feature std (1.0 when not standardized)
+  std::vector<double> eigenvalues;  ///< descending, clamped at 0, length M
+  Matrix components;                ///< M x M; column j = eigenvector j
+
+  [[nodiscard]] std::size_t feature_count() const { return mean.size(); }
+
+  /// Cumulative total variance explained: tve[k-1] = sum(l_1..l_k)/sum(all).
+  /// This is Eq. 2 of the paper and the curve both k-selection methods read.
+  [[nodiscard]] std::vector<double> tve_curve() const;
+
+  /// Smallest k whose TVE reaches `threshold` (Method 2, Algorithm 1).
+  [[nodiscard]] std::size_t k_for_tve(double threshold) const;
+
+  /// Scores of the first k components: Y = D_k^T (X - mean)/scale, k x N.
+  [[nodiscard]] Matrix transform(const Matrix& x, std::size_t k) const;
+
+  /// Reconstruction from k scores: X_hat = (D_k Y) * scale + mean, M x N.
+  [[nodiscard]] Matrix inverse_transform(const Matrix& scores) const;
+};
+
+/// Fits PCA on X (M features x N samples). When `standardize` is set,
+/// features are scaled to unit variance before eigenanalysis (features with
+/// zero variance keep scale 1 to avoid dividing by zero).
+PcaModel fit_pca(const Matrix& x, bool standardize = false);
+
+/// Truncated fit: computes only the `k` leading eigenpairs by subspace
+/// iteration (O(M^2 k) per sweep instead of the dense solver's O(M^3)).
+/// The returned model has `components` of shape M x k and k eigenvalues;
+/// tve_curve()/k_for_tve() are not meaningful on a truncated model. This
+/// is the fast path the sampling strategy unlocks once k_e is known.
+PcaModel fit_pca_topk(const Matrix& x, std::size_t k,
+                      bool standardize = false);
+
+/// Covariance matrix of X's rows: C = (Xc Xc^T)/N with Xc row-centered
+/// (population normalization, matching the eigenvalue/variance accounting
+/// in Eq. 2). Exposed separately for tests and for the DCT-domain identity
+/// check (Eq. 4: V_Z = A^T V_X A).
+Matrix covariance(const Matrix& x);
+
+}  // namespace dpz

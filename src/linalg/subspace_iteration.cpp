@@ -1,0 +1,106 @@
+#include "linalg/subspace_iteration.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dpz {
+
+namespace {
+
+// Orthonormalizes the columns of q in place (modified Gram-Schmidt).
+// Columns that collapse numerically are replaced by fresh random
+// directions and re-orthogonalized, so the basis never degenerates.
+void orthonormalize_columns(Matrix& q, Rng& rng) {
+  const std::size_t m = q.rows();
+  const std::size_t b = q.cols();
+  for (std::size_t j = 0; j < b; ++j) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < m; ++i) dot += q(i, prev) * q(i, j);
+        for (std::size_t i = 0; i < m; ++i) q(i, j) -= dot * q(i, prev);
+      }
+      double norm2 = 0.0;
+      for (std::size_t i = 0; i < m; ++i) norm2 += q(i, j) * q(i, j);
+      if (norm2 > 1e-24) {
+        const double inv = 1.0 / std::sqrt(norm2);
+        for (std::size_t i = 0; i < m; ++i) q(i, j) *= inv;
+        break;
+      }
+      for (std::size_t i = 0; i < m; ++i) q(i, j) = rng.normal();
+    }
+  }
+}
+
+}  // namespace
+
+SymmetricEigen eigen_sym_topk(const Matrix& a, std::size_t k,
+                              std::uint64_t seed,
+                              std::size_t max_iterations, double tolerance) {
+  DPZ_REQUIRE(a.rows() == a.cols(), "eigen_sym_topk needs a square matrix");
+  const std::size_t m = a.rows();
+  DPZ_REQUIRE(k >= 1 && k <= m, "k must be in [1, M]");
+
+  // Small problems: the dense solver is both faster and exact.
+  if (m <= 64 || k * 2 >= m) {
+    SymmetricEigen full = eigen_sym(a);
+    SymmetricEigen out;
+    out.values.assign(full.values.begin(),
+                      full.values.begin() + static_cast<std::ptrdiff_t>(k));
+    out.vectors = Matrix(m, k);
+    for (std::size_t j = 0; j < k; ++j)
+      for (std::size_t i = 0; i < m; ++i)
+        out.vectors(i, j) = full.vectors(i, j);
+    return out;
+  }
+
+  const std::size_t block = std::min(m, k + 8);  // oversampling margin
+  Rng rng(seed);
+  Matrix q(m, block);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < block; ++j) q(i, j) = rng.normal();
+  orthonormalize_columns(q, rng);
+
+  std::vector<double> prev_values(k, 0.0);
+  Matrix ritz_vectors(m, block);
+  std::vector<double> ritz_values(block, 0.0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    Matrix z = a.multiply(q);                  // M x b
+    Matrix small = q.transpose_multiply(z);    // b x b Rayleigh quotient
+    const SymmetricEigen ritz = eigen_sym(small);
+
+    // Rotate the basis onto the Ritz directions and re-orthonormalize.
+    ritz_vectors = z.multiply(ritz.vectors);   // A Q S: power step included
+    q = ritz_vectors;
+    orthonormalize_columns(q, rng);
+    ritz_values = ritz.values;
+
+    double delta = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double scale = std::max(1.0, std::abs(ritz.values[j]));
+      delta = std::max(delta,
+                       std::abs(ritz.values[j] - prev_values[j]) / scale);
+      prev_values[j] = ritz.values[j];
+    }
+    if (delta < tolerance) break;
+  }
+
+  // Final Rayleigh-Ritz on the converged basis for clean eigenpairs.
+  Matrix z = a.multiply(q);
+  Matrix small = q.transpose_multiply(z);
+  const SymmetricEigen ritz = eigen_sym(small);
+  Matrix vectors = q.multiply(ritz.vectors);
+
+  SymmetricEigen out;
+  out.values.assign(ritz.values.begin(),
+                    ritz.values.begin() + static_cast<std::ptrdiff_t>(k));
+  out.vectors = Matrix(m, k);
+  for (std::size_t j = 0; j < k; ++j)
+    for (std::size_t i = 0; i < m; ++i) out.vectors(i, j) = vectors(i, j);
+  return out;
+}
+
+}  // namespace dpz

@@ -1,0 +1,63 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace dpz {
+
+namespace {
+
+template <typename T>
+ErrorStats stats_impl(std::span<const T> original,
+                      std::span<const T> reconstructed) {
+  DPZ_REQUIRE(original.size() == reconstructed.size(),
+              "error stats require equal-length inputs");
+  DPZ_REQUIRE(!original.empty(), "error stats of empty input");
+
+  double lo = static_cast<double>(original[0]);
+  double hi = lo;
+  double sq_sum = 0.0;
+  double abs_sum = 0.0;
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double o = static_cast<double>(original[i]);
+    const double r = static_cast<double>(reconstructed[i]);
+    lo = std::min(lo, o);
+    hi = std::max(hi, o);
+    const double d = o - r;
+    sq_sum += d * d;
+    abs_sum += std::abs(d);
+    max_abs = std::max(max_abs, std::abs(d));
+  }
+
+  ErrorStats s;
+  s.value_range = hi - lo;
+  s.mse = sq_sum / static_cast<double>(original.size());
+  s.max_abs_error = max_abs;
+  const double range = s.value_range > 0.0 ? s.value_range : 1.0;
+  s.mean_rel_error = abs_sum / static_cast<double>(original.size()) / range;
+  s.psnr_db = psnr_from_mse(s.mse, range);
+  return s;
+}
+
+}  // namespace
+
+double psnr_from_mse(double mse, double range) {
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  if (range <= 0.0) range = 1.0;
+  return 20.0 * std::log10(range) - 10.0 * std::log10(mse);
+}
+
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> reconstructed) {
+  return stats_impl<float>(original, reconstructed);
+}
+
+ErrorStats compute_error_stats(std::span<const double> original,
+                               std::span<const double> reconstructed) {
+  return stats_impl<double>(original, reconstructed);
+}
+
+}  // namespace dpz

@@ -1,0 +1,44 @@
+// Compression-quality metrics (SS III-A4 and SS V-B of the paper).
+//
+// The paper's headline comparison is rate-distortion: PSNR (dB, data-range
+// based) against bit-rate (bits per datapoint, = 32 / CR for
+// single-precision inputs). Table II additionally reports the mean
+// range-relative error theta.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dpz {
+
+struct ErrorStats {
+  double mse = 0.0;            ///< mean squared error
+  double psnr_db = 0.0;        ///< 20 log10(range) - 10 log10(MSE)
+  double max_abs_error = 0.0;  ///< L-inf error
+  double mean_rel_error = 0.0; ///< mean |x - x_hat| / range (theta)
+  double value_range = 0.0;    ///< max - min of the original data
+};
+
+/// Full error statistics between an original and its reconstruction.
+/// Lossless reconstruction reports psnr_db = +infinity.
+ErrorStats compute_error_stats(std::span<const float> original,
+                               std::span<const float> reconstructed);
+ErrorStats compute_error_stats(std::span<const double> original,
+                               std::span<const double> reconstructed);
+
+/// Compression ratio: original bytes / compressed bytes.
+inline double compression_ratio(std::uint64_t original_bytes,
+                                std::uint64_t compressed_bytes) {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(original_bytes) /
+                   static_cast<double>(compressed_bytes);
+}
+
+/// Bit-rate in bits per value for single-precision input data.
+inline double bit_rate_f32(double cr) { return cr <= 0.0 ? 32.0 : 32.0 / cr; }
+
+/// PSNR from an MSE and a data range (helper exposed for tests).
+double psnr_from_mse(double mse, double range);
+
+}  // namespace dpz

@@ -1,0 +1,80 @@
+// Descriptive statistics over spans — the small shared vocabulary used by
+// the VIF probe, the dataset generators, and the figure harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dpz {
+
+/// Arithmetic mean (requires non-empty input).
+inline double mean_of(std::span<const double> v) {
+  DPZ_REQUIRE(!v.empty(), "mean of empty span");
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+/// Population variance (divide by n).
+inline double variance_of(std::span<const double> v) {
+  const double mu = mean_of(v);
+  double acc = 0.0;
+  for (const double x : v) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(v.size());
+}
+
+inline double stddev_of(std::span<const double> v) {
+  return std::sqrt(variance_of(v));
+}
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies and sorts.
+inline double quantile_of(std::span<const double> v, double q) {
+  DPZ_REQUIRE(!v.empty(), "quantile of empty span");
+  DPZ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile level must be in [0, 1]");
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Five-number summary used by the Figure 10 box plots.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+};
+
+inline BoxStats box_stats(std::span<const double> v) {
+  BoxStats b;
+  b.min = quantile_of(v, 0.0);
+  b.q1 = quantile_of(v, 0.25);
+  b.median = quantile_of(v, 0.5);
+  b.q3 = quantile_of(v, 0.75);
+  b.max = quantile_of(v, 1.0);
+  b.mean = mean_of(v);
+  return b;
+}
+
+/// Pearson correlation coefficient of two equal-length spans.
+inline double pearson_correlation(std::span<const double> a,
+                                  std::span<const double> b) {
+  DPZ_REQUIRE(a.size() == b.size() && a.size() >= 2,
+              "correlation needs two equal-length spans of >= 2 values");
+  const double ma = mean_of(a), mb = mean_of(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa == 0.0 || sbb == 0.0) return 0.0;  // constant input: undefined -> 0
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace dpz

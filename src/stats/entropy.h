@@ -1,0 +1,40 @@
+// Shannon entropy estimation over a histogram.
+//
+// The paper contrasts its VIF-based compressibility indicator with
+// Shannon entropy (SS IV-D2): entropy measures the *inherent information
+// level* of the value distribution, while VIF measures the *collinearity
+// between block-features* — and it is the latter that predicts what the
+// k-PCA stage can remove. The probe tooling reports both so users can see
+// the distinction on their own data.
+#pragma once
+
+#include <cmath>
+#include <span>
+
+#include "stats/histogram.h"
+
+namespace dpz {
+
+/// Entropy (bits/value) of the empirical distribution over `bins`
+/// equal-width bins spanning the data range. Returns 0 for constant or
+/// empty input. A uniform distribution over all bins yields log2(bins).
+inline double shannon_entropy(std::span<const double> values,
+                              std::size_t bins = 256) {
+  if (values.empty()) return 0.0;
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(hi > lo)) return 0.0;
+
+  const Histogram h(values, bins, lo, hi);
+  double entropy = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    const double p = h.frequency(b);
+    if (p > 0.0) entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace dpz

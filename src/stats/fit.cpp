@@ -1,0 +1,104 @@
+#include "stats/fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "util/error.h"
+
+namespace dpz {
+
+PolynomialFit::PolynomialFit(std::span<const double> x,
+                             std::span<const double> y, std::size_t degree) {
+  DPZ_REQUIRE(x.size() == y.size(), "x/y length mismatch");
+  DPZ_REQUIRE(x.size() >= degree + 1,
+              "need at least degree+1 points for a polynomial fit");
+
+  double lo = x[0], hi = x[0];
+  for (const double v : x) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  x_shift_ = 0.5 * (lo + hi);
+  x_scale_ = (hi > lo) ? 2.0 / (hi - lo) : 1.0;
+
+  // Normal equations (V^T V) c = V^T y on the conditioned abscissae. A
+  // small ridge keeps the factorization positive definite for collinear
+  // inputs without visibly biasing the fit.
+  const std::size_t p = degree + 1;
+  Matrix ata(p, p);
+  std::vector<double> aty(p, 0.0);
+  std::vector<double> powers(p);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    const double t = (x[s] - x_shift_) * x_scale_;
+    powers[0] = 1.0;
+    for (std::size_t j = 1; j < p; ++j) powers[j] = powers[j - 1] * t;
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = i; j < p; ++j) ata(i, j) += powers[i] * powers[j];
+      aty[i] += powers[i] * y[s];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < i; ++j) ata(i, j) = ata(j, i);
+    ata(i, i) += 1e-12 * static_cast<double>(x.size());
+  }
+
+  const auto chol = Cholesky::factor(ata);
+  DPZ_REQUIRE(chol.has_value(), "polynomial fit normal equations singular");
+  coeffs_ = chol->solve(aty);
+}
+
+double PolynomialFit::operator()(double x) const {
+  const double t = (x - x_shift_) * x_scale_;
+  double acc = 0.0;
+  for (std::size_t j = coeffs_.size(); j-- > 0;) acc = acc * t + coeffs_[j];
+  return acc;
+}
+
+double PolynomialFit::derivative(double x) const {
+  const double t = (x - x_shift_) * x_scale_;
+  double acc = 0.0;
+  for (std::size_t j = coeffs_.size(); j-- > 1;)
+    acc = acc * t + coeffs_[j] * static_cast<double>(j);
+  return acc * x_scale_;  // chain rule through the conditioning map
+}
+
+double PolynomialFit::second_derivative(double x) const {
+  const double t = (x - x_shift_) * x_scale_;
+  double acc = 0.0;
+  for (std::size_t j = coeffs_.size(); j-- > 2;)
+    acc = acc * t +
+          coeffs_[j] * static_cast<double>(j) * static_cast<double>(j - 1);
+  return acc * x_scale_ * x_scale_;
+}
+
+LinearInterpolant::LinearInterpolant(std::span<const double> x,
+                                     std::span<const double> y)
+    : x_(x.begin(), x.end()), y_(y.begin(), y.end()) {
+  DPZ_REQUIRE(x_.size() == y_.size(), "x/y length mismatch");
+  DPZ_REQUIRE(x_.size() >= 2, "interpolant needs at least two points");
+  for (std::size_t i = 1; i < x_.size(); ++i)
+    DPZ_REQUIRE(x_[i] > x_[i - 1], "x must be strictly increasing");
+}
+
+double LinearInterpolant::operator()(double x) const {
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - x_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - x_[lo]) / (x_[hi] - x_[lo]);
+  return y_[lo] * (1.0 - t) + y_[hi] * t;
+}
+
+std::vector<double> LinearInterpolant::resample(std::size_t n) const {
+  DPZ_REQUIRE(n >= 2, "resample needs at least two points");
+  std::vector<double> out(n);
+  const double step = (x_max() - x_min()) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = (*this)(x_min() + step * static_cast<double>(i));
+  return out;
+}
+
+}  // namespace dpz

@@ -1,0 +1,53 @@
+// Curve fitting for k-PCA selection (Algorithm 1 of the paper).
+//
+// Knee-point detection fits the cumulative TVE curve before measuring
+// curvature; the paper offers two fits: 1-D (piecewise-linear)
+// interpolation and polynomial interpolation, the latter producing a
+// smoother curve (and, per Table II, higher accuracy but lower CR).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpz {
+
+/// Least-squares polynomial fit of the given degree.
+/// Coefficients are returned lowest power first: y = c0 + c1 x + c2 x^2...
+/// x values are internally shifted/scaled to [-1, 1] for conditioning; the
+/// returned evaluator handles that transparently.
+class PolynomialFit {
+ public:
+  PolynomialFit(std::span<const double> x, std::span<const double> y,
+                std::size_t degree);
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] double derivative(double x) const;
+  [[nodiscard]] double second_derivative(double x) const;
+  [[nodiscard]] std::size_t degree() const { return coeffs_.size() - 1; }
+
+ private:
+  double x_shift_, x_scale_;          // maps raw x -> normalized t
+  std::vector<double> coeffs_;        // in normalized t
+};
+
+/// Piecewise-linear interpolant through the sample points ("1D
+/// interpolation" in the paper). x must be strictly increasing.
+class LinearInterpolant {
+ public:
+  LinearInterpolant(std::span<const double> x, std::span<const double> y);
+
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Resamples the interpolant at `n` uniformly spaced abscissae covering
+  /// the original range.
+  [[nodiscard]] std::vector<double> resample(std::size_t n) const;
+
+  [[nodiscard]] double x_min() const { return x_.front(); }
+  [[nodiscard]] double x_max() const { return x_.back(); }
+
+ private:
+  std::vector<double> x_, y_;
+};
+
+}  // namespace dpz

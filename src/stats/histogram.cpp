@@ -1,0 +1,35 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.h"
+
+namespace dpz {
+
+Histogram Histogram::auto_ranged(std::span<const double> values,
+                                 std::size_t bins) {
+  DPZ_REQUIRE(!values.empty(), "histogram of empty span");
+  double lo = values[0], hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0;  // constant data: one degenerate bin range
+  return Histogram(values, bins, lo, hi);
+}
+
+std::string Histogram::render_ascii(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t width = counts_[b] * max_width / peak;
+    os << scientific(bin_center(b), 2) << " | "
+       << std::string(width, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dpz

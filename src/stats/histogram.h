@@ -1,0 +1,62 @@
+// Uniform-bin histogram used by the distribution figures (Fig 1: raw vs
+// DCT-coefficient distributions; Fig 2: PCA component distributions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace dpz {
+
+class Histogram {
+ public:
+  /// Builds `bins` uniform bins over [lo, hi] and counts `values`;
+  /// values outside the range are clamped into the edge bins.
+  Histogram(std::span<const double> values, std::size_t bins, double lo,
+            double hi)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    DPZ_REQUIRE(bins >= 1, "histogram needs at least one bin");
+    DPZ_REQUIRE(hi > lo, "histogram range must be non-degenerate");
+    const double width = (hi - lo) / static_cast<double>(bins);
+    for (const double v : values) {
+      auto b = static_cast<std::ptrdiff_t>((v - lo) / width);
+      if (b < 0) b = 0;
+      if (b >= static_cast<std::ptrdiff_t>(bins))
+        b = static_cast<std::ptrdiff_t>(bins) - 1;
+      ++counts_[static_cast<std::size_t>(b)];
+    }
+    total_ = values.size();
+  }
+
+  /// Auto-ranged over the data's min/max.
+  static Histogram auto_ranged(std::span<const double> values,
+                               std::size_t bins);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] double frequency(std::size_t bin) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(counts_[bin]) /
+                             static_cast<double>(total_);
+  }
+  [[nodiscard]] double bin_center(std::size_t bin) const {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Terminal-friendly rendering: one `#`-bar line per bin.
+  [[nodiscard]] std::string render_ascii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dpz

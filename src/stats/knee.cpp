@@ -1,0 +1,108 @@
+#include "stats/knee.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/fit.h"
+#include "util/error.h"
+
+namespace dpz {
+
+namespace {
+
+// Curvature magnitude kappa = |f''| / (1 + f'^2)^1.5 from analytic
+// derivatives of a polynomial fit, evaluated in normalized coordinates.
+std::vector<double> curvature_from_poly(const PolynomialFit& fit,
+                                        std::size_t grid) {
+  std::vector<double> kappa(grid);
+  for (std::size_t i = 0; i < grid; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(grid - 1);
+    const double d1 = fit.derivative(t);
+    const double d2 = fit.second_derivative(t);
+    kappa[i] = std::abs(d2) / std::pow(1.0 + d1 * d1, 1.5);
+  }
+  return kappa;
+}
+
+// Finite-difference curvature of a uniformly resampled curve.
+std::vector<double> curvature_from_samples(std::span<const double> y,
+                                           double dx) {
+  const std::size_t n = y.size();
+  std::vector<double> kappa(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double d1 = (y[i + 1] - y[i - 1]) / (2.0 * dx);
+    const double d2 = (y[i + 1] - 2.0 * y[i] + y[i - 1]) / (dx * dx);
+    kappa[i] = std::abs(d2) / std::pow(1.0 + d1 * d1, 1.5);
+  }
+  return kappa;
+}
+
+// Index of the first local maximum that rises meaningfully above the
+// curvature floor; falls back to the global maximum.
+std::size_t first_local_max(std::span<const double> kappa) {
+  double peak = 0.0;
+  for (const double v : kappa) peak = std::max(peak, v);
+  if (peak <= 0.0) return 0;
+  const double floor = 0.05 * peak;
+
+  for (std::size_t i = 1; i + 1 < kappa.size(); ++i) {
+    if (kappa[i] < floor) continue;
+    if (kappa[i] >= kappa[i - 1] && kappa[i] > kappa[i + 1]) return i;
+  }
+  const auto it = std::max_element(kappa.begin(), kappa.end());
+  return static_cast<std::size_t>(it - kappa.begin());
+}
+
+}  // namespace
+
+KneeResult detect_knee(std::span<const double> curve, KneeFit fit,
+                       std::size_t poly_degree, std::size_t grid) {
+  DPZ_REQUIRE(!curve.empty(), "knee detection on empty curve");
+  DPZ_REQUIRE(grid >= 8, "curvature grid too coarse");
+  const std::size_t m = curve.size();
+
+  KneeResult result;
+  if (m < 3) {
+    result.k = 1;
+    return result;
+  }
+
+  // Normalize to the unit square: x = (k-1)/(m-1), y = (f - f1)/(fm - f1).
+  const double y0 = curve.front();
+  const double y1 = curve.back();
+  if (!(y1 > y0)) {
+    result.k = 1;  // flat curve: the first component already saturates
+    return result;
+  }
+  std::vector<double> xs(m), ys(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    xs[i] = static_cast<double>(i) / static_cast<double>(m - 1);
+    ys[i] = (curve[i] - y0) / (y1 - y0);
+  }
+
+  if (fit == KneeFit::kFitPolyn) {
+    const std::size_t degree = std::min<std::size_t>(poly_degree, m - 1);
+    const PolynomialFit poly(xs, ys, degree);
+    result.curvature = curvature_from_poly(poly, grid);
+    const std::size_t gi = first_local_max(result.curvature);
+    const double x_knee =
+        static_cast<double>(gi) / static_cast<double>(grid - 1);
+    const double k_raw = x_knee * static_cast<double>(m - 1) + 1.0;
+    result.k = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::lround(k_raw)), 1, m);
+    return result;
+  }
+
+  // 1-D interpolation path: the curve *is* its piecewise-linear fit, so
+  // measure curvature by central differences directly at the sample
+  // points (spacing 1/(m-1) in normalized coordinates). Resampling a
+  // piecewise-linear curve would put all curvature at the joints and
+  // drown the knee in grid artifacts.
+  result.curvature =
+      curvature_from_samples(ys, 1.0 / static_cast<double>(m - 1));
+  const std::size_t idx = first_local_max(result.curvature);
+  result.k = std::clamp<std::size_t>(idx + 1, 1, m);
+  return result;
+}
+
+}  // namespace dpz

@@ -1,0 +1,42 @@
+// Knee-point detection on cumulative information curves (Method 1 of
+// Algorithm 1, after Satopaa et al.'s "Kneedle").
+//
+// The knee is the point of maximum curvature of the fitted cumulative TVE
+// curve, normalized to the unit square; beyond it, additional components
+// buy diminishing information per stored feature. The paper offers two
+// fits with different CR/accuracy trade-offs (Table II):
+//  * kFit1D    — piecewise-linear ("1D interpolation"); curvature via
+//                finite differences; aggressive, highest CR;
+//  * kFitPolyn — least-squares polynomial; analytic curvature; smoother,
+//                later knee -> lower CR but higher accuracy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpz {
+
+enum class KneeFit {
+  kFit1D,
+  kFitPolyn,
+};
+
+struct KneeResult {
+  /// 1-based count of components to keep (k in the paper's notation).
+  std::size_t k = 1;
+  /// Curvature profile over the normalized resampled curve (diagnostics).
+  std::vector<double> curvature;
+};
+
+/// Detects the knee of a nondecreasing curve sampled at x = 1..curve.size()
+/// (curve[i] = cumulative value for k = i+1, e.g. a TVE curve in [0, 1]).
+///
+/// `poly_degree` applies to kFitPolyn only; `grid` is the resampling
+/// density for the curvature scan. Returns k = 1 for degenerate curves
+/// (fewer than 3 points, or already saturated at the first component).
+KneeResult detect_knee(std::span<const double> curve,
+                       KneeFit fit = KneeFit::kFit1D,
+                       std::size_t poly_degree = 7, std::size_t grid = 512);
+
+}  // namespace dpz

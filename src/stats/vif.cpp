@@ -1,0 +1,90 @@
+#include "stats/vif.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/cholesky.h"
+#include "linalg/pca.h"
+
+namespace dpz {
+
+std::vector<double> vif_of_features(const Matrix& x) {
+  const std::size_t m = x.rows();
+  DPZ_REQUIRE(m >= 2, "VIF needs at least two features");
+  DPZ_REQUIRE(x.cols() >= 2, "VIF needs at least two samples");
+
+  // Correlation matrix from the covariance; constant features are dropped
+  // from the solve and reported as VIF 1.
+  const Matrix cov = covariance(x);
+  std::vector<std::size_t> live;
+  live.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    if (cov(i, i) > 0.0) live.push_back(i);
+
+  std::vector<double> vif(m, 1.0);
+  if (live.size() < 2) return vif;
+
+  const std::size_t ml = live.size();
+  Matrix corr(ml, ml);
+  for (std::size_t a = 0; a < ml; ++a) {
+    for (std::size_t b = 0; b < ml; ++b) {
+      const std::size_t i = live[a], j = live[b];
+      corr(a, b) = cov(i, j) / std::sqrt(cov(i, i) * cov(j, j));
+    }
+  }
+
+  // Escalating ridge: perfect collinearity makes the correlation matrix
+  // singular; VIF is then "infinite", reported as a large finite value.
+  auto chol = Cholesky::factor(corr);
+  double ridge = 1e-10;
+  while (!chol && ridge < 1e-2) {
+    Matrix damped = corr;
+    for (std::size_t i = 0; i < ml; ++i) damped(i, i) += ridge;
+    chol = Cholesky::factor(damped);
+    ridge *= 10.0;
+  }
+  if (!chol) return vif;  // hopeless input: report neutral VIFs
+
+  const std::vector<double> diag = chol->inverse_diagonal();
+  for (std::size_t a = 0; a < ml; ++a)
+    vif[live[a]] = std::max(1.0, diag[a]);
+  return vif;
+}
+
+std::vector<double> sampled_vif(const Matrix& x, double sampling_rate,
+                                std::size_t sample_cols, Rng& rng) {
+  DPZ_REQUIRE(sampling_rate > 0.0 && sampling_rate <= 1.0,
+              "sampling rate must be in (0, 1]");
+  const std::size_t m = x.rows();
+  const std::size_t n = x.cols();
+
+  // Floor the probe at 16 features: the regression behind VIF needs a
+  // handful of regressors to be meaningful (the paper's SR = 1% of M =
+  // 1800 CESM blocks probes 18), and tiny inputs would otherwise sample
+  // only 2-3 features and understate collinearity.
+  const std::size_t pick_rows = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(sampling_rate * static_cast<double>(m))),
+      std::min<std::size_t>(16, m), m);
+  const std::size_t pick_cols = std::clamp<std::size_t>(sample_cols, 2, n);
+
+  std::vector<std::size_t> rows(m), cols(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  std::iota(cols.begin(), cols.end(), 0);
+  rng.shuffle(rows.begin(), rows.end());
+  rng.shuffle(cols.begin(), cols.end());
+  rows.resize(pick_rows);
+  cols.resize(pick_cols);
+  std::sort(rows.begin(), rows.end());
+  std::sort(cols.begin(), cols.end());
+
+  Matrix sub(pick_rows, pick_cols);
+  for (std::size_t a = 0; a < pick_rows; ++a)
+    for (std::size_t b = 0; b < pick_cols; ++b)
+      sub(a, b) = x(rows[a], cols[b]);
+
+  return vif_of_features(sub);
+}
+
+}  // namespace dpz

@@ -1,0 +1,38 @@
+// Variance inflation factor — DPZ's compressibility indicator (SS IV-D2).
+//
+// VIF_i = 1/(1 - R_i^2), where R_i^2 measures how well feature i is
+// explained by the other features; equivalently VIF is the diagonal of the
+// inverse correlation matrix. High collinearity between block-features is
+// exactly what makes the k-PCA stage effective, so the paper probes a
+// small random sample of the block data and compares the VIF distribution
+// against the conventional cutoff of 5: below it, the data is flagged as
+// poorly compressible by DPZ (e.g. HACC-vx) and standardization is applied
+// before PCA.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace dpz {
+
+/// The conventional collinearity cutoff the paper adopts.
+inline constexpr double kVifCutoff = 5.0;
+
+/// VIFs of the rows (features) of `x` (M features x N samples), computed
+/// as the diagonal of the inverse correlation matrix. Constant features
+/// get VIF 1 (they carry no variance to inflate). A tiny ridge is applied
+/// when the correlation matrix is numerically singular — perfectly
+/// collinear features then report large-but-finite VIFs.
+std::vector<double> vif_of_features(const Matrix& x);
+
+/// VIF distribution of a random sample: picks max(2, SR * M) features and
+/// `sample_cols` of the N columns, then evaluates vif_of_features on the
+/// sampled submatrix. This is the probe from Algorithm 2 step 1-2 and the
+/// data behind Figure 10's box plots.
+std::vector<double> sampled_vif(const Matrix& x, double sampling_rate,
+                                std::size_t sample_cols, Rng& rng);
+
+}  // namespace dpz

@@ -1,0 +1,402 @@
+#include "tools/cli_app.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/blocking.h"
+#include "core/dpz.h"
+#include "core/chunked.h"
+#include "core/rate_control.h"
+#include "core/sampling.h"
+#include "data/datasets.h"
+#include "dsp/dct.h"
+#include "io/file_io.h"
+#include "metrics/metrics.h"
+#include "stats/vif.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dpz::tools {
+
+namespace {
+
+const char* kUsage = R"(usage:
+  dpz compress   <in.f32> <out.dpz> --shape=AxBxC [options]
+  dpz decompress <in.dpz> <out.f32> [--components=k]
+  dpz info       <in.dpz>
+  dpz probe      <in.f32> --shape=AxBxC [--tve=...]
+  dpz datasets   <outdir> [--scale=0.2] [--names=CLDHGH,PHIS] [--seed=N]
+
+compress options:
+  --scheme=l|s        loose (P=1e-3, 1-byte codes) or strict (default)
+  --tve=0.99999       explained-variance threshold for k selection
+  --knee[=1d|polyn]   knee-point k selection instead of the TVE threshold
+  --sampling          enable the Algorithm-2 sampling strategy
+  --error-bound=P     override the scheme's quantizer error bound
+  --dct-keep=f        truncate trailing DCT coefficients (keep fraction f)
+  --dtype=f32|f64     input element type (default f32)
+  --target-cr=R       pick k for a compression ratio of at least R
+                      (overrides --tve/--knee; f32 only)
+  --target-psnr=D     pick the cheapest k reaching D dB (ditto)
+  --chunk=N           chunked container with N values per frame
+                      (memory-bounded; f32 only)
+  --verify            decompress after compressing and report PSNR
+)";
+
+DpzConfig config_from_flags(const CliArgs& args) {
+  DpzConfig config;
+  const std::string scheme = args.get_string("scheme", "s");
+  if (scheme == "l" || scheme == "loose") {
+    config = DpzConfig::loose();
+  } else if (scheme == "s" || scheme == "strict") {
+    config = DpzConfig::strict();
+  } else {
+    throw InvalidArgument("unknown scheme '" + scheme + "' (use l or s)");
+  }
+
+  config.tve = args.get_double("tve", 0.99999);
+  if (args.has("knee")) {
+    config.selection = KSelectionMethod::kKneePoint;
+    const std::string fit = args.get_string("knee", "1d");
+    if (fit == "polyn" || fit == "poly") {
+      config.knee_fit = KneeFit::kFitPolyn;
+    } else if (fit == "1d" || fit.empty()) {
+      config.knee_fit = KneeFit::kFit1D;
+    } else {
+      throw InvalidArgument("unknown knee fit '" + fit +
+                            "' (use 1d or polyn)");
+    }
+  }
+  config.use_sampling = args.get_bool("sampling", false);
+  config.error_bound = args.get_double("error-bound", 0.0);
+  config.dct_keep_fraction = args.get_double("dct-keep", 1.0);
+  return config;
+}
+
+bool is_f64(const CliArgs& args) {
+  const std::string dtype = args.get_string("dtype", "f32");
+  if (dtype == "f64" || dtype == "double") return true;
+  if (dtype == "f32" || dtype == "float") return false;
+  throw InvalidArgument("unknown dtype '" + dtype + "' (use f32 or f64)");
+}
+
+int cmd_compress(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 3,
+              "compress needs <in.f32> <out.dpz>");
+  const std::string in_path = args.positional()[1];
+  const std::string out_path = args.positional()[2];
+  const std::string shape_text = args.get_string("shape", "");
+  DPZ_REQUIRE(!shape_text.empty(), "--shape=AxBxC is required");
+
+  const bool f64 = is_f64(args);
+  const DpzConfig config = config_from_flags(args);
+
+  // The f64 path keeps its own array to avoid a lossy down-conversion.
+  FloatArray data;
+  DoubleArray data64;
+  if (f64) {
+    data64 = read_f64(in_path, parse_shape(shape_text));
+  } else {
+    data = read_f32(in_path, parse_shape(shape_text));
+  }
+
+  const auto chunk =
+      static_cast<std::size_t>(args.get_int("chunk", 0));
+  DPZ_REQUIRE(!(f64 && chunk != 0),
+              "the chunked container currently supports f32 input only");
+  const double target_cr = args.get_double("target-cr", 0.0);
+  const double target_psnr = args.get_double("target-psnr", 0.0);
+  DPZ_REQUIRE(!(chunk != 0 && (target_cr > 0.0 || target_psnr > 0.0)),
+              "rate targeting and --chunk cannot be combined");
+  DPZ_REQUIRE(!(f64 && (target_cr > 0.0 || target_psnr > 0.0)),
+              "rate targeting currently supports f32 input only");
+  DPZ_REQUIRE(!(target_cr > 0.0 && target_psnr > 0.0),
+              "choose one of --target-cr and --target-psnr");
+
+  Timer timer;
+  DpzStats stats;
+  std::vector<std::uint8_t> archive;
+  if (chunk != 0) {
+    ChunkedConfig ccfg;
+    ccfg.dpz = config;
+    ccfg.chunk_values = chunk;
+    ChunkedStats cstats;
+    archive = chunked_compress(data, ccfg, &cstats);
+    stats.original_bytes = cstats.original_bytes;
+    stats.archive_bytes = cstats.archive_bytes;
+    stats.stored_raw = cstats.stored_raw_frames == cstats.frame_count &&
+                       cstats.frame_count > 0;
+    out << "chunked container: " << cstats.frame_count << " frames\n";
+  } else if (target_cr > 0.0 || target_psnr > 0.0) {
+    const RateTargetResult result =
+        target_cr > 0.0
+            ? dpz_compress_target_ratio(data, target_cr, config)
+            : dpz_compress_target_psnr(data, target_psnr, config);
+    archive = result.archive;
+    stats = result.stats;
+    if (!result.target_met)
+      out << "warning: target not reachable; best effort at k = "
+          << result.k << " (CR " << fixed(result.achieved_cr, 2)
+          << "X, PSNR " << fixed(result.achieved_psnr_db, 2) << " dB)\n";
+  } else {
+    archive = f64 ? dpz_compress(data64, config, &stats)
+                  : dpz_compress(data, config, &stats);
+  }
+  const double seconds = timer.elapsed();
+  write_bytes(out_path, archive);
+
+  out << in_path << " (" << human_bytes(stats.original_bytes) << ") -> "
+      << out_path << " (" << human_bytes(archive.size()) << ")\n"
+      << "ratio " << fixed(stats.cr_archive(), 2) << "X, "
+      << fixed(seconds, 2) << " s";
+  if (chunk != 0) {
+    // per-frame details are in the container
+  } else if (stats.stored_raw) {
+    out << " [stored: input resisted the pipeline]";
+  } else {
+    out << ", k = " << stats.k << "/" << stats.layout.m;
+  }
+  out << "\n";
+
+  if (args.get_bool("verify", false)) {
+    ErrorStats err;
+    if (chunk != 0) {
+      const FloatArray back = chunked_decompress(archive);
+      err = compute_error_stats(data.flat(), back.flat());
+    } else if (f64) {
+      const DoubleArray back = dpz_decompress_f64(archive);
+      err = compute_error_stats(data64.flat(), back.flat());
+    } else {
+      const FloatArray back = dpz_decompress(archive);
+      err = compute_error_stats(data.flat(), back.flat());
+    }
+    out << "verify: PSNR " << fixed(err.psnr_db, 2) << " dB, max err "
+        << scientific(err.max_abs_error, 2) << ", mean theta "
+        << scientific(err.mean_rel_error, 2) << "\n";
+  }
+  return 0;
+}
+
+int cmd_decompress(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 3,
+              "decompress needs <in.dpz> <out.f32>");
+  const std::string in_path = args.positional()[1];
+  const std::string out_path = args.positional()[2];
+  const auto components =
+      static_cast<std::size_t>(args.get_int("components", 0));
+
+  const std::vector<std::uint8_t> archive = read_bytes(in_path);
+
+  // Chunked containers carry their own magic; route them directly.
+  const bool is_chunked =
+      archive.size() >= 4 && archive[0] == 0x44 && archive[1] == 0x5A &&
+      archive[2] == 0x43 && archive[3] == 0x4B;
+  if (is_chunked) {
+    Timer chunk_timer;
+    const FloatArray data = chunked_decompress(archive);
+    const double seconds = chunk_timer.elapsed();
+    write_f32(out_path, data);
+    out << in_path << " -> " << out_path << " ("
+        << human_bytes(data.size() * sizeof(float)) << ", "
+        << fixed(seconds, 2) << " s, "
+        << chunked_frame_count(archive) << " frames)\n";
+    return 0;
+  }
+
+  const DpzArchiveInfo info = dpz_inspect(archive);
+  Timer timer;
+  std::size_t count = 0;
+  double seconds = 0.0;
+  if (info.double_precision) {
+    const DoubleArray data = dpz_decompress_f64(archive, components);
+    seconds = timer.elapsed();
+    write_f64(out_path, data);
+    count = data.size();
+  } else {
+    const FloatArray data = dpz_decompress(archive, components);
+    seconds = timer.elapsed();
+    write_f32(out_path, data);
+    count = data.size();
+  }
+
+  out << in_path << " -> " << out_path << " ("
+      << human_bytes(count * (info.double_precision ? 8 : 4)) << ", "
+      << fixed(seconds, 2) << " s";
+  if (components != 0) out << ", first " << components << " components";
+  out << ")\n";
+  return 0;
+}
+
+int cmd_info(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2, "info needs <in.dpz>");
+  const std::vector<std::uint8_t> archive =
+      read_bytes(args.positional()[1]);
+  const DpzArchiveInfo info = dpz_inspect(archive);
+
+  out << "archive:  " << human_bytes(info.archive_bytes) << "\n";
+  out << "shape:    ";
+  for (std::size_t d = 0; d < info.shape.size(); ++d)
+    out << (d ? " x " : "") << info.shape[d];
+  out << "\n";
+  if (info.stored_raw) {
+    out << "mode:     stored (zlib over raw floats; input resisted the "
+           "pipeline)\n";
+    return 0;
+  }
+  out << "dtype:    " << (info.double_precision ? "f64" : "f32") << "\n";
+  out << "mode:     DPZ pipeline, " << (info.wide_codes ? "2" : "1")
+      << "-byte codes, P = " << scientific(info.error_bound, 1)
+      << (info.standardized ? ", standardized" : "") << "\n"
+      << "blocks:   " << info.layout.m << " x " << info.layout.n
+      << (info.layout.padded ? " (padded)" : "") << "\n"
+      << "k:        " << info.k << " components ("
+      << fixed(100.0 * static_cast<double>(info.k) /
+                   static_cast<double>(info.layout.m),
+               1)
+      << "% of features)\n"
+      << "outliers: " << info.outlier_count << "\n";
+  const std::size_t elem = info.double_precision ? 8 : 4;
+  const double cr = compression_ratio(
+      info.layout.original_total * elem, info.archive_bytes);
+  out << "ratio:    " << fixed(cr, 2) << "X ("
+      << fixed(static_cast<double>(elem) * 8.0 / std::max(cr, 1e-9), 3)
+      << " bits/value)\n";
+  return 0;
+}
+
+int cmd_probe(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2, "probe needs <in.f32>");
+  const std::string shape_text = args.get_string("shape", "");
+  DPZ_REQUIRE(!shape_text.empty(), "--shape=AxBxC is required");
+  const FloatArray data =
+      read_f32(args.positional()[1], parse_shape(shape_text));
+
+  const BlockLayout layout = choose_block_layout(data.size());
+  Matrix blocks = to_blocks(data.flat(), layout);
+  Rng vif_rng(2021);
+  std::vector<double> vifs = sampled_vif(blocks, 0.01, 256, vif_rng);
+
+  const DctPlan plan(layout.n);
+  parallel_for(0, layout.m, [&](std::size_t i) {
+    auto row = blocks.row(i);
+    plan.forward(row, row);
+  });
+
+  SamplingConfig config;
+  config.tve = args.get_double("tve", 0.99999);
+  config.precomputed_vifs = std::move(vifs);
+  const SamplingReport report = run_sampling(blocks, config);
+
+  out << "blocks:      " << layout.m << " x " << layout.n << "\n"
+      << "VIF median:  " << fixed(report.vif_median, 1)
+      << (report.low_linearity ? "  (below cutoff 5: poorly compressible "
+                                 "by DPZ)"
+                               : "  (collinear: good DPZ candidate)")
+      << "\n"
+      << "estimated k: " << fixed(report.k_estimate, 1)
+      << " per subset -> " << report.full_k << " total\n"
+      << "CR estimate: " << fixed(report.cr_estimate_low, 1) << "X - "
+      << fixed(report.cr_estimate_high, 1)
+      << "X (paper accounting, basis excluded)\n";
+  return 0;
+}
+
+int cmd_datasets(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2, "datasets needs <outdir>");
+  const std::string outdir = args.positional()[1];
+  const double scale = args.get_double("scale", 0.2);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
+
+  std::vector<std::string> names = dataset_names();
+  const std::string filter = args.get_string("names", "");
+  if (!filter.empty()) {
+    names.clear();
+    std::size_t pos = 0;
+    while (pos <= filter.size()) {
+      const std::size_t next = filter.find(',', pos);
+      const std::string token = filter.substr(
+          pos, next == std::string::npos ? next : next - pos);
+      if (!token.empty()) names.push_back(token);
+      if (next == std::string::npos) break;
+      pos = next + 1;
+    }
+    DPZ_REQUIRE(!names.empty(), "--names produced an empty list");
+  }
+
+  std::filesystem::create_directories(outdir);
+  std::ofstream manifest(outdir + "/MANIFEST.txt");
+  manifest << "# name path shape seed scale\n";
+  for (const std::string& name : names) {
+    const Dataset ds = make_dataset(name, scale, seed);
+    const std::string path = outdir + "/" + name + ".f32";
+    write_f32(path, ds.data);
+
+    std::string shape_text;
+    for (std::size_t d = 0; d < ds.data.shape().size(); ++d)
+      shape_text += (d ? "x" : "") + std::to_string(ds.data.shape()[d]);
+    manifest << name << " " << name << ".f32 " << shape_text << " " << seed
+             << " " << scale << "\n";
+    out << name << " -> " << path << " (" << shape_text << ", "
+        << human_bytes(ds.data.size() * sizeof(float)) << ")\n";
+  }
+  out << "manifest: " << outdir << "/MANIFEST.txt\n";
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::size_t> parse_shape(const std::string& text) {
+  std::vector<std::size_t> shape;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find('x', pos);
+    const std::string token =
+        text.substr(pos, next == std::string::npos ? next : next - pos);
+    if (token.empty() || token.find_first_not_of("0123456789") !=
+                             std::string::npos)
+      throw InvalidArgument("malformed shape '" + text +
+                            "' (expected e.g. 1800x3600)");
+    shape.push_back(static_cast<std::size_t>(std::stoull(token)));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  DPZ_REQUIRE(!shape.empty() && shape.size() <= 4,
+              "shape must have 1-4 dimensions");
+  for (const std::size_t d : shape)
+    DPZ_REQUIRE(d > 0, "shape extents must be positive");
+  return shape;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"shape", "scheme", "tve", "knee", "sampling",
+                        "error-bound", "dct-keep", "dtype", "verify",
+                        "components", "scale", "names", "seed",
+                        "target-cr", "target-psnr", "chunk", "help"});
+    if (args.positional().empty() || args.has("help")) {
+      out << kUsage;
+      return args.has("help") ? 0 : 2;
+    }
+    const std::string& command = args.positional()[0];
+    if (command == "compress") return cmd_compress(args, out);
+    if (command == "decompress") return cmd_decompress(args, out);
+    if (command == "info") return cmd_info(args, out);
+    if (command == "probe") return cmd_probe(args, out);
+    if (command == "datasets") return cmd_datasets(args, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dpz::tools

@@ -1,0 +1,30 @@
+// The `dpz` command-line compressor.
+//
+// Subcommands (raw little-endian float32 files, SDRBench convention):
+//   dpz compress   <in.f32> <out.dpz> --shape=AxBxC [--scheme=l|s]
+//                  [--tve=0.99999 | --knee[=1d|polyn]] [--sampling]
+//                  [--error-bound=P] [--dct-keep=f]
+//   dpz decompress <in.dpz> <out.f32> [--components=k]
+//   dpz info       <in.dpz>
+//   dpz probe      <in.f32> --shape=AxBxC [--tve=0.99999]
+//
+// The command logic lives in run_cli so the test suite can drive it; the
+// binary's main() is a two-line wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpz::tools {
+
+/// Parses "1800x3600"-style shape strings (1-4 dimensions).
+/// Throws InvalidArgument on malformed input.
+std::vector<std::size_t> parse_shape(const std::string& text);
+
+/// Runs the CLI. Returns the process exit code; writes human-readable
+/// output to `out` and diagnostics to `err`.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace dpz::tools

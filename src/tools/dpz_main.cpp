@@ -1,0 +1,9 @@
+// Entry point of the `dpz` command-line compressor; all logic lives in
+// tools/cli_app.h so the test suite can exercise it.
+#include <iostream>
+
+#include "tools/cli_app.h"
+
+int main(int argc, char** argv) {
+  return dpz::tools::run_cli(argc, argv, std::cout, std::cerr);
+}

@@ -1,0 +1,65 @@
+// Error handling primitives shared by every dpz module.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we report errors that the
+// immediate caller cannot handle by throwing exceptions derived from a
+// single library-wide base type, so applications can catch `dpz::Error`
+// at their fault boundary. Programming-contract violations (broken
+// preconditions inside the library) use DPZ_REQUIRE, which throws
+// `dpz::InvalidArgument` with file/line context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpz {
+
+/// Base class of every exception thrown by the dpz library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad size, bad parameter...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (file read/write) failed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A compressed archive is malformed, truncated, or version-incompatible.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or hit an ill-conditioned input.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* cond,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  std::string what = std::string(file) + ":" + std::to_string(line) +
+                     ": requirement failed (" + cond + ")";
+  if (!msg.empty()) what += ": " + msg;
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+}  // namespace dpz
+
+/// Precondition check: throws dpz::InvalidArgument when `cond` is false.
+#define DPZ_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dpz::detail::throw_invalid_argument(#cond, __FILE__, __LINE__,      \
+                                            (msg));                        \
+  } while (0)

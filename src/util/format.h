@@ -1,0 +1,105 @@
+// Small formatting helpers shared by the bench harnesses: fixed-width
+// numeric cells, human-readable byte counts, and simple table printing.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dpz {
+
+/// Formats `value` with `digits` digits after the decimal point.
+inline std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+/// Formats `value` in scientific notation with `digits` mantissa digits,
+/// matching the paper's "1.94E-1" style cells.
+inline std::string scientific(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << std::uppercase
+     << value;
+  return os.str();
+}
+
+/// Human-readable byte count ("1.47 GB", "496 MB", ...).
+inline std::string human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 ? 2 : (v < 100 ? 1 : 0)) << v
+     << ' ' << kUnits[unit];
+  return os.str();
+}
+
+/// Fixed-width ASCII table writer used by every table harness.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Renders the table to `out` with column auto-sizing.
+  void print(std::ostream& out = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      out << "|";
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string cell = c < row.size() ? row[c] : "";
+        out << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+            << " |";
+      }
+      out << '\n';
+    };
+    auto print_rule = [&] {
+      out << "+";
+      for (const std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+      out << '\n';
+    };
+
+    print_rule();
+    print_row(header_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+    print_rule();
+  }
+
+  /// Writes the same content as CSV (for plotting scripts).
+  void write_csv(std::ostream& out) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c) out << ',';
+        out << row[c];
+      }
+      out << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpz

@@ -1,0 +1,91 @@
+// A small OpenMP-style parallel-for executor.
+//
+// The paper notes (SS V-C5) that DPZ's block-based design parallelizes
+// naturally: per-block DCT, quantization, and per-subset PCA carry no
+// cross-block dependencies. We provide `parallel_for` with static
+// partitioning: the index range is split into one contiguous chunk per
+// worker, which keeps results bit-deterministic regardless of thread count
+// (each index is processed exactly once, writes are disjoint).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpz {
+
+/// Fixed-size pool of worker threads executing static-partitioned loops.
+///
+/// Thread-safety: `parallel_for` may be called from one thread at a time
+/// (the pool is a per-call fork/join executor, not a task queue).
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware concurrency.
+  explicit ThreadPool(unsigned threads = 0)
+      : thread_count_(threads != 0 ? threads
+                                   : default_thread_count()) {}
+
+  [[nodiscard]] unsigned thread_count() const { return thread_count_; }
+
+  /// Applies `body(i)` for every i in [begin, end). Chunks are contiguous,
+  /// so `body` may freely write to disjoint per-index output slots.
+  /// Exceptions thrown by `body` are captured and rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body) const {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(thread_count_, n));
+    if (workers <= 1) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+
+    const std::size_t chunk = (n + workers - 1) / workers;
+    for (unsigned w = 0; w < workers; ++w) {
+      const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      threads.emplace_back([&, lo, hi] {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Shared process-wide pool (sized to hardware concurrency).
+  static const ThreadPool& global() {
+    static const ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  static unsigned default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+  }
+
+  unsigned thread_count_;
+};
+
+/// Convenience wrapper over the global pool.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+}  // namespace dpz

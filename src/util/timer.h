@@ -1,0 +1,88 @@
+// Wall-clock timing utilities used by the benchmark harnesses and by the
+// per-stage accounting inside the compressor (Figure 8/9 of the paper).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace dpz {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds so far.
+  double reset() {
+    const TimePoint now = Clock::now();
+    const double s = seconds_between(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double elapsed() const {
+    return seconds_between(start_, Clock::now());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  static double seconds_between(TimePoint a, TimePoint b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  TimePoint start_;
+};
+
+/// Accumulates named durations, e.g. one bucket per compression stage.
+/// Used to regenerate the paper's Figure 9 (compression-time breakdown).
+class StageTimer {
+ public:
+  /// Adds `seconds` to the bucket named `stage`.
+  void add(const std::string& stage, double seconds) {
+    totals_[stage] += seconds;
+  }
+
+  /// Total seconds recorded for `stage` (0 when never recorded).
+  [[nodiscard]] double total(const std::string& stage) const {
+    const auto it = totals_.find(stage);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over every bucket.
+  [[nodiscard]] double grand_total() const {
+    double s = 0.0;
+    for (const auto& [_, v] : totals_) s += v;
+    return s;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& buckets() const {
+    return totals_;
+  }
+
+  void clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: measures the lifetime of a scope into a StageTimer bucket.
+class ScopedStage {
+ public:
+  ScopedStage(StageTimer& sink, std::string stage)
+      : sink_(sink), stage_(std::move(stage)) {}
+  ~ScopedStage() { sink_.add(stage_, timer_.elapsed()); }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  StageTimer& sink_;
+  std::string stage_;
+  Timer timer_;
+};
+
+}  // namespace dpz

@@ -1,0 +1,123 @@
+// Unit tests for the block decomposition policy (SS IV-A): divisor-pair
+// selection, the paper's power-of-two example, padding fallback, locality
+// preservation, and round-trips.
+#include <gtest/gtest.h>
+
+#include "core/blocking.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+TEST(BlockLayout, PaperPowerOfTwoExample) {
+  // 128^3 = 2^21 -> M = 1024, N = 2048 (SS IV-A).
+  const BlockLayout layout = choose_block_layout(128UL * 128 * 128);
+  EXPECT_EQ(layout.m, 1024U);
+  EXPECT_EQ(layout.n, 2048U);
+  EXPECT_FALSE(layout.padded);
+}
+
+TEST(BlockLayout, CesmShapeUsesExactDivisorPair) {
+  // 1800 x 3600 -> M = 1800, N = 3600 (ratio 2).
+  const BlockLayout layout = choose_block_layout(1800UL * 3600);
+  EXPECT_EQ(layout.m, 1800U);
+  EXPECT_EQ(layout.n, 3600U);
+  EXPECT_FALSE(layout.padded);
+}
+
+TEST(BlockLayout, HaccSize) {
+  const BlockLayout layout = choose_block_layout(2097152);
+  EXPECT_EQ(layout.m, 1024U);
+  EXPECT_EQ(layout.n, 2048U);
+}
+
+TEST(BlockLayout, MAlwaysLessThanN) {
+  for (const std::size_t total :
+       {64UL, 100UL, 1000UL, 4096UL, 65536UL, 123456UL, 999983UL}) {
+    const BlockLayout layout = choose_block_layout(total);
+    EXPECT_LT(layout.m, layout.n) << "total " << total;
+    EXPECT_GE(layout.padded_total(), total) << "total " << total;
+  }
+}
+
+TEST(BlockLayout, PrimeTotalsFallBackToPadding) {
+  const BlockLayout layout = choose_block_layout(999983);  // prime
+  EXPECT_TRUE(layout.padded);
+  EXPECT_GE(layout.padded_total(), 999983U);
+  EXPECT_LT(layout.m, layout.n);
+}
+
+TEST(BlockLayout, EvenPowerOfTwoPicksRatioFour) {
+  // 2^18: ratio 2 is impossible for a square-free split, so M=256, N=1024.
+  const BlockLayout layout = choose_block_layout(1UL << 18);
+  EXPECT_EQ(layout.m, 256U);
+  EXPECT_EQ(layout.n, 1024U);
+}
+
+TEST(BlockLayout, RejectsTinyInputs) {
+  EXPECT_THROW(choose_block_layout(4), InvalidArgument);
+}
+
+TEST(Blocking, RoundTripExactSize) {
+  const std::size_t total = 1800;
+  const BlockLayout layout = choose_block_layout(total);
+  std::vector<float> flat(total);
+  Rng rng(1);
+  for (float& v : flat) v = static_cast<float>(rng.normal());
+
+  const Matrix blocks = to_blocks<float>(flat, layout);
+  std::vector<float> back(total);
+  from_blocks<float>(blocks, layout, back);
+  EXPECT_EQ(flat, back);
+}
+
+TEST(Blocking, RoundTripPaddedSize) {
+  const std::size_t total = 1009;  // prime -> padding fallback
+  const BlockLayout layout = choose_block_layout(total);
+  ASSERT_TRUE(layout.padded);
+  std::vector<float> flat(total);
+  Rng rng(2);
+  for (float& v : flat) v = static_cast<float>(rng.normal());
+
+  const Matrix blocks = to_blocks<float>(flat, layout);
+  std::vector<float> back(total);
+  from_blocks<float>(blocks, layout, back);
+  EXPECT_EQ(flat, back);
+}
+
+TEST(Blocking, PreservesOriginalOrder) {
+  // Locality preservation: block i holds the i-th contiguous slice.
+  const std::size_t total = 128;
+  const BlockLayout layout = choose_block_layout(total);
+  std::vector<float> flat(total);
+  for (std::size_t i = 0; i < total; ++i) flat[i] = static_cast<float>(i);
+  const Matrix blocks = to_blocks<float>(flat, layout);
+  for (std::size_t i = 0; i < layout.m; ++i)
+    for (std::size_t j = 0; j < layout.n; ++j)
+      EXPECT_EQ(blocks(i, j), static_cast<float>(i * layout.n + j));
+}
+
+TEST(Blocking, PaddingReplicatesLastValue) {
+  const std::size_t total = 1009;
+  const BlockLayout layout = choose_block_layout(total);
+  std::vector<float> flat(total, 0.0F);
+  flat.back() = 42.0F;
+  const Matrix blocks = to_blocks<float>(flat, layout);
+  // Every slot past the original total holds the last value.
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < layout.m; ++i)
+    for (std::size_t j = 0; j < layout.n; ++j, ++idx) {
+      if (idx >= total) {
+        EXPECT_EQ(blocks(i, j), 42.0F);
+      }
+    }
+}
+
+TEST(Blocking, SizeMismatchThrows) {
+  const BlockLayout layout = choose_block_layout(64);
+  std::vector<float> wrong(65);
+  EXPECT_THROW(to_blocks<float>(wrong, layout), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpz

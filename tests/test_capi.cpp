@@ -1,0 +1,173 @@
+// Tests for the C API shim: option defaults, f32/f64 round-trips through
+// the C surface, shape/precision introspection, error-code translation,
+// and the no-exceptions-across-the-boundary contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "capi/dpz_c.h"
+
+namespace {
+
+std::vector<float> smooth_values(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>(std::sin(static_cast<double>(i) * 0.01));
+  return v;
+}
+
+TEST(CApi, OptionsDefaultMatchesStrictScheme) {
+  dpz_options opt;
+  dpz_options_default(&opt);
+  EXPECT_EQ(opt.scheme, DPZ_SCHEME_STRICT);
+  EXPECT_EQ(opt.selection, DPZ_SELECT_TVE);
+  EXPECT_DOUBLE_EQ(opt.tve, 0.99999);
+  EXPECT_EQ(opt.use_sampling, 0);
+  EXPECT_DOUBLE_EQ(opt.dct_keep_fraction, 1.0);
+  EXPECT_EQ(opt.zlib_level, 6);
+  dpz_options_default(nullptr);  // must not crash
+}
+
+TEST(CApi, FloatRoundTrip) {
+  const std::vector<float> data = smooth_values(64 * 96);
+  const size_t dims[2] = {64, 96};
+  dpz_options opt;
+  dpz_options_default(&opt);
+
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_compress_float(data.data(), dims, 2, &opt, &archive,
+                               &archive_size),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_NE(archive, nullptr);
+  EXPECT_LT(archive_size, data.size() * sizeof(float));
+
+  size_t shape[4] = {0, 0, 0, 0};
+  size_t rank = 0;
+  ASSERT_EQ(dpz_archive_shape(archive, archive_size, shape, &rank), DPZ_OK);
+  EXPECT_EQ(rank, 2U);
+  EXPECT_EQ(shape[0], 64U);
+  EXPECT_EQ(shape[1], 96U);
+  EXPECT_EQ(dpz_archive_is_double(archive, archive_size), 0);
+
+  float* out = nullptr;
+  size_t out_count = 0;
+  ASSERT_EQ(dpz_decompress_float(archive, archive_size, &out, &out_count),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_EQ(out_count, data.size());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < out_count; ++i)
+    max_err = std::max(max_err,
+                       std::abs(static_cast<double>(data[i]) - out[i]));
+  EXPECT_LT(max_err, 0.05);
+
+  dpz_free(archive);
+  dpz_free(out);
+}
+
+TEST(CApi, DoubleRoundTrip) {
+  std::vector<double> data(48 * 64);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = std::cos(static_cast<double>(i) * 0.02);
+  const size_t dims[2] = {48, 64};
+  dpz_options opt;
+  dpz_options_default(&opt);
+
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_compress_double(data.data(), dims, 2, &opt, &archive,
+                                &archive_size),
+            DPZ_OK)
+      << dpz_last_error();
+  EXPECT_EQ(dpz_archive_is_double(archive, archive_size), 1);
+
+  double* out = nullptr;
+  size_t out_count = 0;
+  ASSERT_EQ(dpz_decompress_double(archive, archive_size, &out, &out_count),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_EQ(out_count, data.size());
+  dpz_free(archive);
+  dpz_free(out);
+}
+
+TEST(CApi, PrecisionMismatchGivesFormatError) {
+  const std::vector<float> data = smooth_values(4096);
+  const size_t dims[1] = {4096};
+  dpz_options opt;
+  dpz_options_default(&opt);
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_compress_float(data.data(), dims, 1, &opt, &archive,
+                               &archive_size),
+            DPZ_OK);
+
+  double* out = nullptr;
+  size_t out_count = 0;
+  EXPECT_EQ(dpz_decompress_double(archive, archive_size, &out, &out_count),
+            DPZ_ERR_FORMAT);
+  EXPECT_NE(std::string(dpz_last_error()).find("dpz_decompress"),
+            std::string::npos);
+  EXPECT_EQ(out, nullptr);  // outputs untouched on error
+  dpz_free(archive);
+}
+
+TEST(CApi, NullArgumentsRejected) {
+  dpz_options opt;
+  dpz_options_default(&opt);
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  const size_t dims[1] = {16};
+  EXPECT_EQ(dpz_compress_float(nullptr, dims, 1, &opt, &archive,
+                               &archive_size),
+            DPZ_ERR_INVALID_ARGUMENT);
+  float dummy = 0.0F;
+  EXPECT_EQ(dpz_compress_float(&dummy, dims, 0, &opt, &archive,
+                               &archive_size),
+            DPZ_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(dpz_decompress_float(nullptr, 0, nullptr, nullptr),
+            DPZ_ERR_INVALID_ARGUMENT);
+}
+
+TEST(CApi, GarbageArchiveGivesFormatErrorNotCrash) {
+  std::vector<unsigned char> garbage(64, 0xAA);
+  float* out = nullptr;
+  size_t out_count = 0;
+  EXPECT_EQ(dpz_decompress_float(garbage.data(), garbage.size(), &out,
+                                 &out_count),
+            DPZ_ERR_FORMAT);
+  EXPECT_NE(dpz_last_error()[0], '\0');
+  size_t shape[4];
+  size_t rank = 0;
+  EXPECT_EQ(dpz_archive_shape(garbage.data(), garbage.size(), shape, &rank),
+            DPZ_ERR_FORMAT);
+  EXPECT_LT(dpz_archive_is_double(garbage.data(), garbage.size()), 0);
+}
+
+TEST(CApi, KneeSelectionViaOptions) {
+  const std::vector<float> data = smooth_values(128 * 64);
+  const size_t dims[2] = {128, 64};
+  dpz_options opt;
+  dpz_options_default(&opt);
+  opt.scheme = DPZ_SCHEME_LOOSE;
+  opt.selection = DPZ_SELECT_KNEE_1D;
+
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_compress_float(data.data(), dims, 2, &opt, &archive,
+                               &archive_size),
+            DPZ_OK)
+      << dpz_last_error();
+  float* out = nullptr;
+  size_t out_count = 0;
+  ASSERT_EQ(dpz_decompress_float(archive, archive_size, &out, &out_count),
+            DPZ_OK);
+  EXPECT_EQ(out_count, data.size());
+  dpz_free(archive);
+  dpz_free(out);
+}
+
+}  // namespace

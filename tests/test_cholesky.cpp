@@ -1,0 +1,94 @@
+// Unit tests for the Cholesky factorization: known factors, solve
+// correctness, full inverse, the inverse-diagonal fast path (VIF), and
+// rejection of indefinite matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix q(n, n);
+  for (double& v : q.flat()) v = rng.normal();
+  Matrix a = q.transpose_multiply(q);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Cholesky, KnownFactor) {
+  // A = [[4,2],[2,3]] = L L^T with L = [[2,0],[1,sqrt(2)]].
+  const Matrix a(2, 2, {4, 2, 2, 3});
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_NEAR(chol->lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol->lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol->lower()(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a(2, 2, {1, 2, 2, 1});  // eigenvalues 3 and -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(Cholesky::factor(a), InvalidArgument);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution) {
+  const std::size_t n = 25;
+  const Matrix a = random_spd(n, 5);
+  Rng rng(6);
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = rng.normal();
+  const std::vector<double> b = a.multiply(x_true);
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const std::vector<double> x = chol->solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Cholesky, SolveRejectsBadLength) {
+  const auto chol = Cholesky::factor(random_spd(4, 7));
+  ASSERT_TRUE(chol.has_value());
+  const std::vector<double> b(3, 1.0);
+  EXPECT_THROW(chol->solve(b), InvalidArgument);
+}
+
+TEST(Cholesky, InverseTimesOriginalIsIdentity) {
+  const std::size_t n = 15;
+  const Matrix a = random_spd(n, 8);
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix prod = a.multiply(chol->inverse());
+  EXPECT_LT(prod.max_abs_diff(Matrix::identity(n)), 1e-8);
+}
+
+TEST(Cholesky, InverseDiagonalMatchesFullInverse) {
+  const std::size_t n = 30;
+  const Matrix a = random_spd(n, 9);
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol.has_value());
+  const Matrix inv = chol->inverse();
+  const std::vector<double> diag = chol->inverse_diagonal();
+  ASSERT_EQ(diag.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(diag[i], inv(i, i), 1e-10);
+}
+
+TEST(Cholesky, IdentityFactorsToItself) {
+  const Matrix i5 = Matrix::identity(5);
+  const auto chol = Cholesky::factor(i5);
+  ASSERT_TRUE(chol.has_value());
+  EXPECT_LT(chol->lower().max_abs_diff(i5), 1e-15);
+  const std::vector<double> diag = chol->inverse_diagonal();
+  for (const double d : diag) EXPECT_NEAR(d, 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace dpz

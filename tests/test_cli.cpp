@@ -1,0 +1,238 @@
+// Tests for the `dpz` command-line tool: shape parsing and full
+// compress / info / decompress / probe flows through run_cli on temp
+// files.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "io/file_io.h"
+#include "tools/cli_app.h"
+#include "util/error.h"
+
+namespace dpz::tools {
+namespace {
+
+TEST(ParseShape, AcceptsValidShapes) {
+  EXPECT_EQ(parse_shape("100"), (std::vector<std::size_t>{100}));
+  EXPECT_EQ(parse_shape("1800x3600"),
+            (std::vector<std::size_t>{1800, 3600}));
+  EXPECT_EQ(parse_shape("128x128x128"),
+            (std::vector<std::size_t>{128, 128, 128}));
+  EXPECT_EQ(parse_shape("2x3x4x5"), (std::vector<std::size_t>{2, 3, 4, 5}));
+}
+
+TEST(ParseShape, RejectsMalformedShapes) {
+  EXPECT_THROW(parse_shape(""), InvalidArgument);
+  EXPECT_THROW(parse_shape("12x"), InvalidArgument);
+  EXPECT_THROW(parse_shape("x12"), InvalidArgument);
+  EXPECT_THROW(parse_shape("12xabc"), InvalidArgument);
+  EXPECT_THROW(parse_shape("0x4"), InvalidArgument);
+  EXPECT_THROW(parse_shape("2x3x4x5x6"), InvalidArgument);
+}
+
+class CliFlowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dpz_cli_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    FloatArray field({64, 96});
+    for (std::size_t i = 0; i < field.extent(0); ++i)
+      for (std::size_t j = 0; j < field.extent(1); ++j)
+        field(i, j) = static_cast<float>(
+            std::sin(0.1 * static_cast<double>(i)) +
+            std::cos(0.07 * static_cast<double>(j)));
+    write_f32(path("in.f32"), field);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  int run(std::vector<std::string> args) {
+    std::vector<const char*> argv{"dpz"};
+    for (const auto& a : args) argv.push_back(a.c_str());
+    out_.str("");
+    err_.str("");
+    return run_cli(static_cast<int>(argv.size()), argv.data(), out_, err_);
+  }
+
+  std::filesystem::path dir_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliFlowTest, CompressInfoDecompressRoundTrip) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("a.dpz"),
+                 "--shape=64x96", "--verify"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("verify: PSNR"), std::string::npos);
+
+  ASSERT_EQ(run({"info", path("a.dpz")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("DPZ pipeline"), std::string::npos);
+  EXPECT_NE(out_.str().find("64 x 96"), std::string::npos);
+
+  ASSERT_EQ(run({"decompress", path("a.dpz"), path("out.f32")}), 0)
+      << err_.str();
+  const FloatArray original = read_f32(path("in.f32"), {64, 96});
+  const FloatArray restored = read_f32(path("out.f32"), {64, 96});
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i)
+    max_err = std::max(max_err, std::abs(static_cast<double>(original[i]) -
+                                         restored[i]));
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST_F(CliFlowTest, LooseSchemeAndKneeFlags) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("b.dpz"),
+                 "--shape=64x96", "--scheme=l", "--knee=polyn"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"info", path("b.dpz")}), 0);
+  EXPECT_NE(out_.str().find("1-byte codes"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, PartialDecompression) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("c.dpz"),
+                 "--shape=64x96", "--tve=0.9999999"}),
+            0);
+  ASSERT_EQ(run({"decompress", path("c.dpz"), path("partial.f32"),
+                 "--components=1"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("first 1 components"), std::string::npos);
+  EXPECT_NO_THROW(read_f32(path("partial.f32"), {64, 96}));
+}
+
+TEST_F(CliFlowTest, ProbeReportsVifAndEstimate) {
+  ASSERT_EQ(run({"probe", path("in.f32"), "--shape=64x96"}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("VIF median"), std::string::npos);
+  EXPECT_NE(out_.str().find("CR estimate"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, MissingShapeFails) {
+  EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpz")}), 1);
+  EXPECT_NE(err_.str().find("--shape"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, UnknownCommandFails) {
+  EXPECT_EQ(run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, HelpPrintsUsage) {
+  EXPECT_EQ(run({"compress", "--help"}), 0);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, MissingInputFileFails) {
+  EXPECT_EQ(run({"compress", path("absent.f32"), path("x.dpz"),
+                 "--shape=64x96"}),
+            1);
+  EXPECT_NE(err_.str().find("error:"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, DoublePrecisionRoundTrip) {
+  DoubleArray field({48, 64});
+  for (std::size_t i = 0; i < field.extent(0); ++i)
+    for (std::size_t j = 0; j < field.extent(1); ++j)
+      field(i, j) = std::sin(0.2 * static_cast<double>(i)) *
+                    std::cos(0.15 * static_cast<double>(j));
+  write_f64(path("in64.f64"), field);
+
+  ASSERT_EQ(run({"compress", path("in64.f64"), path("d.dpz"),
+                 "--shape=48x64", "--dtype=f64", "--verify"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"info", path("d.dpz")}), 0);
+  EXPECT_NE(out_.str().find("f64"), std::string::npos);
+
+  ASSERT_EQ(run({"decompress", path("d.dpz"), path("out64.f64")}), 0)
+      << err_.str();
+  const DoubleArray restored = read_f64(path("out64.f64"), {48, 64});
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < field.size(); ++i)
+    max_err = std::max(max_err, std::abs(field[i] - restored[i]));
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST_F(CliFlowTest, UnknownDtypeFails) {
+  EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpz"),
+                 "--shape=64x96", "--dtype=f16"}),
+            1);
+  EXPECT_NE(err_.str().find("dtype"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, DatasetsSubcommandWritesFilesAndManifest) {
+  const std::string outdir = path("datasets");
+  ASSERT_EQ(run({"datasets", outdir, "--scale=0.05",
+                 "--names=FLDSC,HACC-vx"}),
+            0)
+      << err_.str();
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/FLDSC.f32"));
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/HACC-vx.f32"));
+  EXPECT_TRUE(std::filesystem::exists(outdir + "/MANIFEST.txt"));
+  // The manifest's shape must open the file.
+  EXPECT_NO_THROW(read_f32(outdir + "/FLDSC.f32", {90, 180}));
+}
+
+TEST_F(CliFlowTest, DatasetsRejectsUnknownName) {
+  EXPECT_EQ(run({"datasets", path("ds2"), "--names=NOPE"}), 1);
+}
+
+TEST_F(CliFlowTest, TargetRatioFlag) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("rc.dpz"),
+                 "--shape=64x96", "--target-cr=10", "--verify"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("ratio 1"), std::string::npos);  // >= 10X
+}
+
+TEST_F(CliFlowTest, TargetPsnrFlag) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("rp.dpz"),
+                 "--shape=64x96", "--target-psnr=40", "--verify"}),
+            0)
+      << err_.str();
+}
+
+TEST_F(CliFlowTest, ConflictingTargetsRejected) {
+  EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpz"),
+                 "--shape=64x96", "--target-cr=10", "--target-psnr=40"}),
+            1);
+  EXPECT_NE(err_.str().find("choose one"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, ChunkedContainerRoundTrip) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("ck.dpzc"),
+                 "--shape=64x96", "--chunk=2048", "--verify"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("chunked container: 3 frames"),
+            std::string::npos);
+  ASSERT_EQ(run({"decompress", path("ck.dpzc"), path("ck_out.f32")}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("3 frames"), std::string::npos);
+  EXPECT_NO_THROW(read_f32(path("ck_out.f32"), {64, 96}));
+}
+
+TEST_F(CliFlowTest, ChunkedAndTargetConflict) {
+  EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpz"),
+                 "--shape=64x96", "--chunk=2048", "--target-cr=5"}),
+            1);
+}
+
+TEST_F(CliFlowTest, WrongShapeSizeFails) {
+  EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpz"),
+                 "--shape=10x10"}),
+            1);
+}
+
+}  // namespace
+}  // namespace dpz::tools

@@ -1,0 +1,158 @@
+// Unit tests for the synthetic dataset generators: shapes, determinism,
+// value-range plausibility, and the compressibility ordering the paper's
+// evaluation depends on (CESM smooth >> HACC-vx white).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/datasets.h"
+#include "data/spectral_field.h"
+#include "stats/descriptive.h"
+
+namespace dpz {
+namespace {
+
+TEST(Datasets, AllNamesGenerate) {
+  for (const std::string& name : dataset_names()) {
+    const Dataset d = make_dataset(name, 0.05);
+    EXPECT_EQ(d.name, name);
+    EXPECT_FALSE(d.data.empty()) << name;
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("NOPE", 0.1), InvalidArgument);
+}
+
+TEST(Datasets, ScaleOneMatchesPaperShapes) {
+  // Only check the cheap 1-D case at full size; 2-D/3-D shapes are scaled
+  // versions of the same formulas.
+  const Dataset hacc = make_dataset("HACC-vx", 1.0);
+  EXPECT_EQ(hacc.data.size(), 2097152U);
+  EXPECT_EQ(hacc.data.rank(), 1U);
+}
+
+TEST(Datasets, ShapesByFamily) {
+  const Dataset cesm = make_dataset("CLDHGH", 0.1);
+  EXPECT_EQ(cesm.data.rank(), 2U);
+  EXPECT_EQ(cesm.source, "CESM");
+  const Dataset jhtdb = make_dataset("Isotropic", 0.25);
+  EXPECT_EQ(jhtdb.data.rank(), 3U);
+  EXPECT_EQ(jhtdb.source, "JHTDB");
+  const Dataset hacc = make_dataset("HACC-x", 0.05);
+  EXPECT_EQ(hacc.data.rank(), 1U);
+  EXPECT_EQ(hacc.source, "HACC");
+}
+
+TEST(Datasets, DeterministicInSeed) {
+  const Dataset a = make_dataset("FLDSC", 0.05, 99);
+  const Dataset b = make_dataset("FLDSC", 0.05, 99);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    EXPECT_EQ(a.data[i], b.data[i]);
+}
+
+TEST(Datasets, DifferentSeedsDiffer) {
+  const Dataset a = make_dataset("FLDSC", 0.05, 1);
+  const Dataset b = make_dataset("FLDSC", 0.05, 2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    diff += std::abs(static_cast<double>(a.data[i]) - b.data[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Datasets, CloudFractionsBounded) {
+  for (const char* name : {"CLDHGH", "CLDLOW", "FREQSH"}) {
+    const Dataset d = make_dataset(name, 0.05);
+    const auto [lo, hi] = d.data.min_max();
+    EXPECT_GE(lo, 0.0F) << name;
+    EXPECT_LE(hi, 1.0F) << name;
+    EXPECT_GT(hi - lo, 0.5F) << name;  // actually uses the range
+  }
+}
+
+TEST(Datasets, FldscNonNegativeWithLatitudeTrend) {
+  const Dataset d = make_dataset("FLDSC", 0.1);
+  const auto [lo, hi] = d.data.min_max();
+  EXPECT_GE(lo, 0.0F);
+  EXPECT_GT(hi, 100.0F);
+}
+
+TEST(Datasets, HaccXInBox) {
+  const Dataset d = make_dataset("HACC-x", 0.02);
+  const auto [lo, hi] = d.data.min_max();
+  EXPECT_GE(lo, 0.0F);
+  EXPECT_LT(hi, 256.0F);
+}
+
+TEST(Datasets, HaccVxNearlyWhite) {
+  // Lag-1 autocorrelation ~ 0: the low-VIF hard case.
+  const Dataset d = make_dataset("HACC-vx", 0.02);
+  std::vector<double> a, b;
+  for (std::size_t i = 0; i + 1 < d.data.size(); ++i) {
+    a.push_back(d.data[i]);
+    b.push_back(d.data[i + 1]);
+  }
+  EXPECT_LT(std::abs(pearson_correlation(a, b)), 0.05);
+}
+
+TEST(Datasets, SmoothFieldsHaveHighNeighborCorrelation) {
+  // CESM-class fields must be strongly locally correlated, which is what
+  // gives their block decomposition the high VIF the paper measures.
+  const Dataset d = make_dataset("FLDSC", 0.05);
+  std::vector<double> a, b;
+  const std::size_t cols = d.data.extent(1);
+  for (std::size_t i = 0; i < d.data.extent(0); ++i)
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      a.push_back(d.data(i, j));
+      b.push_back(d.data(i, j + 1));
+    }
+  EXPECT_GT(pearson_correlation(a, b), 0.9);
+}
+
+TEST(Datasets, ChannelHasParabolicMeanProfile) {
+  const Dataset d = make_dataset("Channel", 0.25);
+  const std::size_t ny = d.data.extent(1);
+  auto mean_at = [&](std::size_t y) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t x = 0; x < d.data.extent(0); ++x)
+      for (std::size_t z = 0; z < d.data.extent(2); ++z, ++count)
+        sum += static_cast<double>(d.data(x, y, z));
+    return sum / static_cast<double>(count);
+  };
+  const double center = mean_at(ny / 2);
+  const double wall = mean_at(0);
+  EXPECT_GT(center, wall + 5.0);  // streamwise velocity peaks mid-channel
+}
+
+TEST(SpectralField, ZeroMeanUnitVariance) {
+  const FloatArray f = gaussian_random_field({64, 64}, 3.0, 42);
+  std::vector<double> v(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) v[i] = f[i];
+  EXPECT_NEAR(mean_of(v), 0.0, 1e-6);
+  EXPECT_NEAR(variance_of(v), 1.0, 1e-6);
+}
+
+TEST(SpectralField, LargerBetaIsSmoother) {
+  // Smoothness measured by mean squared first difference: a steeper
+  // spectrum concentrates power at low frequency -> smaller differences.
+  auto roughness = [](const FloatArray& f) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < f.size(); ++i) {
+      const double d = static_cast<double>(f[i + 1]) - f[i];
+      acc += d * d;
+    }
+    return acc / static_cast<double>(f.size());
+  };
+  const FloatArray smooth = gaussian_random_field({4096}, 3.5, 1);
+  const FloatArray rough = gaussian_random_field({4096}, 1.0, 1);
+  EXPECT_LT(roughness(smooth), roughness(rough));
+}
+
+TEST(SpectralField, RejectsUnsupportedRank) {
+  EXPECT_THROW(gaussian_random_field({2, 2, 2, 2}, 3.0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpz

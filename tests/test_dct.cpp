@@ -1,0 +1,162 @@
+// Unit and property tests for the orthonormal DCT-II/III: agreement with
+// the O(n^2) oracle, orthonormality (Parseval), round-trips, energy
+// compaction on smooth signals, and the 2-D separable transform.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "dsp/dct.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.normal();
+  return x;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+class DctLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DctLengthTest, FastForwardMatchesNaive) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = random_vector(n, 10 + n);
+  const DctPlan plan(n);
+  std::vector<double> fast(n);
+  plan.forward(x, fast);
+  const std::vector<double> slow = dct_naive_forward(x);
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-9 * static_cast<double>(n))
+      << "length " << n;
+}
+
+TEST_P(DctLengthTest, FastInverseMatchesNaive) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = random_vector(n, 20 + n);
+  const DctPlan plan(n);
+  std::vector<double> fast(n);
+  plan.inverse(x, fast);
+  const std::vector<double> slow = dct_naive_inverse(x);
+  EXPECT_LT(max_abs_diff(fast, slow), 1e-9 * static_cast<double>(n))
+      << "length " << n;
+}
+
+TEST_P(DctLengthTest, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const std::vector<double> x = random_vector(n, 30 + n);
+  const DctPlan plan(n);
+  std::vector<double> coeffs(n), back(n);
+  plan.forward(x, coeffs);
+  plan.inverse(coeffs, back);
+  EXPECT_LT(max_abs_diff(x, back), 1e-10) << "length " << n;
+}
+
+TEST_P(DctLengthTest, ParsevalHolds) {
+  // Orthonormal transform preserves the L2 norm exactly — this is what
+  // makes the paper's ECR metric (Eq. 1) meaningful on coefficients.
+  const std::size_t n = GetParam();
+  const std::vector<double> x = random_vector(n, 40 + n);
+  const DctPlan plan(n);
+  std::vector<double> coeffs(n);
+  plan.forward(x, coeffs);
+  double ex = 0.0, ec = 0.0;
+  for (const double v : x) ex += v * v;
+  for (const double v : coeffs) ec += v * v;
+  EXPECT_NEAR(ec, ex, 1e-9 * ex);
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousLengths, DctLengthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 9, 16, 27, 32,
+                                           45, 64, 100, 128, 360, 500, 2048));
+
+TEST(Dct, ConstantSignalCompactsToDc) {
+  const std::size_t n = 64;
+  std::vector<double> x(n, 3.0);
+  const DctPlan plan(n);
+  std::vector<double> coeffs(n);
+  plan.forward(x, coeffs);
+  EXPECT_NEAR(coeffs[0], 3.0 * std::sqrt(static_cast<double>(n)), 1e-10);
+  for (std::size_t k = 1; k < n; ++k) EXPECT_NEAR(coeffs[k], 0.0, 1e-10);
+}
+
+TEST(Dct, SmoothSignalEnergyConcentratesInLowFrequencies) {
+  // The energy-compaction property SS II-B demonstrates on FLDSC.
+  const std::size_t n = 256;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) /
+                    static_cast<double>(n)) +
+           0.5 * std::cos(6.0 * std::numbers::pi * static_cast<double>(i) /
+                          static_cast<double>(n));
+  const DctPlan plan(n);
+  std::vector<double> coeffs(n);
+  plan.forward(x, coeffs);
+  double low = 0.0, total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += coeffs[k] * coeffs[k];
+    if (k < n / 16) low += coeffs[k] * coeffs[k];
+  }
+  EXPECT_GT(low / total, 0.99);
+}
+
+TEST(Dct, InPlaceAliasingWorks) {
+  const std::size_t n = 100;
+  std::vector<double> x = random_vector(n, 77);
+  const std::vector<double> reference = dct_naive_forward(x);
+  const DctPlan plan(n);
+  plan.forward(x, x);  // in place
+  EXPECT_LT(max_abs_diff(x, reference), 1e-9);
+}
+
+TEST(Dct, PlanRejectsWrongLength) {
+  const DctPlan plan(16);
+  std::vector<double> x(8), y(8);
+  EXPECT_THROW(plan.forward(x, y), InvalidArgument);
+}
+
+TEST(Dct2d, RoundTripIsIdentity) {
+  const std::size_t rows = 12, cols = 20;
+  const std::vector<double> x = random_vector(rows * cols, 55);
+  std::vector<double> coeffs(x.size()), back(x.size());
+  dct_2d_forward(x, coeffs, rows, cols);
+  dct_2d_inverse(coeffs, back, rows, cols);
+  EXPECT_LT(max_abs_diff(x, back), 1e-10);
+}
+
+TEST(Dct2d, SeparabilityMatchesRowColumnComposition) {
+  // Z = A_M^T X A_N (SS III-B2): transforming rows then columns equals the
+  // library's 2-D transform by construction; verify energy preservation
+  // and a known constant-field compaction instead of restating the code.
+  const std::size_t rows = 8, cols = 8;
+  std::vector<double> x(rows * cols, 2.0);
+  std::vector<double> coeffs(x.size());
+  dct_2d_forward(x, coeffs, rows, cols);
+  EXPECT_NEAR(coeffs[0], 2.0 * 8.0, 1e-10);  // 2 * sqrt(64)
+  for (std::size_t i = 1; i < coeffs.size(); ++i)
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-10);
+}
+
+TEST(Dct2d, ParsevalHolds) {
+  const std::size_t rows = 15, cols = 9;
+  const std::vector<double> x = random_vector(rows * cols, 66);
+  std::vector<double> coeffs(x.size());
+  dct_2d_forward(x, coeffs, rows, cols);
+  double ex = 0.0, ec = 0.0;
+  for (const double v : x) ex += v * v;
+  for (const double v : coeffs) ec += v * v;
+  EXPECT_NEAR(ec, ex, 1e-9 * ex);
+}
+
+}  // namespace
+}  // namespace dpz

@@ -1,0 +1,198 @@
+// Unit and property tests for the symmetric eigensolvers: analytic 2x2/3x3
+// cases, orthonormality of eigenvectors, A = V diag(l) V^T reconstruction,
+// agreement between the QL and Jacobi solvers, and the truncated
+// subspace-iteration solver against the dense one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/subspace_iteration.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+// SPD matrix with controlled spectral decay (like a covariance matrix).
+Matrix random_spd(std::size_t n, std::uint64_t seed, double decay = 0.5) {
+  Rng rng(seed);
+  Matrix q(n, n);
+  for (double& v : q.flat()) v = rng.normal();
+  // A = Q^T D Q with decaying positive diagonal.
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    d(i, i) = std::pow(decay, static_cast<double>(i)) + 1e-6;
+  return q.transpose_multiply(d.multiply(q));
+}
+
+double reconstruction_error(const Matrix& a, const SymmetricEigen& eig) {
+  const std::size_t n = a.rows();
+  const std::size_t k = eig.values.size();
+  Matrix rec(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < k; ++c)
+        sum += eig.vectors(i, c) * eig.values[c] * eig.vectors(j, c);
+      rec(i, j) = sum;
+    }
+  return rec.max_abs_diff(a);
+}
+
+double orthonormality_error(const Matrix& v) {
+  double worst = 0.0;
+  for (std::size_t a = 0; a < v.cols(); ++a)
+    for (std::size_t b = a; b < v.cols(); ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < v.rows(); ++i) dot += v(i, a) * v(i, b);
+      worst = std::max(worst, std::abs(dot - (a == b ? 1.0 : 0.0)));
+    }
+  return worst;
+}
+
+TEST(EigenSym, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix a(2, 2, {2, 1, 1, 2});
+  const SymmetricEigen eig = eigen_sym(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+  EXPECT_LT(reconstruction_error(a, eig), 1e-12);
+}
+
+TEST(EigenSym, KnownDiagonal) {
+  Matrix a(4, 4);
+  a(0, 0) = -1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 2.0;
+  a(3, 3) = 0.0;
+  const SymmetricEigen eig = eigen_sym(a);
+  EXPECT_NEAR(eig.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], 0.0, 1e-12);
+  EXPECT_NEAR(eig.values[3], -1.0, 1e-12);
+}
+
+TEST(EigenSym, OneByOne) {
+  const Matrix a(1, 1, {7.0});
+  const SymmetricEigen eig = eigen_sym(a);
+  ASSERT_EQ(eig.values.size(), 1U);
+  EXPECT_DOUBLE_EQ(eig.values[0], 7.0);
+  EXPECT_DOUBLE_EQ(eig.vectors(0, 0), 1.0);
+}
+
+TEST(EigenSym, RejectsNonSquare) {
+  const Matrix a(2, 3);
+  EXPECT_THROW(eigen_sym(a), InvalidArgument);
+}
+
+class EigenSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSizeTest, ReconstructsInput) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 500 + n);
+  const SymmetricEigen eig = eigen_sym(a);
+  EXPECT_LT(reconstruction_error(a, eig), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(EigenSizeTest, EigenvectorsOrthonormal) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 600 + n);
+  const SymmetricEigen eig = eigen_sym(a);
+  EXPECT_LT(orthonormality_error(eig.vectors), 1e-10);
+}
+
+TEST_P(EigenSizeTest, ValuesSortedDescending) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 700 + n);
+  const SymmetricEigen eig = eigen_sym(a);
+  for (std::size_t i = 1; i < n; ++i)
+    EXPECT_GE(eig.values[i - 1], eig.values[i]);
+}
+
+TEST_P(EigenSizeTest, QlMatchesJacobi) {
+  const std::size_t n = GetParam();
+  const Matrix a = random_symmetric(n, 800 + n);
+  const SymmetricEigen ql = eigen_sym(a);
+  const SymmetricEigen jacobi = eigen_sym_jacobi(a);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ql.values[i], jacobi.values[i], 1e-9)
+        << "eigenvalue " << i << " at n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousSizes, EigenSizeTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+TEST(EigenSym, TraceEqualsEigenvalueSum) {
+  const std::size_t n = 20;
+  const Matrix a = random_symmetric(n, 31);
+  const SymmetricEigen eig = eigen_sym(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(EigenSym, HandlesRepeatedEigenvalues) {
+  // Identity: all eigenvalues 1; eigenvectors must still be orthonormal.
+  const Matrix a = Matrix::identity(10);
+  const SymmetricEigen eig = eigen_sym(a);
+  for (const double v : eig.values) EXPECT_NEAR(v, 1.0, 1e-12);
+  EXPECT_LT(orthonormality_error(eig.vectors), 1e-12);
+}
+
+// ---- Truncated subspace iteration ---------------------------------------
+
+TEST(EigenTopK, MatchesDenseOnLeadingPairs) {
+  const std::size_t n = 120, k = 6;
+  const Matrix a = random_spd(n, 41);
+  const SymmetricEigen full = eigen_sym(a);
+  const SymmetricEigen topk = eigen_sym_topk(a, k);
+  ASSERT_EQ(topk.values.size(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_NEAR(topk.values[j], full.values[j],
+                1e-6 * std::max(1.0, std::abs(full.values[j])))
+        << "eigenvalue " << j;
+    // Eigenvectors match up to sign.
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      dot += topk.vectors(i, j) * full.vectors(i, j);
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-5) << "eigenvector " << j;
+  }
+}
+
+TEST(EigenTopK, SmallMatrixDelegatesToDense) {
+  const Matrix a = random_spd(12, 43);
+  const SymmetricEigen full = eigen_sym(a);
+  const SymmetricEigen topk = eigen_sym_topk(a, 3);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(topk.values[j], full.values[j], 1e-10);
+}
+
+TEST(EigenTopK, VectorsOrthonormal) {
+  const Matrix a = random_spd(150, 44);
+  const SymmetricEigen topk = eigen_sym_topk(a, 8);
+  EXPECT_LT(orthonormality_error(topk.vectors), 1e-8);
+}
+
+TEST(EigenTopK, RejectsBadK) {
+  const Matrix a = random_spd(10, 45);
+  EXPECT_THROW(eigen_sym_topk(a, 0), InvalidArgument);
+  EXPECT_THROW(eigen_sym_topk(a, 11), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpz

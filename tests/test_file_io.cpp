@@ -1,0 +1,102 @@
+// Unit tests for io/file_io and io/image: binary round-trips and the
+// PGM/PPM writers' headers.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "io/file_io.h"
+#include "io/image.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dpz_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, F32RoundTrip) {
+  FloatArray a({4, 8});
+  Rng rng(3);
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  write_f32(path("a.bin"), a);
+  const FloatArray b = read_f32(path("a.bin"), {4, 8});
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(FileIoTest, ReadRejectsWrongShape) {
+  FloatArray a({16});
+  write_f32(path("b.bin"), a);
+  EXPECT_THROW(read_f32(path("b.bin"), {17}), IoError);
+}
+
+TEST_F(FileIoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_f32(path("missing.bin"), {4}), IoError);
+}
+
+TEST_F(FileIoTest, BytesRoundTrip) {
+  const std::vector<std::uint8_t> payload{0, 1, 255, 128, 7};
+  write_bytes(path("c.bin"), payload);
+  EXPECT_EQ(read_bytes(path("c.bin")), payload);
+  EXPECT_EQ(file_size(path("c.bin")), payload.size());
+}
+
+TEST_F(FileIoTest, EmptyBytesRoundTrip) {
+  write_bytes(path("empty.bin"), {});
+  EXPECT_TRUE(read_bytes(path("empty.bin")).empty());
+}
+
+TEST_F(FileIoTest, PgmHasValidHeaderAndSize) {
+  FloatArray field({10, 20});
+  for (std::size_t i = 0; i < field.size(); ++i)
+    field[i] = static_cast<float>(i);
+  write_pgm(path("img.pgm"), field);
+  const auto bytes = read_bytes(path("img.pgm"));
+  const std::string head(bytes.begin(),
+                         bytes.begin() + std::min<std::size_t>(2, bytes.size()));
+  EXPECT_EQ(head, "P5");
+  // Header "P5\n20 10\n255\n" + 200 pixel bytes.
+  EXPECT_EQ(bytes.size(), 13U + 200U);
+}
+
+TEST_F(FileIoTest, PgmRejectsNon2d) {
+  FloatArray field({8});
+  EXPECT_THROW(write_pgm(path("bad.pgm"), field), InvalidArgument);
+}
+
+TEST_F(FileIoTest, ErrorPpmHasValidHeader) {
+  FloatArray field({4, 4});
+  field(0, 0) = -1.0F;
+  field(3, 3) = 1.0F;
+  write_error_ppm(path("err.ppm"), field);
+  const auto bytes = read_bytes(path("err.ppm"));
+  const std::string head(bytes.begin(), bytes.begin() + 2);
+  EXPECT_EQ(head, "P6");
+  EXPECT_EQ(bytes.size(), 11U + 48U);  // "P6\n4 4\n255\n" + 16*3
+}
+
+TEST_F(FileIoTest, PgmConstantFieldDoesNotDivideByZero) {
+  FloatArray field({3, 3});
+  for (float& v : field.flat()) v = 5.0F;
+  EXPECT_NO_THROW(write_pgm(path("const.pgm"), field));
+}
+
+}  // namespace
+}  // namespace dpz

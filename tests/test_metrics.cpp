@@ -1,0 +1,103 @@
+// Unit tests for the compression-quality metrics (PSNR, MSE, theta,
+// bit-rate) against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/metrics.h"
+#include "util/error.h"
+
+namespace dpz {
+namespace {
+
+TEST(Metrics, PerfectReconstructionIsInfinitePsnr) {
+  const std::vector<float> a{1.0F, 2.0F, 3.0F};
+  const ErrorStats s = compute_error_stats(std::span<const float>(a),
+                                             std::span<const float>(a));
+  EXPECT_EQ(s.mse, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr_db));
+  EXPECT_EQ(s.max_abs_error, 0.0);
+  EXPECT_EQ(s.mean_rel_error, 0.0);
+}
+
+TEST(Metrics, HandComputedStats) {
+  const std::vector<float> orig{0.0F, 1.0F, 2.0F, 3.0F};
+  const std::vector<float> rec{0.5F, 1.0F, 2.0F, 2.0F};
+  const ErrorStats s = compute_error_stats(std::span<const float>(orig),
+                                           std::span<const float>(rec));
+  // Diffs: -0.5, 0, 0, 1 -> MSE = (0.25 + 1)/4 = 0.3125.
+  EXPECT_NEAR(s.mse, 0.3125, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_abs_error, 1.0);
+  EXPECT_DOUBLE_EQ(s.value_range, 3.0);
+  // theta = mean(|d|)/range = (1.5/4)/3 = 0.125.
+  EXPECT_NEAR(s.mean_rel_error, 0.125, 1e-12);
+  EXPECT_NEAR(s.psnr_db, 20.0 * std::log10(3.0) - 10.0 * std::log10(0.3125),
+              1e-9);
+}
+
+TEST(Metrics, DoubleOverloadAgreesWithFloat) {
+  const std::vector<float> of{1.0F, 5.0F};
+  const std::vector<float> rf{2.0F, 4.0F};
+  const std::vector<double> od{1.0, 5.0};
+  const std::vector<double> rd{2.0, 4.0};
+  const ErrorStats sf = compute_error_stats(std::span<const float>(of),
+                                            std::span<const float>(rf));
+  const ErrorStats sd = compute_error_stats(std::span<const double>(od),
+                                            std::span<const double>(rd));
+  EXPECT_DOUBLE_EQ(sf.mse, sd.mse);
+  EXPECT_DOUBLE_EQ(sf.psnr_db, sd.psnr_db);
+}
+
+TEST(Metrics, LengthMismatchThrows) {
+  const std::vector<float> a{1.0F, 2.0F};
+  const std::vector<float> b{1.0F};
+  EXPECT_THROW(compute_error_stats(std::span<const float>(a),
+                                   std::span<const float>(b)),
+               InvalidArgument);
+}
+
+TEST(Metrics, ConstantDataUsesUnitRange) {
+  const std::vector<float> orig{5.0F, 5.0F};
+  const std::vector<float> rec{5.5F, 4.5F};
+  const ErrorStats s = compute_error_stats(std::span<const float>(orig),
+                                           std::span<const float>(rec));
+  EXPECT_DOUBLE_EQ(s.value_range, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_rel_error, 0.5);  // relative to fallback range 1
+}
+
+TEST(Metrics, CompressionRatioAndBitRate) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 100), 10.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(bit_rate_f32(8.0), 4.0);
+  EXPECT_DOUBLE_EQ(bit_rate_f32(0.0), 32.0);
+}
+
+TEST(Metrics, PsnrFromMseKnownValue) {
+  // range 1, MSE 1e-6 -> 60 dB.
+  EXPECT_NEAR(psnr_from_mse(1e-6, 1.0), 60.0, 1e-9);
+  EXPECT_TRUE(std::isinf(psnr_from_mse(0.0, 1.0)));
+}
+
+TEST(Metrics, HigherNoiseLowersPsnr) {
+  std::vector<float> orig(100);
+  for (std::size_t i = 0; i < orig.size(); ++i)
+    orig[i] = static_cast<float>(i);
+  std::vector<float> small = orig, large = orig;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    small[i] += 0.01F;
+    large[i] += 1.0F;
+  }
+  const double psnr_small =
+      compute_error_stats(std::span<const float>(orig),
+                          std::span<const float>(small))
+          .psnr_db;
+  const double psnr_large =
+      compute_error_stats(std::span<const float>(orig),
+                          std::span<const float>(large))
+          .psnr_db;
+  EXPECT_GT(psnr_small, psnr_large);
+}
+
+}  // namespace
+}  // namespace dpz

@@ -1,0 +1,258 @@
+// Unit tests for src/util: CLI parsing, deterministic RNG, the thread
+// pool's parallel_for contract, timers, and formatting helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dpz {
+namespace {
+
+// ---- CliArgs -----------------------------------------------------------
+
+TEST(CliArgs, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=hello"};
+  const CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_string("name", ""), "hello");
+}
+
+TEST(CliArgs, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--count", "42"};
+  const CliArgs args(3, argv);
+  EXPECT_EQ(args.get_int("count", 0), 42);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  const CliArgs args(2, argv);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=off", "--c=1", "--d=false"};
+  const CliArgs args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const CliArgs args(1, argv);
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(CliArgs, PositionalArgumentsPreserved) {
+  const char* argv[] = {"prog", "one", "--k=2", "two"};
+  const CliArgs args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2U);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(CliArgs, UnknownFlagRejectedWhenListed) {
+  const char* argv[] = {"prog", "--oops=1"};
+  EXPECT_THROW(CliArgs(2, argv, {"expected"}), InvalidArgument);
+}
+
+TEST(CliArgs, KnownFlagAcceptedWhenListed) {
+  const char* argv[] = {"prog", "--expected=1"};
+  const CliArgs args(2, argv, {"expected"});
+  EXPECT_EQ(args.get_int("expected", 0), 1);
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const char* argv[] = {"prog", "--tve=0.99999"};
+  const CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("tve", 0.0), 0.99999);
+}
+
+// ---- Rng ----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v.begin(), v.end());
+  EXPECT_NE(v, sorted);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  const ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  const ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  const ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 57) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  const ThreadPool pool(1);
+  std::vector<int> hits(64, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  auto run = [](unsigned threads) {
+    const ThreadPool pool(threads);
+    std::vector<double> out(257, 0.0);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) {
+      out[i] = std::sin(static_cast<double>(i));
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+// ---- Timers ----------------------------------------------------------------
+
+TEST(Timer, ElapsedIsMonotonic) {
+  Timer t;
+  const double a = t.elapsed();
+  const double b = t.elapsed();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(StageTimer, AccumulatesBuckets) {
+  StageTimer st;
+  st.add("a", 1.0);
+  st.add("a", 0.5);
+  st.add("b", 2.0);
+  EXPECT_DOUBLE_EQ(st.total("a"), 1.5);
+  EXPECT_DOUBLE_EQ(st.total("b"), 2.0);
+  EXPECT_DOUBLE_EQ(st.total("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(st.grand_total(), 3.5);
+}
+
+TEST(StageTimer, ScopedStageRecords) {
+  StageTimer st;
+  {
+    const ScopedStage scope(st, "scope");
+  }
+  EXPECT_GE(st.total("scope"), 0.0);
+  EXPECT_EQ(st.buckets().size(), 1U);
+}
+
+// ---- Format -----------------------------------------------------------------
+
+TEST(Format, FixedAndScientific) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(scientific(0.000194, 2), "1.94E-04");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.00 KB");
+  EXPECT_EQ(human_bytes(5ULL * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+TEST(Format, TablePrinterRendersAllRows) {
+  TablePrinter t({"col1", "col2"});
+  t.add_row({"a", "bbbb"});
+  t.add_row({"cc", "d"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("bbbb"), std::string::npos);
+  EXPECT_NE(s.find("cc"), std::string::npos);
+}
+
+TEST(Format, TablePrinterCsv) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+}  // namespace
+}  // namespace dpz
