@@ -71,11 +71,16 @@ FloatArray dctzlike_decompress(std::span<const std::uint8_t> archive) {
   const std::uint8_t rank = r.get_u8();
   if (rank < 1 || rank > 4) throw FormatError("DCTZ-like archive: bad rank");
   std::vector<std::size_t> shape(rank);
-  std::size_t total = 1;
+  std::uint64_t total = 1;
+  constexpr std::uint64_t kMaxElements = 1ULL << 40;
   for (auto& d : shape) {
-    d = static_cast<std::size_t>(r.get_u64());
-    if (d == 0) throw FormatError("DCTZ-like archive: zero extent");
-    total *= d;
+    const std::uint64_t e = r.get_u64();
+    if (e == 0 || e > kMaxElements)
+      throw FormatError("DCTZ-like archive: implausible extent");
+    total *= e;
+    if (total > kMaxElements)
+      throw FormatError("DCTZ-like archive: implausible total");
+    d = static_cast<std::size_t>(e);
   }
 
   BlockLayout layout;
@@ -83,15 +88,22 @@ FloatArray dctzlike_decompress(std::span<const std::uint8_t> archive) {
   layout.n = static_cast<std::size_t>(r.get_u64());
   layout.original_total = static_cast<std::size_t>(r.get_u64());
   layout.padded = layout.m * layout.n != layout.original_total;
-  if (total != layout.original_total || layout.m == 0 || layout.n == 0)
+  if (total != layout.original_total || layout.m == 0 || layout.n == 0 ||
+      layout.m > kMaxElements / layout.n ||
+      layout.padded_total() < layout.original_total ||
+      layout.padded_total() > 4 * layout.original_total + 16)
     throw FormatError("DCTZ-like archive: inconsistent geometry");
 
   const std::uint64_t outlier_count = r.get_u64();
+  if (outlier_count > layout.padded_total())
+    throw FormatError("DCTZ-like archive: implausible outlier count");
   const std::uint64_t code_size = r.get_u64();
   QuantizedStream qs;
   qs.count = layout.m * layout.n;
   qs.codes =
       zlib_decompress(r.get_blob(), static_cast<std::size_t>(code_size));
+  if (qs.codes.size() != qs.count * qcfg.code_bytes())
+    throw FormatError("DCTZ-like archive: code section size mismatch");
   const std::uint64_t outlier_bytes = r.get_u64();
   const std::vector<std::uint8_t> outlier_raw =
       zlib_decompress(r.get_blob(), static_cast<std::size_t>(outlier_bytes));

@@ -187,6 +187,8 @@ FloatArray mgard_like_decompress(std::span<const std::uint8_t> archive) {
   }
 
   const std::uint64_t raw_count = r.get_u64();
+  if (raw_count > total)
+    throw FormatError("MGARD-like archive: implausible raw-value count");
   const std::uint64_t huffman_size = r.get_u64();
   const std::vector<std::uint8_t> huffman =
       zlib_decompress(r.get_blob(), static_cast<std::size_t>(huffman_size));

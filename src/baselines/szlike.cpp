@@ -150,13 +150,20 @@ FloatArray szlike_decompress(std::span<const std::uint8_t> archive) {
   const std::uint8_t rank = r.get_u8();
   if (rank < 1 || rank > 3) throw FormatError("SZ-like archive: bad rank");
   std::vector<std::size_t> shape(rank);
-  std::size_t n = 1;
+  std::uint64_t n = 1;
+  constexpr std::uint64_t kMaxElements = 1ULL << 40;
   for (auto& d : shape) {
-    d = static_cast<std::size_t>(r.get_u64());
-    if (d == 0) throw FormatError("SZ-like archive: zero extent");
-    n *= d;
+    const std::uint64_t e = r.get_u64();
+    if (e == 0 || e > kMaxElements)
+      throw FormatError("SZ-like archive: implausible extent");
+    n *= e;
+    if (n > kMaxElements)
+      throw FormatError("SZ-like archive: implausible total");
+    d = static_cast<std::size_t>(e);
   }
   const std::uint64_t raw_count = r.get_u64();
+  if (raw_count > n)
+    throw FormatError("SZ-like archive: implausible raw-value count");
   const std::uint64_t huffman_size = r.get_u64();
   const std::vector<std::uint8_t> huffman =
       zlib_decompress(r.get_blob(), static_cast<std::size_t>(huffman_size));

@@ -27,23 +27,36 @@ using UInt = std::uint32_t;
 //             (-4  4  4 -4)                    ( 4 -2  4 -5)
 //             (-2  6 -6  2)                    ( 4 -6 -4  1)
 
+// Lifting arithmetic runs on wrapping two's-complement values: a corrupt
+// bit stream decodes to arbitrary 32-bit coefficients, so the adds,
+// subtracts, and up-shifts below must be well-defined at every input.
+// Signed overflow is UB even in C++20, so the wheel-work happens in UInt
+// and only the value-preserving arithmetic right shift stays signed.
+Int wrap_add(Int a, Int b) {
+  return static_cast<Int>(static_cast<UInt>(a) + static_cast<UInt>(b));
+}
+Int wrap_sub(Int a, Int b) {
+  return static_cast<Int>(static_cast<UInt>(a) - static_cast<UInt>(b));
+}
+Int wrap_shl(Int a) { return static_cast<Int>(static_cast<UInt>(a) << 1); }
+
 void fwd_lift(Int* p, std::size_t s) {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = wrap_add(x, w); x >>= 1; w = wrap_sub(w, x);
+  z = wrap_add(z, y); z >>= 1; y = wrap_sub(y, z);
+  x = wrap_add(x, z); x >>= 1; z = wrap_sub(z, x);
+  w = wrap_add(w, y); w >>= 1; y = wrap_sub(y, w);
+  w = wrap_add(w, y >> 1); y = wrap_sub(y, w >> 1);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
 void inv_lift(Int* p, std::size_t s) {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = wrap_add(y, w >> 1); w = wrap_sub(w, y >> 1);
+  y = wrap_add(y, w); w = wrap_shl(w); w = wrap_sub(w, y);
+  z = wrap_add(z, x); x = wrap_shl(x); x = wrap_sub(x, z);
+  y = wrap_add(y, z); z = wrap_shl(z); z = wrap_sub(z, y);
+  w = wrap_add(w, x); x = wrap_shl(x); x = wrap_sub(x, w);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
@@ -129,7 +142,9 @@ void encode_planes(BitWriter& w, const UInt* data, std::size_t size,
 
     // First n coefficients are already significant: verbatim bits.
     for (std::size_t i = 0; i < n; ++i) w.put_bit((x >> i) & 1U);
-    x >>= n;
+    // n reaches 64 once every coefficient is significant (a full 4x4x4
+    // block); a 64-bit shift is UB, and the remainder is empty anyway.
+    x = n < 64 ? x >> n : 0;
 
     // Group-test the remainder: one "any left?" bit, then a unary scan to
     // the next newly-significant coefficient.
@@ -326,11 +341,23 @@ FloatArray zfplike_decompress(std::span<const std::uint8_t> archive) {
   const std::size_t d = r.get_u8();
   if (d < 1 || d > 3) throw FormatError("ZFP-like archive: bad rank");
   std::vector<std::size_t> shape(d);
+  std::uint64_t total = 1;
+  constexpr std::uint64_t kMaxElements = 1ULL << 40;
   for (auto& e : shape) {
-    e = static_cast<std::size_t>(r.get_u64());
-    if (e == 0) throw FormatError("ZFP-like archive: zero extent");
+    const std::uint64_t v = r.get_u64();
+    if (v == 0 || v > kMaxElements)
+      throw FormatError("ZFP-like archive: implausible extent");
+    total *= v;
+    if (total > kMaxElements)
+      throw FormatError("ZFP-like archive: implausible total");
+    e = static_cast<std::size_t>(v);
   }
   const std::vector<std::uint8_t> payload = r.get_blob();
+  // Every 4^d block emits at least its one occupancy bit, so the claimed
+  // shape can cover at most 64 values per payload bit. Anything larger is
+  // a forged header that must not size the output allocation.
+  if (total > static_cast<std::uint64_t>(payload.size()) * 512)
+    throw FormatError("ZFP-like archive: shape exceeds payload capacity");
 
   const std::size_t size = std::size_t{1} << (2 * d);
   const std::vector<std::size_t> order = sequency_order(d);

@@ -19,10 +19,10 @@ int set_error(int code, const char* what) {
 int translate_exception() {
   try {
     throw;
-  } catch (const dpz::FormatError& e) {
-    return set_error(DPZ_ERR_FORMAT, e.what());
-  } catch (const dpz::InvalidArgument& e) {
-    return set_error(DPZ_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const dpz::Error& e) {
+    // dpz::StatusCode values mirror the DPZ_* enum, so the classification
+    // every dpz exception carries crosses the boundary unchanged.
+    return set_error(static_cast<int>(e.code()), e.what());
   } catch (const std::exception& e) {
     return set_error(DPZ_ERR_INTERNAL, e.what());
   } catch (...) {
@@ -193,5 +193,10 @@ int dpz_archive_is_double(const unsigned char* archive,
 void dpz_free(void* ptr) { std::free(ptr); }
 
 const char* dpz_last_error(void) { return g_last_error.c_str(); }
+
+const char* dpz_status_name(int code) {
+  if (code < 0) code = -code;  // dpz_archive_is_double negates on error
+  return dpz::status_code_name(static_cast<dpz::StatusCode>(code));
+}
 
 }  // extern "C"

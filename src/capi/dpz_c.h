@@ -29,13 +29,21 @@
 extern "C" {
 #endif
 
-/* Status codes. */
+/* Status codes. Values mirror dpz::StatusCode (util/error.h) so a status
+ * survives the C boundary unchanged. DPZ_ERR_FORMAT is the recoverable
+ * "malformed archive" status: decoding untrusted bytes either succeeds or
+ * returns it — never crashes. */
 enum {
   DPZ_OK = 0,
   DPZ_ERR_INVALID_ARGUMENT = 1,
   DPZ_ERR_FORMAT = 2,
-  DPZ_ERR_INTERNAL = 3
+  DPZ_ERR_INTERNAL = 3,
+  DPZ_ERR_IO = 4,
+  DPZ_ERR_NUMERICAL = 5
 };
+
+/* Short stable name for a status code ("ok", "format", ...). */
+const char* dpz_status_name(int code);
 
 /* Scheme selectors (paper SS V-A). */
 enum {

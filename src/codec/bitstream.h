@@ -53,6 +53,12 @@ class BitWriter {
 };
 
 /// Reads bits MSB-first; throws FormatError when reading past the end.
+///
+/// Decoders feed this reader counts that may be derived from archive
+/// bytes (e.g. the ZFP-like per-block precision), so every failure —
+/// exhaustion *and* an out-of-range count — is a recoverable FormatError,
+/// never a DPZ_REQUIRE contract abort and never a shift past the
+/// accumulator width.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -67,7 +73,10 @@ class BitReader {
   }
 
   std::uint64_t get_bits(unsigned count) {
-    DPZ_REQUIRE(count <= 64, "bit count must be <= 64");
+    if (count > 64)
+      throw FormatError("bit field width " + std::to_string(count) +
+                        " exceeds 64 bits");
+    if (count > bits_remaining()) throw FormatError("bit stream exhausted");
     std::uint64_t v = 0;
     for (unsigned i = 0; i < count; ++i) v = (v << 1) | get_bit();
     return v;

@@ -60,7 +60,13 @@ class ByteWriter {
   std::vector<std::uint8_t> bytes_;
 };
 
-/// Sequential reader over a byte buffer; throws FormatError on truncation.
+/// Sequential reader over a byte buffer.
+///
+/// Every out-of-range read throws dpz::FormatError — a recoverable status
+/// the decode fault boundary catches — never DPZ_REQUIRE (which would
+/// misclassify malformed *data* as a caller bug) and never undefined
+/// behavior. The cursor never moves past the end of the buffer, so a
+/// reader that has thrown is still in a consistent state.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -99,11 +105,23 @@ class ByteReader {
     return out;
   }
 
-  /// Reads a blob written by ByteWriter::put_blob.
+  /// Reads a blob written by ByteWriter::put_blob. The length field is
+  /// archive data, so an oversized value is a FormatError (recoverable),
+  /// not a precondition violation — and it is checked before any
+  /// allocation is sized from it.
   std::vector<std::uint8_t> get_blob() {
     const std::uint64_t n = get_u64();
-    DPZ_REQUIRE(n <= data_.size() - pos_, "blob length exceeds stream");
+    if (n > remaining())
+      throw FormatError("blob length " + std::to_string(n) +
+                        " exceeds the remaining " +
+                        std::to_string(remaining()) + " bytes");
     return get_bytes(static_cast<std::size_t>(n));
+  }
+
+  /// Advances the cursor without materializing the bytes.
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
   }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -137,6 +137,16 @@ std::vector<std::uint32_t> huffman_decode(
   const std::uint64_t count = reader.get_u64();
   if (alphabet_size == 0) throw FormatError("huffman: empty alphabet");
   const std::vector<std::uint8_t> lengths = reader.get_bytes(alphabet_size);
+  for (const std::uint8_t len : lengths)
+    if (len > kMaxCodeLength)
+      throw FormatError("huffman: code length exceeds the encoder maximum");
+  // Every symbol consumes at least one payload bit, so a symbol count
+  // beyond the remaining bit capacity is a forged header — reject it
+  // before it sizes the output allocation.
+  const std::uint64_t max_symbols =
+      static_cast<std::uint64_t>(data.size() - reader.position()) * 8;
+  if (count > max_symbols)
+    throw FormatError("huffman: symbol count exceeds the payload capacity");
 
   // Canonical decode tables: per length, the first code value and the
   // index of its first symbol in the sorted order.
@@ -164,6 +174,11 @@ std::vector<std::uint32_t> huffman_decode(
   for (unsigned len = 1; len <= max_len; ++len) {
     first_code[len] = code;
     first_index[len] = index;
+    // Kraft check: an over-subscribed length table (more codes at some
+    // length than the binary tree has leaves) cannot come from the
+    // encoder and would make the canonical ranges overlap.
+    if (code + length_count[len] > (std::uint64_t{1} << len))
+      throw FormatError("huffman: over-subscribed code length table");
     code = (code + length_count[len]) << 1;
     index += length_count[len];
   }

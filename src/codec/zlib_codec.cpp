@@ -26,6 +26,12 @@ std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data,
 
 std::vector<std::uint8_t> zlib_decompress(
     std::span<const std::uint8_t> data, std::size_t expected_size) {
+  // `expected_size` is usually read from an archive, so bound it by
+  // deflate's maximum expansion (~1032:1, rounded up, plus slack for tiny
+  // streams) before it sizes the output allocation. A claimed size beyond
+  // that bound cannot inflate from `data` and is a forged length field.
+  if (expected_size > data.size() * 1100 + 4096)
+    throw FormatError("zlib expected size implausible for its payload");
   std::vector<std::uint8_t> out(expected_size);
   uLongf out_size = static_cast<uLongf>(expected_size);
   const int rc = uncompress(

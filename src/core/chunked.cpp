@@ -51,14 +51,19 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
   }
   h.frames_begin = r.position();
 
-  // Frame table sanity: contiguous, in-bounds frames.
+  // Frame table sanity: contiguous, in-bounds frames. Sizes are archive
+  // data, so accumulate against the actual frame-area size instead of
+  // trusting the sum not to wrap 64 bits.
+  const std::uint64_t frame_area = container.size() - h.frames_begin;
   std::uint64_t expected = 0;
   for (std::size_t f = 0; f < h.frame_count; ++f) {
     if (h.frame_offsets[f] != expected)
       throw FormatError("chunked container: non-contiguous frame table");
+    if (h.frame_sizes[f] > frame_area - expected)
+      throw FormatError("chunked container: frame exceeds the container");
     expected += h.frame_sizes[f];
   }
-  if (h.frames_begin + expected != container.size())
+  if (expected != frame_area)
     throw FormatError("chunked container: frame area size mismatch");
   return h;
 }
@@ -127,23 +132,23 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
 
 FloatArray chunked_decompress(std::span<const std::uint8_t> container) {
   const ContainerHeader h = parse_header(container);
-  FloatArray out(h.shape);
 
-  std::size_t written = 0;
+  // Grow the output with the frames as they decode instead of allocating
+  // the claimed shape up front: the header's dims are archive data, and a
+  // forged total must not size an allocation the frames cannot back.
+  std::vector<float> values;
   for (std::size_t f = 0; f < h.frame_count; ++f) {
     const auto frame = container.subspan(
         h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
         static_cast<std::size_t>(h.frame_sizes[f]));
     const FloatArray chunk = dpz_decompress(frame);
-    if (written + chunk.size() > out.size())
+    if (chunk.size() > h.total - values.size())
       throw FormatError("chunked container: frames exceed the shape");
-    for (std::size_t i = 0; i < chunk.size(); ++i)
-      out[written + i] = chunk[i];
-    written += chunk.size();
+    values.insert(values.end(), chunk.flat().begin(), chunk.flat().end());
   }
-  if (written != out.size())
+  if (values.size() != h.total)
     throw FormatError("chunked container: frames do not cover the shape");
-  return out;
+  return FloatArray(h.shape, std::move(values));
 }
 
 ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,

@@ -40,6 +40,20 @@ std::vector<std::uint8_t> serialize_side(const SideData& side,
 
 SideData deserialize_side(std::span<const std::uint8_t> bytes,
                           std::size_t m, std::size_t k, bool standardized) {
+  // The side section's layout is fully determined by (m, k, standardized):
+  // means, optional scales, the global score scale, and the f32 basis.
+  // Check the exact size up front so an inconsistent header cannot make a
+  // truncated payload partially parse or size an allocation it cannot
+  // back. m and k are validated by the caller (m < n, m*n bounded), so
+  // these products cannot overflow 64 bits.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(m) * sizeof(double) *
+          (standardized ? 2 : 1) +
+      sizeof(double) + static_cast<std::uint64_t>(m) * k * sizeof(float);
+  if (bytes.size() != expected)
+    throw FormatError("DPZ side section size does not match m/k (have " +
+                      std::to_string(bytes.size()) + ", expected " +
+                      std::to_string(expected) + ")");
   ByteReader r(bytes);
   SideData side;
   side.mean.resize(m);
@@ -379,8 +393,8 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   QuantizerConfig qcfg;
   qcfg.error_bound = r.get_f64();
   qcfg.wide_codes = wide_codes;
-  if (!(qcfg.error_bound > 0.0))
-    throw FormatError("DPZ archive has a non-positive error bound");
+  if (!(qcfg.error_bound > 0.0) || !std::isfinite(qcfg.error_bound))
+    throw FormatError("DPZ archive has an invalid error bound");
 
   const std::vector<std::size_t> shape = read_shape(r);
 
@@ -411,6 +425,11 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   QuantizedStream qs;
   qs.count = k * layout.n;
   qs.codes = get_section(r);
+  // Validate the code-section size against the claimed geometry *before*
+  // anything downstream (score matrices, outlier buffers) is sized from
+  // k*n — dequantize()'s size contract must never see archive data.
+  if (qs.codes.size() != qs.count * qcfg.code_bytes())
+    throw FormatError("DPZ code section size mismatch");
   const std::vector<std::uint8_t> outlier_raw = get_section(r);
   if (outlier_raw.size() != outlier_count * sizeof(T))
     throw FormatError("DPZ outlier section size mismatch");
@@ -426,8 +445,6 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
       max_components == 0 ? k : std::min(max_components, k);
   if (use_k < k) {
     const std::size_t code_bytes = qcfg.code_bytes();
-    if (qs.codes.size() != qs.count * code_bytes)
-      throw FormatError("DPZ code section size mismatch");
     qs.count = use_k * layout.n;
     qs.codes.resize(qs.count * code_bytes);
 

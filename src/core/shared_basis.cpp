@@ -133,11 +133,16 @@ SharedBasisCodec SharedBasisCodec::deserialize(
   if (rank == 0 || rank > 4)
     throw FormatError("shared-basis blob: bad rank");
   codec.shape_.resize(rank);
-  std::size_t total = 1;
+  std::uint64_t total = 1;
+  constexpr std::uint64_t kMaxElements = 1ULL << 40;
   for (auto& d : codec.shape_) {
-    d = static_cast<std::size_t>(r.get_u64());
-    if (d == 0) throw FormatError("shared-basis blob: zero extent");
-    total *= d;
+    const std::uint64_t e = r.get_u64();
+    if (e == 0 || e > kMaxElements)
+      throw FormatError("shared-basis blob: implausible extent");
+    total *= e;
+    if (total > kMaxElements)
+      throw FormatError("shared-basis blob: implausible total");
+    d = static_cast<std::size_t>(e);
   }
   codec.layout_.m = static_cast<std::size_t>(r.get_u64());
   codec.layout_.n = static_cast<std::size_t>(r.get_u64());
@@ -145,8 +150,15 @@ SharedBasisCodec SharedBasisCodec::deserialize(
   codec.layout_.padded =
       codec.layout_.m * codec.layout_.n != codec.layout_.original_total;
   const std::size_t k = r.get_u32();
-  if (total != codec.layout_.original_total || k == 0 ||
-      k > codec.layout_.m)
+  // Same geometry envelope the DPZ decoder enforces: m < n keeps m (and
+  // with it every m*k product below) far from overflow, and the padded
+  // total must stay within the layout chooser's worst case.
+  const BlockLayout& lay = codec.layout_;
+  if (total != lay.original_total || lay.m == 0 || lay.n == 0 ||
+      lay.m >= lay.n || lay.m > kMaxElements / lay.n ||
+      lay.padded_total() < lay.original_total ||
+      lay.padded_total() > 4 * lay.original_total + 16 || k == 0 ||
+      k > lay.m)
     throw FormatError("shared-basis blob: inconsistent geometry");
 
   const std::uint64_t raw_size = r.get_u64();
@@ -233,6 +245,8 @@ FloatArray SharedBasisCodec::decompress(
   if (!(score_scale > 0.0))
     throw FormatError("snapshot archive: bad score scale");
   const std::uint64_t outlier_count = r.get_u64();
+  if (outlier_count > basis_.cols() * layout_.n)
+    throw FormatError("snapshot archive: implausible outlier count");
 
   const std::vector<std::uint8_t> mean_raw = detail::get_section(r);
   if (mean_raw.size() != layout_.m * sizeof(double))
@@ -245,6 +259,10 @@ FloatArray SharedBasisCodec::decompress(
   QuantizedStream qs;
   qs.count = k * layout_.n;
   qs.codes = detail::get_section(r);
+  // Check the section against the codec's geometry before dequantize()
+  // sees it: its size contract is for callers, not for archive bytes.
+  if (qs.codes.size() != qs.count * qcfg_.code_bytes())
+    throw FormatError("snapshot archive: code section size mismatch");
   const std::vector<std::uint8_t> outlier_raw = detail::get_section(r);
   if (outlier_raw.size() != outlier_count * sizeof(float))
     throw FormatError("snapshot archive: outlier size mismatch");

@@ -3,9 +3,20 @@
 // Following the C++ Core Guidelines (E.2, E.14) we report errors that the
 // immediate caller cannot handle by throwing exceptions derived from a
 // single library-wide base type, so applications can catch `dpz::Error`
-// at their fault boundary. Programming-contract violations (broken
-// preconditions inside the library) use DPZ_REQUIRE, which throws
-// `dpz::InvalidArgument` with file/line context.
+// at their fault boundary. Every exception carries a StatusCode so fault
+// boundaries (the C API, the fuzz harness) can classify failures without
+// a catch cascade.
+//
+// Two recoverability classes matter for untrusted input:
+//
+//  * FormatError (StatusCode::kFormat) — the *data* is malformed. Every
+//    byte that originates in an archive must fail through this path; it is
+//    a recoverable status, not a bug, and decoders are required to reach
+//    it instead of undefined behavior, aborts, or unbounded allocation.
+//  * InvalidArgument (StatusCode::kInvalidArgument) — the *caller* broke a
+//    documented precondition. DPZ_REQUIRE exists for these programming
+//    contracts only; it must never guard archive-derived values (the
+//    custom lint in tools/lint.sh enforces this for the byte/bit readers).
 #pragma once
 
 #include <stdexcept>
@@ -13,34 +24,73 @@
 
 namespace dpz {
 
+/// Machine-readable classification of a dpz failure. Mirrors the C API's
+/// DPZ_ERR_* values (dpz_c.h) so status codes survive the C boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFormat = 2,
+  kInternal = 3,
+  kIo = 4,
+  kNumerical = 5,
+};
+
+/// Human-readable name of a status code ("ok", "format", ...).
+constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kFormat: return "format";
+    case StatusCode::kIo: return "io";
+    case StatusCode::kNumerical: return "numerical";
+    case StatusCode::kInternal: break;
+  }
+  return "internal";
+}
+
 /// Base class of every exception thrown by the dpz library.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 StatusCode code = StatusCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  /// Classification of this failure (stable across the C boundary).
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+
+ private:
+  StatusCode code_;
 };
 
 /// A caller violated a documented precondition (bad size, bad parameter...).
 class InvalidArgument : public Error {
  public:
-  explicit InvalidArgument(const std::string& what) : Error(what) {}
+  explicit InvalidArgument(const std::string& what)
+      : Error(what, StatusCode::kInvalidArgument) {}
 };
 
 /// An I/O operation (file read/write) failed.
 class IoError : public Error {
  public:
-  explicit IoError(const std::string& what) : Error(what) {}
+  explicit IoError(const std::string& what)
+      : Error(what, StatusCode::kIo) {}
 };
 
 /// A compressed archive is malformed, truncated, or version-incompatible.
+/// This is the required failure mode for every archive-driven defect: a
+/// decoder given adversarial bytes must throw FormatError (recoverable)
+/// rather than crash, read out of bounds, or allocate unboundedly.
 class FormatError : public Error {
  public:
-  explicit FormatError(const std::string& what) : Error(what) {}
+  explicit FormatError(const std::string& what)
+      : Error(what, StatusCode::kFormat) {}
 };
 
 /// A numerical routine failed to converge or hit an ill-conditioned input.
 class NumericalError : public Error {
  public:
-  explicit NumericalError(const std::string& what) : Error(what) {}
+  explicit NumericalError(const std::string& what)
+      : Error(what, StatusCode::kNumerical) {}
 };
 
 namespace detail {
@@ -57,6 +107,9 @@ namespace detail {
 }  // namespace dpz
 
 /// Precondition check: throws dpz::InvalidArgument when `cond` is false.
+/// For programming contracts only — never for values read from an archive
+/// (those must throw dpz::FormatError so callers can treat them as a
+/// recoverable status).
 #define DPZ_REQUIRE(cond, msg)                                              \
   do {                                                                      \
     if (!(cond))                                                            \

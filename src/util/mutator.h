@@ -1,0 +1,173 @@
+// Structure-aware archive mutator for the decode fuzz harness.
+//
+// The harness (tests/fuzz_decode.cpp) compresses known-good data in
+// process, corrupts the archive with seeded mutations from this header,
+// and asserts that every decoder either throws a recoverable dpz::Error
+// or produces a shape-consistent result — never crashes, never reads out
+// of bounds, never sizes an allocation from an unvalidated field.
+//
+// All randomness flows through the repo's deterministic Rng (util/rng.h),
+// so a failing (seed, shape) pair reproduces bit-exactly on any host —
+// the property that makes a fuzz regression debuggable after CI finds it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dpz {
+
+/// Corruption strategies. Beyond the generic bit/byte noise, the
+/// structure-aware kinds target the constructs every dpz container shares:
+/// little-endian u64 length/size/count fields and section framing.
+enum class MutationKind {
+  kBitFlip,          ///< flip 1..8 random bits
+  kByteSet,          ///< overwrite 1..4 random bytes with random values
+  kTruncate,         ///< drop a random-length tail
+  kExtend,           ///< append random junk bytes
+  kZeroRegion,       ///< zero a random region
+  kFillRegion,       ///< 0xFF-fill a random region
+  kLengthField,      ///< rewrite a u64 at a random offset (0, huge, +-delta)
+  kHeaderByte,       ///< corrupt a byte within the leading 24 bytes
+  kDuplicateRegion,  ///< copy one random region over another
+};
+
+/// Little-endian u64 field access, for targeted corruption in tests.
+inline std::uint64_t read_u64_at(std::span<const std::uint8_t> bytes,
+                                 std::size_t offset) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes[offset + i]) << (8 * i);
+  return v;
+}
+
+inline void write_u64_at(std::span<std::uint8_t> bytes, std::size_t offset,
+                         std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Deterministic archive corruptor: one instance per (shape, seed) fuzz
+/// stream. Every mutate() call applies 1..3 independent mutations and
+/// records a human-readable trace for test diagnostics.
+class ArchiveMutator {
+ public:
+  explicit ArchiveMutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Returns a corrupted copy of `archive`; never leaves it empty unless
+  /// the truncation strategy drew length zero (decoders must survive an
+  /// empty input too).
+  std::vector<std::uint8_t> mutate(std::span<const std::uint8_t> archive) {
+    std::vector<std::uint8_t> out(archive.begin(), archive.end());
+    trace_.clear();
+    const std::size_t rounds = 1 + rng_.uniform_index(3);
+    for (std::size_t round = 0; round < rounds; ++round) {
+      if (out.empty()) break;
+      apply(out, static_cast<MutationKind>(rng_.uniform_index(9)));
+    }
+    return out;
+  }
+
+  /// Applies one specific mutation in place (also used table-driven).
+  void apply(std::vector<std::uint8_t>& bytes, MutationKind kind) {
+    switch (kind) {
+      case MutationKind::kBitFlip: {
+        const std::size_t flips = 1 + rng_.uniform_index(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+          const std::size_t bit = rng_.uniform_index(bytes.size() * 8);
+          bytes[bit >> 3] ^= static_cast<std::uint8_t>(1U << (bit & 7U));
+        }
+        note("bit-flip x" + std::to_string(flips));
+        break;
+      }
+      case MutationKind::kByteSet: {
+        const std::size_t n = 1 + rng_.uniform_index(4);
+        for (std::size_t i = 0; i < n; ++i)
+          bytes[rng_.uniform_index(bytes.size())] =
+              static_cast<std::uint8_t>(rng_.next_u64());
+        note("byte-set x" + std::to_string(n));
+        break;
+      }
+      case MutationKind::kTruncate: {
+        const std::size_t keep = rng_.uniform_index(bytes.size());
+        bytes.resize(keep);
+        note("truncate to " + std::to_string(keep));
+        break;
+      }
+      case MutationKind::kExtend: {
+        const std::size_t extra = 1 + rng_.uniform_index(64);
+        for (std::size_t i = 0; i < extra; ++i)
+          bytes.push_back(static_cast<std::uint8_t>(rng_.next_u64()));
+        note("extend by " + std::to_string(extra));
+        break;
+      }
+      case MutationKind::kZeroRegion:
+      case MutationKind::kFillRegion: {
+        const std::size_t begin = rng_.uniform_index(bytes.size());
+        const std::size_t len =
+            1 + rng_.uniform_index(bytes.size() - begin);
+        const std::uint8_t fill =
+            kind == MutationKind::kZeroRegion ? 0x00 : 0xFF;
+        for (std::size_t i = begin; i < begin + len; ++i) bytes[i] = fill;
+        note((fill == 0 ? "zero [" : "fill [") + std::to_string(begin) +
+             ", +" + std::to_string(len) + ")");
+        break;
+      }
+      case MutationKind::kLengthField: {
+        if (bytes.size() < 8) {
+          apply(bytes, MutationKind::kBitFlip);
+          break;
+        }
+        const std::size_t offset = rng_.uniform_index(bytes.size() - 7);
+        const std::uint64_t original = read_u64_at(bytes, offset);
+        std::uint64_t forged = 0;
+        switch (rng_.uniform_index(5)) {
+          case 0: forged = 0; break;
+          case 1: forged = original + 1 + rng_.uniform_index(16); break;
+          case 2: forged = original - 1 - rng_.uniform_index(16); break;
+          case 3: forged = rng_.next_u64(); break;
+          default: forged = std::uint64_t{1} << (32 + rng_.uniform_index(32));
+        }
+        write_u64_at(bytes, offset, forged);
+        note("length-field @" + std::to_string(offset) + " -> " +
+             std::to_string(forged));
+        break;
+      }
+      case MutationKind::kHeaderByte: {
+        const std::size_t limit = bytes.size() < 24 ? bytes.size() : 24;
+        bytes[rng_.uniform_index(limit)] =
+            static_cast<std::uint8_t>(rng_.next_u64());
+        note("header-byte");
+        break;
+      }
+      case MutationKind::kDuplicateRegion: {
+        const std::size_t len =
+            1 + rng_.uniform_index(bytes.size() < 32 ? bytes.size() : 32);
+        const std::size_t src = rng_.uniform_index(bytes.size() - len + 1);
+        const std::size_t dst = rng_.uniform_index(bytes.size() - len + 1);
+        for (std::size_t i = 0; i < len; ++i)
+          bytes[dst + i] = bytes[src + i];
+        note("duplicate " + std::to_string(src) + "->" +
+             std::to_string(dst) + " x" + std::to_string(len));
+        break;
+      }
+    }
+  }
+
+  /// Trace of the mutations applied by the most recent mutate() call.
+  [[nodiscard]] const std::string& trace() const { return trace_; }
+
+ private:
+  void note(const std::string& what) {
+    if (!trace_.empty()) trace_ += "; ";
+    trace_ += what;
+  }
+
+  Rng rng_;
+  std::string trace_;
+};
+
+}  // namespace dpz

@@ -1,0 +1,279 @@
+// Structure-aware decode fuzzing (deterministic, in-process).
+//
+// Every case compresses known-good data, then feeds >= 1000 seeded
+// mutations of the archive (util/mutator.h: bit flips, truncations,
+// length-field/section-header forgeries, table corruption) to the
+// decoder and requires one of exactly two outcomes:
+//
+//   1. a recoverable dpz::Error whose StatusCode is not kOk — the
+//      "clean status" contract for untrusted bytes; or
+//   2. a successful decode whose result is shape-consistent (mutations
+//      that only perturb payload values are allowed to succeed).
+//
+// Anything else — a crash, an uncaught foreign exception, a bad_alloc
+// from an unvalidated allocation size, or (under -DDPZ_SANITIZE) any
+// sanitizer report — fails the suite. Seeds derive from GTest-visible
+// constants so a failure reproduces bit-exactly from its test name.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "baselines/dctzlike.h"
+#include "baselines/mgard_like.h"
+#include "baselines/szlike.h"
+#include "baselines/tthresh_like.h"
+#include "baselines/zfplike.h"
+#include "capi/dpz_c.h"
+#include "codec/huffman.h"
+#include "core/chunked.h"
+#include "core/dpz.h"
+#include "core/shared_basis.h"
+#include "util/mutator.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+constexpr std::size_t kMutationsPerShape = 1000;
+
+FloatArray wave(std::vector<std::size_t> shape, std::uint64_t seed) {
+  FloatArray a(shape);
+  Rng rng(seed);
+  const double f = rng.uniform(1.0, 4.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(std::sin(f * static_cast<double>(i) * 0.01) +
+                              0.01 * rng.normal());
+  return a;
+}
+
+DoubleArray wave_f64(std::vector<std::size_t> shape, std::uint64_t seed) {
+  const FloatArray f = wave(std::move(shape), seed);
+  DoubleArray a(f.shape());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    a[i] = static_cast<double>(f[i]);
+  return a;
+}
+
+/// Core fuzz loop: mutate `archive` kMutationsPerShape times and demand a
+/// clean dpz::Error status or a decode the validator accepts.
+void fuzz_decode(std::span<const std::uint8_t> archive, std::uint64_t seed,
+                 const std::function<void(std::span<const std::uint8_t>)>&
+                     decode_and_validate) {
+  ASSERT_FALSE(archive.empty());
+  std::size_t clean_errors = 0;
+  std::size_t survivals = 0;
+  for (std::size_t i = 0; i < kMutationsPerShape; ++i) {
+    ArchiveMutator mutator(seed * 1000003ULL + i);
+    const std::vector<std::uint8_t> mutated = mutator.mutate(archive);
+    try {
+      decode_and_validate(mutated);
+      ++survivals;
+    } catch (const Error& e) {
+      // The recoverable-status contract: classified, message-bearing.
+      EXPECT_NE(e.code(), StatusCode::kOk)
+          << "mutation " << i << " (" << mutator.trace() << ")";
+      EXPECT_NE(std::string(e.what()), "")
+          << "mutation " << i << " (" << mutator.trace() << ")";
+      ++clean_errors;
+    }
+    // Any other exception type escapes and fails the test: decoders may
+    // only fail through the dpz::Error hierarchy.
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Sanity on the harness itself: mutations must actually be corrupting
+  // (an all-survive run means the decoder was never really exercised).
+  // Payload-only corruption may legitimately decode — e.g. Huffman bit
+  // flips resynchronize — so the floor is deliberately low.
+  EXPECT_GT(clean_errors, kMutationsPerShape / 20)
+      << "survivals: " << survivals;
+}
+
+TEST(FuzzDecode, Dpz1D) {
+  const auto archive = dpz_compress(wave({4096}, 11), DpzConfig::loose());
+  fuzz_decode(archive, 101, [](std::span<const std::uint8_t> bytes) {
+    const FloatArray out = dpz_decompress(bytes);
+    ASSERT_GE(out.size(), 1U);
+  });
+}
+
+TEST(FuzzDecode, Dpz2D) {
+  const auto archive = dpz_compress(wave({64, 96}, 12), DpzConfig::strict());
+  fuzz_decode(archive, 102, [](std::span<const std::uint8_t> bytes) {
+    const FloatArray out = dpz_decompress(bytes);
+    std::size_t product = 1;
+    for (const std::size_t d : out.shape()) product *= d;
+    ASSERT_EQ(product, out.size());
+  });
+}
+
+TEST(FuzzDecode, Dpz3D) {
+  const auto archive = dpz_compress(wave({16, 16, 24}, 13),
+                                    DpzConfig::strict());
+  fuzz_decode(archive, 103, [](std::span<const std::uint8_t> bytes) {
+    (void)dpz_decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, Dpz2DDouble) {
+  const auto archive =
+      dpz_compress(wave_f64({48, 64}, 14), DpzConfig::loose());
+  fuzz_decode(archive, 104, [](std::span<const std::uint8_t> bytes) {
+    (void)dpz_decompress_f64(bytes);
+  });
+}
+
+TEST(FuzzDecode, DpzProgressive) {
+  const auto archive = dpz_compress(wave({64, 64}, 15), DpzConfig::strict());
+  fuzz_decode(archive, 105, [](std::span<const std::uint8_t> bytes) {
+    (void)dpz_decompress(bytes, /*max_components=*/2);
+  });
+}
+
+TEST(FuzzDecode, DpzInspect) {
+  const auto archive = dpz_compress(wave({4096}, 16), DpzConfig::loose());
+  fuzz_decode(archive, 106, [](std::span<const std::uint8_t> bytes) {
+    const DpzArchiveInfo info = dpz_inspect(bytes);
+    ASSERT_LE(info.shape.size(), 4U);
+  });
+}
+
+TEST(FuzzDecode, Chunked) {
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  const auto container = chunked_compress(wave({3 * 4096 + 100}, 17),
+                                          config);
+  fuzz_decode(container, 107, [](std::span<const std::uint8_t> bytes) {
+    (void)chunked_decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, ChunkedFrameAccess) {
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  const auto container = chunked_compress(wave({2 * 4096}, 18), config);
+  fuzz_decode(container, 108, [](std::span<const std::uint8_t> bytes) {
+    const std::size_t frames = chunked_frame_count(bytes);
+    if (frames > 0) (void)chunked_decompress_frame(bytes, 0);
+  });
+}
+
+TEST(FuzzDecode, CApi) {
+  const auto archive = dpz_compress(wave({48, 64}, 19), DpzConfig::loose());
+  fuzz_decode(archive, 109, [](std::span<const std::uint8_t> bytes) {
+    float* out = nullptr;
+    std::size_t count = 0;
+    const int rc = dpz_decompress_float(bytes.data(), bytes.size(), &out,
+                                        &count);
+    if (rc == DPZ_OK) {
+      ASSERT_NE(out, nullptr);
+      ASSERT_GE(count, 1U);
+      dpz_free(out);
+    } else {
+      // No exception may cross the C boundary; instead the status code and
+      // the per-thread message must classify the failure.
+      ASSERT_NE(std::string(dpz_last_error()), "");
+      ASSERT_NE(std::string(dpz_status_name(rc)), "ok");
+      // Re-throw as a dpz::Error so the harness counts it as clean.
+      throw FormatError(dpz_last_error());
+    }
+  });
+}
+
+TEST(FuzzDecode, SharedBasisBlob) {
+  const FloatArray reference = wave({64, 64}, 20);
+  const SharedBasisCodec codec =
+      SharedBasisCodec::train(reference, DpzConfig::strict());
+  const auto blob = codec.serialize();
+  fuzz_decode(blob, 110, [](std::span<const std::uint8_t> bytes) {
+    (void)SharedBasisCodec::deserialize(bytes);
+  });
+}
+
+TEST(FuzzDecode, SharedBasisSnapshot) {
+  const FloatArray reference = wave({64, 64}, 21);
+  const SharedBasisCodec codec =
+      SharedBasisCodec::train(reference, DpzConfig::strict());
+  const auto snapshot = codec.compress(reference);
+  fuzz_decode(snapshot, 111, [&](std::span<const std::uint8_t> bytes) {
+    (void)codec.decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, Huffman) {
+  // The Huffman container (alphabet, count, plaintext length table, bit
+  // payload) is fuzzed unwrapped so table corruption reaches the decoder
+  // directly instead of dying inside zlib first.
+  Rng rng(22);
+  std::vector<std::uint32_t> symbols(4096);
+  for (auto& s : symbols)
+    s = static_cast<std::uint32_t>(rng.uniform_index(300));
+  const auto encoded = huffman_encode(symbols, 512);
+  fuzz_decode(encoded, 112, [](std::span<const std::uint8_t> bytes) {
+    const auto decoded = huffman_decode(bytes);
+    ASSERT_LE(decoded.size(), bytes.size() * 8);
+  });
+}
+
+TEST(FuzzDecode, SzLike) {
+  const auto archive = szlike_compress(wave({48, 64}, 23), SzLikeConfig{});
+  fuzz_decode(archive, 113, [](std::span<const std::uint8_t> bytes) {
+    (void)szlike_decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, ZfpLike) {
+  const auto archive = zfplike_compress(wave({24, 24, 24}, 24),
+                                        ZfpLikeConfig{});
+  fuzz_decode(archive, 114, [](std::span<const std::uint8_t> bytes) {
+    (void)zfplike_decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, DctzLike) {
+  const auto archive = dctzlike_compress(wave({64, 64}, 25),
+                                         DctzLikeConfig{});
+  fuzz_decode(archive, 115, [](std::span<const std::uint8_t> bytes) {
+    (void)dctzlike_decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, MgardLike) {
+  const auto archive = mgard_like_compress(wave({48, 48}, 26),
+                                           MgardLikeConfig{});
+  fuzz_decode(archive, 116, [](std::span<const std::uint8_t> bytes) {
+    (void)mgard_like_decompress(bytes);
+  });
+}
+
+TEST(FuzzDecode, TthreshLike) {
+  const auto archive = tthresh_like_compress(wave({24, 32}, 27),
+                                             TthreshLikeConfig{});
+  fuzz_decode(archive, 117, [](std::span<const std::uint8_t> bytes) {
+    (void)tthresh_like_decompress(bytes);
+  });
+}
+
+// Degenerate inputs every decoder must survive without an archive at all.
+TEST(FuzzDecode, EmptyAndTinyInputs) {
+  const std::vector<std::uint8_t> empty;
+  std::vector<std::uint8_t> tiny = {0x44, 0x50};
+  for (const auto& bytes : {empty, tiny}) {
+    EXPECT_THROW((void)dpz_decompress(bytes), Error);
+    EXPECT_THROW((void)dpz_inspect(bytes), Error);
+    EXPECT_THROW((void)chunked_decompress(bytes), Error);
+    EXPECT_THROW((void)SharedBasisCodec::deserialize(bytes), Error);
+    EXPECT_THROW((void)szlike_decompress(bytes), Error);
+    EXPECT_THROW((void)zfplike_decompress(bytes), Error);
+    EXPECT_THROW((void)dctzlike_decompress(bytes), Error);
+    EXPECT_THROW((void)mgard_like_decompress(bytes), Error);
+    EXPECT_THROW((void)tthresh_like_decompress(bytes), Error);
+    EXPECT_THROW((void)huffman_decode(bytes), Error);
+  }
+}
+
+}  // namespace
+}  // namespace dpz

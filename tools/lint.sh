@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Repository-specific lint rules for the decode fault boundary.
+#
+# clang-tidy (.clang-tidy) covers generic C++ hygiene; the rules here
+# encode DPZ's archive-parsing policy, which no generic check expresses:
+#
+#   1. reinterpret_cast is banned in src/ outside an explicit allowlist.
+#      Archive bytes must be read through ByteReader/BitReader accessors,
+#      which bounds-check and byte-assemble; type-punning a byte span is
+#      how unaligned/out-of-bounds reads enter a decoder.
+#   2. memcpy is banned in src/core and src/codec outside codec/bytes.h.
+#      Same rationale: bulk copies out of an archive must flow through the
+#      checked get_bytes/get_blob paths so a forged length cannot read
+#      past the buffer.
+#   3. DPZ_REQUIRE is banned inside the ByteReader and BitReader classes.
+#      DPZ_REQUIRE states a *caller* contract and must never guard values
+#      derived from archive bytes — readers throw FormatError so that
+#      malformed input stays a recoverable status (docs/FORMAT.md,
+#      "Validation and error behavior").
+#
+# Exit status: 0 clean, 1 violations found. Run from anywhere.
+set -u
+
+cd "$(dirname "$0")/.."
+status=0
+
+fail() {
+  echo "lint: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  status=1
+}
+
+# --- Rule 1: reinterpret_cast allowlist ---------------------------------
+# zlib_codec.cpp interfaces with zlib's Bytef API and is the only place
+# allowed to type-pun, on buffers it allocated itself.
+allowlist_re='^src/codec/zlib_codec\.cpp$'
+casts=$(grep -rn "reinterpret_cast" src --include='*.h' --include='*.cpp' |
+  awk -F: -v allow="$allowlist_re" '$1 !~ allow')
+if [ -n "$casts" ]; then
+  fail "reinterpret_cast outside the allowlist (read archive bytes through ByteReader/BitReader instead):" "$casts"
+fi
+
+# --- Rule 2: raw memcpy near the decode path ----------------------------
+copies=$(grep -rn "memcpy" src/core src/codec --include='*.h' --include='*.cpp' |
+  awk -F: '$1 != "src/codec/bytes.h"')
+if [ -n "$copies" ]; then
+  fail "memcpy in src/core or src/codec outside codec/bytes.h (use the checked ByteReader accessors):" "$copies"
+fi
+
+# --- Rule 3: DPZ_REQUIRE inside reader classes --------------------------
+# Extract each reader class body (from its "class X {" line to the first
+# column-zero "};") and reject DPZ_REQUIRE inside it.
+check_reader() {
+  local file="$1" klass="$2"
+  local hits
+  hits=$(awk -v k="class $klass" '
+    index($0, k) { inside = 1 }
+    inside && /DPZ_REQUIRE/ { printf "%s:%d:%s\n", FILENAME, FNR, $0 }
+    inside && /^};/ { inside = 0 }
+  ' "$file")
+  if [ -n "$hits" ]; then
+    fail "DPZ_REQUIRE inside $klass ($file): readers must throw FormatError for malformed input, DPZ_REQUIRE is for caller contracts only:" "$hits"
+  fi
+}
+check_reader src/codec/bytes.h ByteReader
+check_reader src/codec/bitstream.h BitReader
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: OK"
+fi
+exit "$status"
