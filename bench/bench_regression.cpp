@@ -1,0 +1,212 @@
+// Benchmark-regression harness for the parallel pipeline: sweeps the
+// threads knob over representative datasets/pipelines and emits
+// BENCH_pipeline.json (machine-readable; CI uploads it as an artifact so
+// throughput can be tracked across commits).
+//
+// For every (dataset, pipeline, threads) cell it records compress and
+// decompress wall time, throughput in MB/s, the per-stage seconds from
+// the ScopedStage timers inside the compressor, CR, PSNR, and an FNV-1a
+// hash of the archive bytes. The hash doubles as a determinism check:
+// every thread count must produce byte-identical archives and decodes,
+// and the harness exits non-zero when any cell disagrees with the
+// 1-thread reference — a regression gate, not just a report.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/chunked.h"
+#include "core/dpz.h"
+#include "metrics/metrics.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace dpz;
+using namespace dpz::bench;
+
+// FNV-1a over a byte span: tiny, dependency-free, and stable across
+// platforms — exactly what a cross-commit regression artifact needs.
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_f32(std::span<const float> values) {
+  return fnv1a({reinterpret_cast<const std::uint8_t*>(values.data()),
+                values.size() * sizeof(float)});
+}
+
+struct CellResult {
+  std::string dataset;
+  std::string pipeline;
+  unsigned threads = 0;
+  double compress_s = 0.0;
+  double decompress_s = 0.0;
+  double compress_mbs = 0.0;
+  double decompress_mbs = 0.0;
+  double cr = 0.0;
+  double psnr_db = 0.0;
+  std::uint64_t archive_bytes = 0;
+  std::uint64_t archive_hash = 0;
+  std::uint64_t decode_hash = 0;
+  std::map<std::string, double> stage_seconds;
+};
+
+CellResult run_cell(const Dataset& ds, const std::string& pipeline,
+                    unsigned threads) {
+  CellResult r;
+  r.dataset = ds.name;
+  r.pipeline = pipeline;
+  r.threads = threads;
+  const std::uint64_t original_bytes = ds.data.size() * sizeof(float);
+  const double mb = static_cast<double>(original_bytes) / (1024.0 * 1024.0);
+
+  std::vector<std::uint8_t> archive;
+  FloatArray back;
+  if (pipeline == "chunked") {
+    ChunkedConfig config;
+    config.dpz = DpzConfig::strict();
+    // Several frames even at bench scale, so the fan-out has work.
+    config.chunk_values =
+        std::max<std::size_t>(ds.data.size() / 8, std::size_t{1} << 12);
+    config.threads = threads;
+    Timer timer;
+    archive = chunked_compress(ds.data, config);
+    r.compress_s = timer.reset();
+    back = chunked_decompress(archive, threads);
+    r.decompress_s = timer.elapsed();
+  } else {
+    DpzConfig config =
+        pipeline == "DPZ-l" ? DpzConfig::loose() : DpzConfig::strict();
+    config.threads = threads;
+    DpzStats stats;
+    Timer timer;
+    archive = dpz_compress(ds.data, config, &stats);
+    r.compress_s = timer.reset();
+    back = dpz_decompress(archive, 0, threads);
+    r.decompress_s = timer.elapsed();
+    r.stage_seconds = stats.timers.buckets();
+  }
+
+  r.compress_mbs = mb / std::max(r.compress_s, 1e-9);
+  r.decompress_mbs = mb / std::max(r.decompress_s, 1e-9);
+  r.cr = compression_ratio(original_bytes, archive.size());
+  r.psnr_db = compute_error_stats(ds.data.flat(), back.flat()).psnr_db;
+  r.archive_bytes = archive.size();
+  r.archive_hash = fnv1a(archive);
+  r.decode_hash = fnv1a_f32(back.flat());
+  return r;
+}
+
+void write_json(std::ostream& out, const std::vector<CellResult>& cells,
+                unsigned hw, bool deterministic) {
+  out << "{\n";
+  out << "  \"bench\": \"pipeline\",\n";
+  out << "  \"hardware_concurrency\": " << hw << ",\n";
+  out << "  \"deterministic\": " << (deterministic ? "true" : "false")
+      << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    // Speedup relative to the 1-thread cell of the same combo.
+    double speedup = 0.0;
+    for (const CellResult& ref : cells)
+      if (ref.dataset == r.dataset && ref.pipeline == r.pipeline &&
+          ref.threads == 1)
+        speedup = ref.compress_s / std::max(r.compress_s, 1e-9);
+    out << "    {\n"
+        << "      \"dataset\": \"" << r.dataset << "\",\n"
+        << "      \"pipeline\": \"" << r.pipeline << "\",\n"
+        << "      \"threads\": " << r.threads << ",\n"
+        << "      \"compress_s\": " << scientific(r.compress_s, 6) << ",\n"
+        << "      \"decompress_s\": " << scientific(r.decompress_s, 6)
+        << ",\n"
+        << "      \"compress_mb_s\": " << fixed(r.compress_mbs, 3) << ",\n"
+        << "      \"decompress_mb_s\": " << fixed(r.decompress_mbs, 3)
+        << ",\n"
+        << "      \"speedup_vs_1t\": " << fixed(speedup, 3) << ",\n"
+        << "      \"cr\": " << fixed(r.cr, 4) << ",\n"
+        << "      \"psnr_db\": " << fixed(r.psnr_db, 3) << ",\n"
+        << "      \"archive_bytes\": " << r.archive_bytes << ",\n"
+        << "      \"archive_fnv1a\": \"" << r.archive_hash << "\",\n"
+        << "      \"decode_fnv1a\": \"" << r.decode_hash << "\",\n"
+        << "      \"stages\": {";
+    std::size_t j = 0;
+    for (const auto& [stage, seconds] : r.stage_seconds)
+      out << (j++ ? ", " : "") << "\"" << stage
+          << "\": " << scientific(seconds, 6);
+    out << "}\n    }" << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_options(argc, argv);
+  std::cout << "=== Pipeline regression bench: threads sweep ===\n\n";
+
+  const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
+  std::vector<unsigned> sweep = {1, 2, std::max(4U, hw)};
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+  // One dataset per rank: 2-D climate, 1-D cosmology, 3-D turbulence.
+  const std::vector<std::string> names = {"CLDHGH", "HACC-x", "Isotropic"};
+  const std::vector<std::string> pipelines = {"DPZ-l", "DPZ-s", "chunked"};
+
+  std::vector<CellResult> cells;
+  bool deterministic = true;
+  TablePrinter table({"dataset", "pipeline", "threads", "comp s",
+                      "comp MB/s", "speedup", "CR", "PSNR dB", "det"});
+  for (const std::string& name : names) {
+    const Dataset ds = make_dataset(name, opt.scale, opt.seed);
+    for (const std::string& pipeline : pipelines) {
+      std::uint64_t ref_archive = 0;
+      std::uint64_t ref_decode = 0;
+      double ref_seconds = 0.0;
+      for (const unsigned threads : sweep) {
+        const CellResult r = run_cell(ds, pipeline, threads);
+        bool same = true;
+        if (threads == sweep.front()) {
+          ref_archive = r.archive_hash;
+          ref_decode = r.decode_hash;
+          ref_seconds = r.compress_s;
+        } else {
+          same = r.archive_hash == ref_archive &&
+                 r.decode_hash == ref_decode;
+          deterministic = deterministic && same;
+        }
+        table.add_row({r.dataset, r.pipeline, std::to_string(r.threads),
+                       fixed(r.compress_s, 3), fixed(r.compress_mbs, 1),
+                       fixed(ref_seconds / std::max(r.compress_s, 1e-9), 2),
+                       fixed(r.cr, 2), fixed(r.psnr_db, 2),
+                       same ? "ok" : "MISMATCH"});
+        cells.push_back(r);
+      }
+    }
+  }
+
+  table.print();
+  std::cout << "\nhardware threads: " << hw << "\n";
+  if (!deterministic)
+    std::cout << "DETERMINISM FAILURE: archives differ across thread "
+                 "counts\n";
+
+  const std::string path = artifact_path(opt, "BENCH_pipeline.json");
+  std::ofstream json(path);
+  write_json(json, cells, hw, deterministic);
+  std::cout << "wrote " << path << "\n";
+  return deterministic ? 0 : 1;
+}

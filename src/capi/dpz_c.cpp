@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 
 #include "core/dpz.h"
@@ -52,6 +53,8 @@ dpz::DpzConfig to_config(const dpz_options* opt) {
   config.error_bound = opt->error_bound;
   config.dct_keep_fraction = opt->dct_keep_fraction;
   config.zlib_level = opt->zlib_level;
+  config.threads =
+      opt->threads > 0 ? static_cast<unsigned>(opt->threads) : 0;
   return config;
 }
 
@@ -79,6 +82,22 @@ int export_values(const dpz::NdArray<T>& array, T** out,
   *out = buffer;
   *out_count = array.size();
   return DPZ_OK;
+}
+
+template <typename T, typename Decompress>
+int decompress_impl(const unsigned char* archive, size_t archive_size,
+                    T** out, size_t* out_count,
+                    const Decompress& decompress) {
+  if (archive == nullptr || out == nullptr || out_count == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  try {
+    const dpz::NdArray<T> array =
+        decompress(std::span<const std::uint8_t>{archive, archive_size});
+    g_last_error.clear();
+    return export_values(array, out, out_count);
+  } catch (...) {
+    return translate_exception();
+  }
 }
 
 template <typename T>
@@ -117,6 +136,7 @@ void dpz_options_default(dpz_options* opt) {
   opt->error_bound = 0.0;
   opt->dct_keep_fraction = 1.0;
   opt->zlib_level = 6;
+  opt->threads = 0;
 }
 
 int dpz_compress_float(const float* data, const size_t* dims, size_t rank,
@@ -133,30 +153,40 @@ int dpz_compress_double(const double* data, const size_t* dims, size_t rank,
 
 int dpz_decompress_float(const unsigned char* archive, size_t archive_size,
                          float** out, size_t* out_count) {
-  if (archive == nullptr || out == nullptr || out_count == nullptr)
-    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
-  try {
-    const dpz::FloatArray array =
-        dpz::dpz_decompress({archive, archive_size});
-    g_last_error.clear();
-    return export_values(array, out, out_count);
-  } catch (...) {
-    return translate_exception();
-  }
+  return decompress_impl<float>(
+      archive, archive_size, out, out_count,
+      [](std::span<const std::uint8_t> a) { return dpz::dpz_decompress(a); });
 }
 
 int dpz_decompress_double(const unsigned char* archive, size_t archive_size,
                           double** out, size_t* out_count) {
-  if (archive == nullptr || out == nullptr || out_count == nullptr)
-    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
-  try {
-    const dpz::DoubleArray array =
-        dpz::dpz_decompress_f64({archive, archive_size});
-    g_last_error.clear();
-    return export_values(array, out, out_count);
-  } catch (...) {
-    return translate_exception();
-  }
+  return decompress_impl<double>(
+      archive, archive_size, out, out_count,
+      [](std::span<const std::uint8_t> a) {
+        return dpz::dpz_decompress_f64(a);
+      });
+}
+
+int dpz_decompress_float_mt(const unsigned char* archive,
+                            size_t archive_size, int threads, float** out,
+                            size_t* out_count) {
+  const unsigned n = threads > 0 ? static_cast<unsigned>(threads) : 0;
+  return decompress_impl<float>(
+      archive, archive_size, out, out_count,
+      [n](std::span<const std::uint8_t> a) {
+        return dpz::dpz_decompress(a, 0, n);
+      });
+}
+
+int dpz_decompress_double_mt(const unsigned char* archive,
+                             size_t archive_size, int threads, double** out,
+                             size_t* out_count) {
+  const unsigned n = threads > 0 ? static_cast<unsigned>(threads) : 0;
+  return decompress_impl<double>(
+      archive, archive_size, out, out_count,
+      [n](std::span<const std::uint8_t> a) {
+        return dpz::dpz_decompress_f64(a, 0, n);
+      });
 }
 
 int dpz_archive_shape(const unsigned char* archive, size_t archive_size,

@@ -66,6 +66,11 @@ typedef struct dpz_options {
   double error_bound;   /* 0 = scheme default */
   double dct_keep_fraction; /* 1.0 = no truncation */
   int zlib_level;       /* 1..9 */
+  /* Worker threads for the hot loops; 0 = hardware concurrency.
+   * Archives are bit-identical for every value — the thread count is a
+   * wall-clock knob only, never a format parameter (the determinism
+   * tests assert this). */
+  int threads;
 } dpz_options;
 
 /* Fills `opt` with the library defaults (strict scheme, five-nine TVE). */
@@ -92,6 +97,16 @@ int dpz_decompress_float(const unsigned char* archive, size_t archive_size,
 /* Double-precision variant (archive must hold f64 data). */
 int dpz_decompress_double(const unsigned char* archive, size_t archive_size,
                           double** out, size_t* out_count);
+
+/* Decompression with an explicit worker-thread count (0 = hardware
+ * concurrency). The reconstruction is bit-identical to the plain
+ * variants for every thread count. */
+int dpz_decompress_float_mt(const unsigned char* archive,
+                            size_t archive_size, int threads, float** out,
+                            size_t* out_count);
+int dpz_decompress_double_mt(const unsigned char* archive,
+                             size_t archive_size, int threads, double** out,
+                             size_t* out_count);
 
 /* Reads the shape from an archive header. `dims` must hold at least 4
  * entries; *rank receives the actual rank. */

@@ -1,8 +1,33 @@
 #include "codec/quantizer.h"
 
 #include <cmath>
+#include <numeric>
+
+#include "util/thread_pool.h"
 
 namespace dpz {
+
+namespace {
+
+// Values per parallel strip. Strips are a fixed property of the stream
+// length — never of the worker count — so the codes buffer and the
+// strip-ordered outlier concatenation are bit-identical for every thread
+// count (each index maps to the same code, and strip-order equals stream
+// order because strips are contiguous and ascending).
+constexpr std::size_t kStripValues = 1U << 16;
+
+std::size_t strip_count(std::size_t n) {
+  return (n + kStripValues - 1) / kStripValues;
+}
+
+inline std::uint32_t read_code(const std::uint8_t* codes, std::size_t i,
+                               bool wide) {
+  std::uint32_t code = codes[i * (wide ? 2 : 1)];
+  if (wide) code |= static_cast<std::uint32_t>(codes[i * 2 + 1]) << 8;
+  return code;
+}
+
+}  // namespace
 
 QuantizedStream quantize(std::span<const double> values,
                          const QuantizerConfig& config) {
@@ -12,25 +37,45 @@ QuantizedStream quantize(std::span<const double> values,
   const double half = config.half_range();
   const std::uint32_t bins = config.bin_count();
   const std::uint32_t escape = bins;  // == code_count() - 1
+  const bool wide = config.wide_codes;
+  const std::size_t stride = config.code_bytes();
 
   QuantizedStream out;
   out.count = values.size();
-  out.codes.reserve(values.size() * config.code_bytes());
+  out.codes.resize(values.size() * stride);
 
-  for (const double v : values) {
-    std::uint32_t code;
-    if (!(v >= -half && v <= half)) {  // NaN routes to the escape as well
-      code = escape;
-      out.outliers.push_back(v);
-    } else {
-      auto bin = static_cast<std::uint32_t>((v + half) / (2.0 * p));
-      if (bin >= bins) bin = bins - 1;  // v == +half lands one past the end
-      code = bin;
+  // Each strip writes its disjoint slice of the code buffer and collects
+  // its outliers locally; the locals are concatenated in strip order,
+  // which reproduces the serial (stream-order) outlier list exactly.
+  const std::size_t strips = strip_count(values.size());
+  std::vector<std::vector<double>> strip_outliers(strips);
+  parallel_for(0, strips, [&](std::size_t s) {
+    const std::size_t lo = s * kStripValues;
+    const std::size_t hi = std::min(values.size(), lo + kStripValues);
+    std::vector<double>& outliers = strip_outliers[s];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double v = values[i];
+      std::uint32_t code;
+      if (!(v >= -half && v <= half)) {  // NaN routes to the escape too
+        code = escape;
+        outliers.push_back(v);
+      } else {
+        auto bin = static_cast<std::uint32_t>((v + half) / (2.0 * p));
+        if (bin >= bins) bin = bins - 1;  // v == +half lands past the end
+        code = bin;
+      }
+      out.codes[i * stride] = static_cast<std::uint8_t>(code & 0xFFU);
+      if (wide)
+        out.codes[i * stride + 1] =
+            static_cast<std::uint8_t>((code >> 8) & 0xFFU);
     }
-    out.codes.push_back(static_cast<std::uint8_t>(code & 0xFFU));
-    if (config.wide_codes)
-      out.codes.push_back(static_cast<std::uint8_t>((code >> 8) & 0xFFU));
-  }
+  });
+
+  std::size_t total = 0;
+  for (const auto& so : strip_outliers) total += so.size();
+  out.outliers.reserve(total);
+  for (const auto& so : strip_outliers)
+    out.outliers.insert(out.outliers.end(), so.begin(), so.end());
   return out;
 }
 
@@ -44,27 +89,47 @@ void dequantize(const QuantizedStream& stream, const QuantizerConfig& config,
   const double p = config.error_bound;
   const double half = config.half_range();
   const std::uint32_t escape = config.bin_count();
+  const bool wide = config.wide_codes;
 
-  std::size_t outlier_pos = 0;
-  const std::size_t stride = config.code_bytes();
-  for (std::size_t i = 0; i < stream.count; ++i) {
-    std::uint32_t code = stream.codes[i * stride];
-    if (config.wide_codes)
-      code |= static_cast<std::uint32_t>(stream.codes[i * stride + 1]) << 8;
-
-    if (code == escape) {
-      if (outlier_pos >= stream.outliers.size())
-        throw FormatError("quantized stream: missing outlier value");
-      out[i] = stream.outliers[outlier_pos++];
-    } else {
-      if (code > escape)
-        throw FormatError("quantized stream: invalid code value");
-      // Bin center: -half + P * (2*code + 1).
-      out[i] = -half + p * (2.0 * static_cast<double>(code) + 1.0);
-    }
-  }
-  if (outlier_pos != stream.outliers.size())
+  // Pass 1: count escapes per strip, so pass 2 knows each strip's offset
+  // into the stream-ordered outlier list without a sequential scan.
+  const std::size_t strips = strip_count(stream.count);
+  std::vector<std::size_t> escapes(strips, 0);
+  parallel_for(0, strips, [&](std::size_t s) {
+    const std::size_t lo = s * kStripValues;
+    const std::size_t hi = std::min(stream.count, lo + kStripValues);
+    std::size_t count = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+      if (read_code(stream.codes.data(), i, wide) == escape) ++count;
+    escapes[s] = count;
+  });
+  std::vector<std::size_t> offsets(strips, 0);
+  std::exclusive_scan(escapes.begin(), escapes.end(), offsets.begin(),
+                      std::size_t{0});
+  const std::size_t total_escapes =
+      strips == 0 ? 0 : offsets.back() + escapes.back();
+  if (total_escapes > stream.outliers.size())
+    throw FormatError("quantized stream: missing outlier value");
+  if (total_escapes < stream.outliers.size())
     throw FormatError("quantized stream: unconsumed outlier values");
+
+  // Pass 2: decode. Codes are biased bins below the escape by
+  // construction (the escape is the largest representable code), so the
+  // serial version's invalid-code path cannot trigger here.
+  parallel_for(0, strips, [&](std::size_t s) {
+    const std::size_t lo = s * kStripValues;
+    const std::size_t hi = std::min(stream.count, lo + kStripValues);
+    std::size_t outlier_pos = offsets[s];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::uint32_t code = read_code(stream.codes.data(), i, wide);
+      if (code == escape) {
+        out[i] = stream.outliers[outlier_pos++];
+      } else {
+        // Bin center: -half + P * (2*code + 1).
+        out[i] = -half + p * (2.0 * static_cast<double>(code) + 1.0);
+      }
+    }
+  });
 }
 
 }  // namespace dpz

@@ -2,6 +2,7 @@
 
 #include "codec/bytes.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace dpz {
 
@@ -95,9 +96,17 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   const std::vector<std::size_t> starts =
       chunk_starts(data.size(), config.chunk_values);
 
-  std::vector<std::vector<std::uint8_t>> frames;
-  frames.reserve(starts.size());
-  for (std::size_t f = 0; f < starts.size(); ++f) {
+  // Frames are independent (no cross-chunk state), so they compress in
+  // parallel into pre-sized slots; each frame's bytes depend only on its
+  // chunk and the config, never on the worker count or finish order.
+  // Inner pipeline loops run inline on the frame's worker (nested
+  // parallel_for), so the frame config must not spin up its own pool.
+  const ScopedThreads pool_scope(config.threads);
+  DpzConfig frame_config = config.dpz;
+  frame_config.threads = 0;
+  std::vector<std::vector<std::uint8_t>> frames(starts.size());
+  std::vector<std::uint8_t> frame_stored_raw(starts.size(), 0);
+  parallel_for(0, starts.size(), [&](std::size_t f) {
     const std::size_t begin = starts[f];
     const std::size_t end =
         (f + 1 < starts.size()) ? starts[f + 1] : data.size();
@@ -106,9 +115,11 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
     FloatArray chunk({slice.size()},
                      std::vector<float>(slice.begin(), slice.end()));
     DpzStats frame_stats;
-    frames.push_back(dpz_compress(chunk, config.dpz, &frame_stats));
-    if (frame_stats.stored_raw) ++st.stored_raw_frames;
-  }
+    frames[f] = dpz_compress(chunk, frame_config, &frame_stats);
+    frame_stored_raw[f] = frame_stats.stored_raw ? 1 : 0;
+  });
+  for (const std::uint8_t raw : frame_stored_raw)
+    if (raw != 0) ++st.stored_raw_frames;
 
   ByteWriter w;
   w.put_u32(kMagic);
@@ -130,24 +141,38 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   return out;
 }
 
-FloatArray chunked_decompress(std::span<const std::uint8_t> container) {
+FloatArray chunked_decompress(std::span<const std::uint8_t> container,
+                              unsigned threads) {
   const ContainerHeader h = parse_header(container);
 
-  // Grow the output with the frames as they decode instead of allocating
-  // the claimed shape up front: the header's dims are archive data, and a
-  // forged total must not size an allocation the frames cannot back.
-  std::vector<float> values;
-  for (std::size_t f = 0; f < h.frame_count; ++f) {
+  // Decode the frames in parallel into per-frame buffers, then
+  // concatenate in frame order. Nothing is allocated from the claimed
+  // shape up front: the header's dims are archive data, and a forged
+  // total must not size an allocation the frames cannot back — each
+  // frame's own decode validates (and bounds) its output, and the sum is
+  // checked against the shape before the final buffer is built.
+  const ScopedThreads pool_scope(threads);
+  std::vector<FloatArray> chunks(h.frame_count);
+  parallel_for(0, h.frame_count, [&](std::size_t f) {
     const auto frame = container.subspan(
         h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
         static_cast<std::size_t>(h.frame_sizes[f]));
-    const FloatArray chunk = dpz_decompress(frame);
-    if (chunk.size() > h.total - values.size())
+    chunks[f] = dpz_decompress(frame);
+  });
+
+  std::size_t total = 0;
+  for (const FloatArray& chunk : chunks) {
+    if (chunk.size() > h.total - total)
       throw FormatError("chunked container: frames exceed the shape");
-    values.insert(values.end(), chunk.flat().begin(), chunk.flat().end());
+    total += chunk.size();
   }
-  if (values.size() != h.total)
+  if (total != h.total)
     throw FormatError("chunked container: frames do not cover the shape");
+
+  std::vector<float> values;
+  values.reserve(h.total);
+  for (const FloatArray& chunk : chunks)
+    values.insert(values.end(), chunk.flat().begin(), chunk.flat().end());
   return FloatArray(h.shape, std::move(values));
 }
 

@@ -33,6 +33,12 @@ struct ChunkedConfig {
   /// the pipeline minimum of 8 values — the tail merges into the
   /// previous chunk when needed).
   std::size_t chunk_values = 1 << 20;
+  /// Worker threads for the per-frame fan-out (frames are independent by
+  /// design, SS V-C5). 0 = ambient pool. The container bytes are
+  /// bit-identical for every value; peak memory grows to O(threads *
+  /// chunk) while frames are in flight. Inner pipeline loops run inline
+  /// on their frame's worker, so `dpz.threads` is ignored here.
+  unsigned threads = 0;
 };
 
 /// Per-container accounting.
@@ -55,8 +61,10 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
                                            const ChunkedConfig& config,
                                            ChunkedStats* stats = nullptr);
 
-/// Decompresses a whole chunked container.
-FloatArray chunked_decompress(std::span<const std::uint8_t> container);
+/// Decompresses a whole chunked container; frames decode in parallel on
+/// `threads` workers (0 = ambient pool) with bit-identical output.
+FloatArray chunked_decompress(std::span<const std::uint8_t> container,
+                              unsigned threads = 0);
 
 /// Decompresses a single frame (0-based). Returns the chunk's values in
 /// flattened order along with its offset into the flat dataset. This is

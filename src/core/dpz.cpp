@@ -200,6 +200,9 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
                                         const DpzConfig& config,
                                         DpzStats* stats) {
   DPZ_REQUIRE(data.size() >= 8, "DPZ needs at least 8 values");
+  // All parallel loops below (and inside PCA/matmul/quantize) run on the
+  // pool this scope resolves; the archive bytes do not depend on it.
+  const ScopedThreads pool_scope(config.threads);
   DpzStats local_stats;
   DpzStats& st = stats != nullptr ? *stats : local_stats;
   st = DpzStats{};
@@ -302,7 +305,9 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
     const ScopedStage stage(st.timers, "stage3_quantize");
     side.score_scale = detail::component_scale(scores.row(0));
     const double inv = 1.0 / side.score_scale;
-    for (double& v : scores.flat()) v *= inv;
+    parallel_for(0, scores.rows(), [&](std::size_t j) {
+      for (double& v : scores.row(j)) v *= inv;
+    });
     qs = quantize(scores.flat(), qcfg);
   }
   st.outlier_count = qs.outliers.size();
@@ -360,7 +365,8 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
 
 template <typename T>
 NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
-                           std::size_t max_components) {
+                           std::size_t max_components, unsigned threads) {
+  const ScopedThreads pool_scope(threads);
   ByteReader r(archive);
   if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
   if (r.get_u8() != kVersion)
@@ -465,7 +471,9 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   // Stage 3 inverse: codes -> normalized scores -> scores.
   Matrix scores(use_k, layout.n);
   dequantize(qs, qcfg, scores.flat());
-  for (double& v : scores.flat()) v *= side.score_scale;
+  parallel_for(0, scores.rows(), [&](std::size_t j) {
+    for (double& v : scores.row(j)) v *= side.score_scale;
+  });
 
   // Stage 2 inverse: back-project through the stored basis (leading use_k
   // columns only).
@@ -511,13 +519,14 @@ std::vector<std::uint8_t> dpz_compress(const DoubleArray& data,
 }
 
 FloatArray dpz_decompress(std::span<const std::uint8_t> archive,
-                          std::size_t max_components) {
-  return decompress_impl<float>(archive, max_components);
+                          std::size_t max_components, unsigned threads) {
+  return decompress_impl<float>(archive, max_components, threads);
 }
 
 DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
-                               std::size_t max_components) {
-  return decompress_impl<double>(archive, max_components);
+                               std::size_t max_components,
+                               unsigned threads) {
+  return decompress_impl<double>(archive, max_components, threads);
 }
 
 DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive) {

@@ -64,6 +64,12 @@ struct DpzConfig {
 
   int zlib_level = 6;
 
+  /// Worker threads for the hot loops (block DCT, PCA/matmul, quantize,
+  /// chunked frames). 0 = the ambient pool (an enclosing ScopedThreads,
+  /// or hardware concurrency). Archives are bit-identical for every
+  /// value — the knob trades wall-clock only (see util/thread_pool.h).
+  unsigned threads = 0;
+
   /// DCT-coefficient truncation before PCA (the paper's future-work
   /// ablation, SS VII): keep only this leading fraction of each block's
   /// DCT coefficients and zero the rest before Stage 2. 1.0 disables it.
@@ -169,13 +175,18 @@ std::vector<std::uint8_t> dpz_compress(const DoubleArray& data,
 /// DPZ's information-oriented layout stores score streams in component
 /// order, so any prefix yields a consistent (coarser) reconstruction
 /// ("the reconstruction at any level shows consistency", SS IV-C).
+/// `threads` sizes the decode worker pool exactly like DpzConfig::threads
+/// does for compression (0 = ambient pool); the reconstruction is
+/// bit-identical for every value.
 FloatArray dpz_decompress(std::span<const std::uint8_t> archive,
-                          std::size_t max_components = 0);
+                          std::size_t max_components = 0,
+                          unsigned threads = 0);
 
 /// Double-precision counterpart of dpz_decompress; throws FormatError when
 /// the archive holds single-precision data (and vice versa).
 DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
-                               std::size_t max_components = 0);
+                               std::size_t max_components = 0,
+                               unsigned threads = 0);
 
 /// Header-level description of an archive (no payload decoding).
 struct DpzArchiveInfo {
@@ -208,7 +219,7 @@ class DpzCompressor final : public Compressor {
     return dpz_compress(data, config_, &last_stats_);
   }
   FloatArray decompress(std::span<const std::uint8_t> archive) override {
-    return dpz_decompress(archive);
+    return dpz_decompress(archive, 0, config_.threads);
   }
   [[nodiscard]] std::string name() const override { return label_; }
 

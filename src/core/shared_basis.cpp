@@ -44,7 +44,9 @@ std::vector<double> row_means(const Matrix& blocks) {
 SharedBasisCodec SharedBasisCodec::train(const FloatArray& reference,
                                          const DpzConfig& config) {
   DPZ_REQUIRE(reference.size() >= 8, "training snapshot too small");
+  const ScopedThreads pool_scope(config.threads);
   SharedBasisCodec codec;
+  codec.threads_ = config.threads;
   codec.layout_ = choose_block_layout(reference.size());
   codec.shape_ = reference.shape();
   codec.qcfg_.error_bound = config.effective_error_bound();
@@ -180,6 +182,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
     const FloatArray& snapshot, DpzStats* stats) const {
   DPZ_REQUIRE(snapshot.shape() == shape_,
               "snapshot shape differs from the training snapshot");
+  const ScopedThreads pool_scope(threads_);
   DpzStats local;
   DpzStats& st = stats != nullptr ? *stats : local;
   st = DpzStats{};
@@ -238,6 +241,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
 
 FloatArray SharedBasisCodec::decompress(
     std::span<const std::uint8_t> archive) const {
+  const ScopedThreads pool_scope(threads_);
   ByteReader r(archive);
   if (r.get_u32() != kSnapshotMagic)
     throw FormatError("not a shared-basis snapshot archive");

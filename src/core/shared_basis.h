@@ -61,6 +61,13 @@ class SharedBasisCodec {
   [[nodiscard]] std::size_t k() const { return basis_.cols(); }
   [[nodiscard]] std::uint64_t basis_bytes() const;
 
+  /// Worker threads for compress/decompress (0 = ambient pool). Train
+  /// adopts DpzConfig::threads; restored codecs default to 0 — the knob
+  /// is a runtime setting, not part of the serialized format. Output is
+  /// bit-identical for every value.
+  void set_threads(unsigned threads) { threads_ = threads; }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
  private:
   SharedBasisCodec() = default;
 
@@ -68,6 +75,7 @@ class SharedBasisCodec {
   std::vector<std::size_t> shape_;
   QuantizerConfig qcfg_;
   int zlib_level_ = 6;
+  unsigned threads_ = 0;
   Matrix basis_;  // M x k
 };
 

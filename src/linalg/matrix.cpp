@@ -44,8 +44,9 @@ Matrix Matrix::transpose_multiply(const Matrix& other) const {
   const std::size_t n = other.cols_;
   // out(i,j) = sum_k this(k,i) * other(k,j): accumulate rank-1 updates row
   // by row of the inputs so all accesses stay contiguous. Each worker owns
-  // a contiguous band of output rows i.
-  const unsigned workers = ThreadPool::global().thread_count();
+  // a contiguous band of output rows i; every band accumulates its rows
+  // in the same k order, so the result does not depend on the band count.
+  const unsigned workers = PoolScope::current().thread_count();
   const std::size_t band =
       (cols_ + workers - 1) / std::max<std::size_t>(workers, 1);
   parallel_for(0, workers, [&](std::size_t w) {

@@ -28,7 +28,7 @@ namespace {
 
 const char* kUsage = R"(usage:
   dpz compress   <in.f32> <out.dpz> --shape=AxBxC [options]
-  dpz decompress <in.dpz> <out.f32> [--components=k]
+  dpz decompress <in.dpz> <out.f32> [--components=k] [--threads=N]
   dpz info       <in.dpz>
   dpz probe      <in.f32> --shape=AxBxC [--tve=...]
   dpz datasets   <outdir> [--scale=0.2] [--names=CLDHGH,PHIS] [--seed=N]
@@ -46,8 +46,16 @@ compress options:
   --target-psnr=D     pick the cheapest k reaching D dB (ditto)
   --chunk=N           chunked container with N values per frame
                       (memory-bounded; f32 only)
+  --threads=N         worker threads for the hot loops (0 = all cores);
+                      output bytes are identical for every N
   --verify            decompress after compressing and report PSNR
 )";
+
+unsigned parse_threads(const CliArgs& args) {
+  const int threads = args.get_int("threads", 0);
+  DPZ_REQUIRE(threads >= 0, "--threads must be >= 0");
+  return static_cast<unsigned>(threads);
+}
 
 DpzConfig config_from_flags(const CliArgs& args) {
   DpzConfig config;
@@ -76,6 +84,7 @@ DpzConfig config_from_flags(const CliArgs& args) {
   config.use_sampling = args.get_bool("sampling", false);
   config.error_bound = args.get_double("error-bound", 0.0);
   config.dct_keep_fraction = args.get_double("dct-keep", 1.0);
+  config.threads = parse_threads(args);
   return config;
 }
 
@@ -126,6 +135,9 @@ int cmd_compress(const CliArgs& args, std::ostream& out) {
     ChunkedConfig ccfg;
     ccfg.dpz = config;
     ccfg.chunk_values = chunk;
+    // The container fans out over frames, so the knob moves to the outer
+    // loop; per-frame threading is disabled inside chunked_compress.
+    ccfg.threads = config.threads;
     ChunkedStats cstats;
     archive = chunked_compress(data, ccfg, &cstats);
     stats.original_bytes = cstats.original_bytes;
@@ -167,13 +179,14 @@ int cmd_compress(const CliArgs& args, std::ostream& out) {
   if (args.get_bool("verify", false)) {
     ErrorStats err;
     if (chunk != 0) {
-      const FloatArray back = chunked_decompress(archive);
+      const FloatArray back = chunked_decompress(archive, config.threads);
       err = compute_error_stats(data.flat(), back.flat());
     } else if (f64) {
-      const DoubleArray back = dpz_decompress_f64(archive);
+      const DoubleArray back =
+          dpz_decompress_f64(archive, 0, config.threads);
       err = compute_error_stats(data64.flat(), back.flat());
     } else {
-      const FloatArray back = dpz_decompress(archive);
+      const FloatArray back = dpz_decompress(archive, 0, config.threads);
       err = compute_error_stats(data.flat(), back.flat());
     }
     out << "verify: PSNR " << fixed(err.psnr_db, 2) << " dB, max err "
@@ -190,6 +203,7 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
   const std::string out_path = args.positional()[2];
   const auto components =
       static_cast<std::size_t>(args.get_int("components", 0));
+  const unsigned threads = parse_threads(args);
 
   const std::vector<std::uint8_t> archive = read_bytes(in_path);
 
@@ -199,7 +213,7 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
       archive[2] == 0x43 && archive[3] == 0x4B;
   if (is_chunked) {
     Timer chunk_timer;
-    const FloatArray data = chunked_decompress(archive);
+    const FloatArray data = chunked_decompress(archive, threads);
     const double seconds = chunk_timer.elapsed();
     write_f32(out_path, data);
     out << in_path << " -> " << out_path << " ("
@@ -214,12 +228,13 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
   std::size_t count = 0;
   double seconds = 0.0;
   if (info.double_precision) {
-    const DoubleArray data = dpz_decompress_f64(archive, components);
+    const DoubleArray data =
+        dpz_decompress_f64(archive, components, threads);
     seconds = timer.elapsed();
     write_f64(out_path, data);
     count = data.size();
   } else {
-    const FloatArray data = dpz_decompress(archive, components);
+    const FloatArray data = dpz_decompress(archive, components, threads);
     seconds = timer.elapsed();
     write_f32(out_path, data);
     count = data.size();
@@ -338,8 +353,10 @@ int cmd_datasets(const CliArgs& args, std::ostream& out) {
     write_f32(path, ds.data);
 
     std::string shape_text;
-    for (std::size_t d = 0; d < ds.data.shape().size(); ++d)
-      shape_text += (d ? "x" : "") + std::to_string(ds.data.shape()[d]);
+    for (std::size_t d = 0; d < ds.data.shape().size(); ++d) {
+      if (d != 0) shape_text += 'x';
+      shape_text += std::to_string(ds.data.shape()[d]);
+    }
     manifest << name << " " << name << ".f32 " << shape_text << " " << seed
              << " " << scale << "\n";
     out << name << " -> " << path << " (" << shape_text << ", "
@@ -380,7 +397,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                        {"shape", "scheme", "tve", "knee", "sampling",
                         "error-bound", "dct-keep", "dtype", "verify",
                         "components", "scale", "names", "seed",
-                        "target-cr", "target-psnr", "chunk", "help"});
+                        "target-cr", "target-psnr", "chunk", "threads",
+                        "help"});
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.has("help") ? 0 : 2;

@@ -1,0 +1,176 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+
+namespace dpz {
+
+namespace {
+
+// Depth of parallel_for bodies running on this thread (any pool). Nested
+// calls see a non-zero depth and execute inline, which both prevents
+// fork/join self-deadlock and keeps the worker set at its configured
+// size when an outer loop (e.g. chunked frames) fans out over code that
+// itself calls parallel_for (PCA, DCT, quantization).
+thread_local int t_parallel_depth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++t_parallel_depth; }
+  ~DepthGuard() { --t_parallel_depth; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+};
+
+// The calling thread's active pool (see PoolScope).
+thread_local const ThreadPool* t_active_pool = nullptr;
+
+unsigned default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+// Fork/join state shared between parallel_for and the workers. All
+// fields are guarded by `m`; a job is published by bumping `generation`
+// and consumed by every worker exactly once.
+struct ThreadPool::Shared {
+  std::mutex m;
+  std::condition_variable job_cv;   // workers wait for a new generation
+  std::condition_variable done_cv;  // the caller waits for remaining == 0
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  // Current job: participant p owns [begin + p*chunk, begin + (p+1)*chunk)
+  // clamped to end. Participant 0 is the calling thread.
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 0;
+  unsigned remaining = 0;  // workers that have not finished this job
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : thread_count_(threads != 0 ? threads : default_thread_count()),
+      shared_(std::make_unique<Shared>()) {
+  workers_.reserve(thread_count_ - 1);
+  for (unsigned w = 1; w < thread_count_; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(shared_->m);
+    shared_->stop = true;
+  }
+  shared_->job_cv.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main(unsigned index) const {
+  Shared& s = *shared_;
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    {
+      std::unique_lock<std::mutex> lock(s.m);
+      s.job_cv.wait(lock, [&] { return s.stop || s.generation != seen; });
+      if (s.stop) return;
+      seen = s.generation;
+      body = s.body;
+      lo = std::min(s.end, s.begin + index * s.chunk);
+      hi = std::min(s.end, lo + s.chunk);
+    }
+    if (lo < hi) {
+      const DepthGuard guard;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(s.m);
+        if (!s.error) s.error = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(s.m);
+      if (--s.remaining == 0) s.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& body) const {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+
+  // Serial paths: single-participant pools, tiny ranges, and nested
+  // calls (the calling thread is already one of a pool's participants).
+  if (workers_.empty() || n == 1 || t_parallel_depth > 0) {
+    const DepthGuard guard;
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // One loop at a time: concurrent top-level callers queue here.
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+  Shared& s = *shared_;
+  const auto participants =
+      static_cast<unsigned>(std::min<std::size_t>(thread_count_, n));
+  {
+    const std::lock_guard<std::mutex> lock(s.m);
+    s.body = &body;
+    s.begin = begin;
+    s.end = end;
+    s.chunk = (n + participants - 1) / participants;
+    s.remaining = static_cast<unsigned>(workers_.size());
+    s.error = nullptr;
+    ++s.generation;
+  }
+  s.job_cv.notify_all();
+
+  // The calling thread is participant 0.
+  {
+    const DepthGuard guard;
+    const std::size_t hi = std::min(end, begin + s.chunk);
+    try {
+      for (std::size_t i = begin; i < hi; ++i) body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(s.m);
+      if (!s.error) s.error = std::current_exception();
+    }
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(s.m);
+    s.done_cv.wait(lock, [&] { return s.remaining == 0; });
+    error = s.error;
+    s.body = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+bool ThreadPool::in_parallel_region() { return t_parallel_depth > 0; }
+
+const ThreadPool& ThreadPool::global() {
+  static const ThreadPool pool;
+  return pool;
+}
+
+const ThreadPool& PoolScope::current() {
+  const ThreadPool* pool = t_active_pool;
+  return pool != nullptr ? *pool : ThreadPool::global();
+}
+
+const ThreadPool* PoolScope::exchange(const ThreadPool* pool) {
+  const ThreadPool* previous = t_active_pool;
+  t_active_pool = pool;
+  return previous;
+}
+
+}  // namespace dpz

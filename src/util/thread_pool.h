@@ -1,91 +1,127 @@
-// A small OpenMP-style parallel-for executor.
+// An OpenMP-style parallel-for executor with persistent workers.
 //
 // The paper notes (SS V-C5) that DPZ's block-based design parallelizes
-// naturally: per-block DCT, quantization, and per-subset PCA carry no
-// cross-block dependencies. We provide `parallel_for` with static
-// partitioning: the index range is split into one contiguous chunk per
-// worker, which keeps results bit-deterministic regardless of thread count
-// (each index is processed exactly once, writes are disjoint).
+// naturally: per-block DCT, quantization, per-frame encoding, and
+// per-subset PCA carry no cross-block dependencies. We provide
+// `parallel_for` with static partitioning: the index range is split into
+// one contiguous chunk per participant, which keeps results
+// bit-deterministic regardless of thread count (each index is processed
+// exactly once, writes are disjoint, and no reduction order depends on
+// the partition).
+//
+// Reentrancy contract:
+//   * parallel_for may be called concurrently from any number of
+//     threads; concurrent top-level calls on the same pool are
+//     serialized internally.
+//   * parallel_for may be called from inside a parallel_for body (on the
+//     same or another pool); nested calls run inline on the calling
+//     thread, so the worker set never oversubscribes and nesting cannot
+//     deadlock.
+//
+// Pool selection: pipeline entry points install the pool that their
+// `threads` knob resolves to via ScopedThreads; every inner loop that
+// calls the free `parallel_for` then runs on that pool. With no scope
+// installed, the process-wide pool (hardware concurrency) is used.
 #pragma once
 
 #include <cstddef>
-#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace dpz {
 
-/// Fixed-size pool of worker threads executing static-partitioned loops.
-///
-/// Thread-safety: `parallel_for` may be called from one thread at a time
-/// (the pool is a per-call fork/join executor, not a task queue).
+/// Fixed-size pool of persistent worker threads executing
+/// static-partitioned loops. The calling thread participates in every
+/// loop, so a pool of `threads` executes with exactly `threads`-way
+/// parallelism while spawning `threads - 1` workers.
 class ThreadPool {
  public:
-  /// Creates a pool with `threads` workers; 0 means hardware concurrency.
-  explicit ThreadPool(unsigned threads = 0)
-      : thread_count_(threads != 0 ? threads
-                                   : default_thread_count()) {}
+  /// Creates a pool with `threads` participants; 0 means hardware
+  /// concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] unsigned thread_count() const { return thread_count_; }
 
-  /// Applies `body(i)` for every i in [begin, end). Chunks are contiguous,
-  /// so `body` may freely write to disjoint per-index output slots.
-  /// Exceptions thrown by `body` are captured and rethrown (first one wins).
+  /// Applies `body(i)` for every i in [begin, end). Chunks are
+  /// contiguous, so `body` may freely write to disjoint per-index output
+  /// slots. Exceptions thrown by `body` are captured and rethrown (first
+  /// one wins). Safe to call concurrently and from inside another
+  /// parallel_for body (nested calls run inline; see header comment).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body) const {
-    if (begin >= end) return;
-    const std::size_t n = end - begin;
-    const unsigned workers =
-        static_cast<unsigned>(std::min<std::size_t>(thread_count_, n));
-    if (workers <= 1) {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-      return;
-    }
+                    const std::function<void(std::size_t)>& body) const;
 
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-
-    const std::size_t chunk = (n + workers - 1) / workers;
-    for (unsigned w = 0; w < workers; ++w) {
-      const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
-      const std::size_t hi = std::min(end, lo + chunk);
-      if (lo >= hi) break;
-      threads.emplace_back([&, lo, hi] {
-        try {
-          for (std::size_t i = lo; i < hi; ++i) body(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  /// True when the calling thread is currently executing a parallel_for
+  /// body (of any pool). Such calls run their own loops inline.
+  static bool in_parallel_region();
 
   /// Shared process-wide pool (sized to hardware concurrency).
-  static const ThreadPool& global() {
-    static const ThreadPool pool;
-    return pool;
-  }
+  static const ThreadPool& global();
 
  private:
-  static unsigned default_thread_count() {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw != 0 ? hw : 1;
-  }
+  struct Shared;
+
+  void worker_main(unsigned index) const;
 
   unsigned thread_count_;
+  std::unique_ptr<Shared> shared_;
+  std::vector<std::thread> workers_;
+  /// Serializes top-level parallel_for calls arriving from different
+  /// threads; the pool runs one loop at a time.
+  mutable std::mutex run_mutex_;
 };
 
-/// Convenience wrapper over the global pool.
+/// Installs a pool as the calling thread's active pool for the lifetime
+/// of the scope; the free `parallel_for` below routes through it. Scopes
+/// nest (the previous pool is restored on destruction) and are
+/// per-thread, so concurrent pipelines with different knobs do not
+/// interfere.
+class PoolScope {
+ public:
+  explicit PoolScope(const ThreadPool& pool) : previous_(exchange(&pool)) {}
+  ~PoolScope() { exchange(previous_); }
+
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+  /// The calling thread's active pool (the global pool when no scope is
+  /// installed).
+  static const ThreadPool& current();
+
+ private:
+  /// Swaps the thread-local active-pool pointer, returning the old one.
+  static const ThreadPool* exchange(const ThreadPool* pool);
+
+  const ThreadPool* previous_;
+};
+
+/// Resolves a `threads` configuration knob for the duration of a
+/// pipeline call: 0 keeps the ambient pool (the enclosing scope's, or
+/// the global pool), any other value runs the scope on a dedicated pool
+/// of that size. Output never depends on the choice — only wall-clock
+/// does.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(unsigned threads)
+      : owned_(threads != 0 ? std::make_unique<ThreadPool>(threads)
+                            : nullptr),
+        scope_(owned_ ? *owned_ : PoolScope::current()) {}
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  PoolScope scope_;
+};
+
+/// Convenience wrapper over the calling thread's active pool.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body) {
-  ThreadPool::global().parallel_for(begin, end, body);
+  PoolScope::current().parallel_for(begin, end, body);
 }
 
 }  // namespace dpz

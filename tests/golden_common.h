@@ -1,0 +1,107 @@
+// Shared definitions for the golden-archive format-stability suite.
+//
+// The generator (make_golden.cpp) and the test (test_golden_archive.cpp)
+// both include this header so the inputs and configurations can never
+// drift apart. Golden inputs are built from Rng::uniform() and plain
+// arithmetic only — no libm transcendentals — so regenerating them is
+// bit-exact on every platform; the archives they produce are committed
+// under tests/golden/ and re-encoding must reproduce them byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/chunked.h"
+#include "core/dpz.h"
+#include "core/shared_basis.h"
+#include "util/rng.h"
+
+namespace dpz::golden {
+
+enum class Kind { kDpzF32, kDpzF64, kChunked, kSharedBasis };
+
+struct GoldenCase {
+  std::string name;          ///< file stem under tests/golden/
+  Kind kind = Kind::kDpzF32;
+  std::vector<std::size_t> shape;
+  std::uint64_t seed = 0;
+  DpzScheme scheme = DpzScheme::kStrict;
+};
+
+/// The committed corpus: one case per rank/width/container combination
+/// the format supports. Adding a case here (plus its generated files) is
+/// how a deliberate format change gets recorded; an accidental change
+/// fails the byte comparison instead.
+inline std::vector<GoldenCase> golden_cases() {
+  return {
+      {"dpz_1d_f32_loose", Kind::kDpzF32, {4096}, 101, DpzScheme::kLoose},
+      {"dpz_2d_f32_strict", Kind::kDpzF32, {96, 80}, 102,
+       DpzScheme::kStrict},
+      {"dpz_3d_f32_strict", Kind::kDpzF32, {24, 20, 16}, 103,
+       DpzScheme::kStrict},
+      {"dpz_2d_f64_strict", Kind::kDpzF64, {64, 72}, 104,
+       DpzScheme::kStrict},
+      {"chunked_2d_f32_strict", Kind::kChunked, {128, 96}, 105,
+       DpzScheme::kStrict},
+      {"shared_basis_2d_f32_strict", Kind::kSharedBasis, {96, 96}, 106,
+       DpzScheme::kStrict},
+  };
+}
+
+inline DpzConfig golden_config(const GoldenCase& c) {
+  DpzConfig config = c.scheme == DpzScheme::kLoose ? DpzConfig::loose()
+                                                   : DpzConfig::strict();
+  config.threads = 1;  // the knob must not matter; pin it anyway
+  return config;
+}
+
+/// Smooth-plus-noise field from exact arithmetic: a separable ramp mixed
+/// with uniform noise. Collinear enough for a small k, noisy enough to
+/// exercise the outlier escape path.
+inline std::vector<double> golden_values(const std::vector<std::size_t>& shape,
+                                         std::uint64_t seed) {
+  std::size_t total = 1;
+  for (const std::size_t d : shape) total *= d;
+  Rng rng(seed);
+  std::vector<double> values(total);
+  const std::size_t inner = shape.back();
+  for (std::size_t i = 0; i < total; ++i) {
+    const std::size_t row = i / inner;
+    const std::size_t col = i % inner;
+    values[i] = 0.5 * static_cast<double>(row % 29) -
+                0.25 * static_cast<double>(col % 23) +
+                rng.uniform(-1.0, 1.0);
+  }
+  return values;
+}
+
+inline FloatArray golden_f32(const GoldenCase& c) {
+  const std::vector<double> d = golden_values(c.shape, c.seed);
+  std::vector<float> v(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) v[i] = static_cast<float>(d[i]);
+  return FloatArray(c.shape, std::move(v));
+}
+
+inline DoubleArray golden_f64(const GoldenCase& c) {
+  return DoubleArray(c.shape, golden_values(c.shape, c.seed));
+}
+
+inline ChunkedConfig golden_chunked_config(const GoldenCase& c) {
+  ChunkedConfig config;
+  config.dpz = golden_config(c);
+  config.chunk_values = 2048;
+  config.threads = 1;
+  return config;
+}
+
+/// A second snapshot for the shared-basis case (same statistics,
+/// different seed) so the golden archive exercises the
+/// compress-with-frozen-basis path, not just training.
+inline FloatArray golden_snapshot(const GoldenCase& c) {
+  GoldenCase shifted = c;
+  shifted.seed = c.seed + 1000;
+  return golden_f32(shifted);
+}
+
+}  // namespace dpz::golden

@@ -1,0 +1,48 @@
+// Regenerates the committed golden archives under tests/golden/.
+//
+// Run after a DELIBERATE format change, from the build directory:
+//   ./tests/make_golden <repo>/tests/golden
+// then commit the new bytes together with the format change and a
+// docs/FORMAT.md version note. test_golden_archive.cpp fails loudly when
+// the bytes drift without this step.
+#include <iostream>
+
+#include "golden_common.h"
+#include "io/file_io.h"
+
+int main(int argc, char** argv) {
+  using namespace dpz;
+  using namespace dpz::golden;
+  if (argc != 2) {
+    std::cerr << "usage: make_golden <output-dir>\n";
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const GoldenCase& c : golden_cases()) {
+    switch (c.kind) {
+      case Kind::kDpzF32:
+        write_bytes(dir + "/" + c.name + ".dpz",
+                    dpz_compress(golden_f32(c), golden_config(c)));
+        break;
+      case Kind::kDpzF64:
+        write_bytes(dir + "/" + c.name + ".dpz",
+                    dpz_compress(golden_f64(c), golden_config(c)));
+        break;
+      case Kind::kChunked:
+        write_bytes(dir + "/" + c.name + ".dpz",
+                    chunked_compress(golden_f32(c),
+                                     golden_chunked_config(c)));
+        break;
+      case Kind::kSharedBasis: {
+        const SharedBasisCodec codec =
+            SharedBasisCodec::train(golden_f32(c), golden_config(c));
+        write_bytes(dir + "/" + c.name + ".blob", codec.serialize());
+        write_bytes(dir + "/" + c.name + ".dpz",
+                    codec.compress(golden_snapshot(c)));
+        break;
+      }
+    }
+    std::cout << "wrote " << dir << "/" << c.name << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Determinism under the threads knob: every pipeline must produce
+// byte-identical archives AND byte-identical reconstructions for every
+// worker count. This is the format-level guarantee the parallel rewrite
+// promises (static partitioning, disjoint writes, no order-dependent
+// reductions) — any ordering bug shows up here as a byte diff long
+// before it corrupts a user's data.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "baselines/dctzlike.h"
+#include "core/chunked.h"
+#include "core/dpz.h"
+#include "core/shared_basis.h"
+#include "data/datasets.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dpz {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+FloatArray synthetic_2d(std::size_t rows, std::size_t cols,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      values[r * cols + c] = static_cast<float>(
+          0.25 * static_cast<double>(r % 17) -
+          0.125 * static_cast<double>(c % 13) + rng.uniform(-0.5, 0.5));
+  return FloatArray({rows, cols}, std::move(values));
+}
+
+std::vector<std::uint8_t> float_bytes(const FloatArray& a) {
+  std::vector<std::uint8_t> bytes(a.size() * sizeof(float));
+  std::memcpy(bytes.data(), a.flat().data(), bytes.size());
+  return bytes;
+}
+
+std::vector<std::uint8_t> double_bytes(const DoubleArray& a) {
+  std::vector<std::uint8_t> bytes(a.size() * sizeof(double));
+  std::memcpy(bytes.data(), a.flat().data(), bytes.size());
+  return bytes;
+}
+
+TEST(Determinism, DpzLooseArchiveAndDecodeAreThreadCountInvariant) {
+  const FloatArray data = synthetic_2d(96, 80, 11);
+  DpzConfig config = DpzConfig::loose();
+  config.threads = 1;
+  const std::vector<std::uint8_t> ref_archive = dpz_compress(data, config);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(dpz_decompress(ref_archive, 0, 1));
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    EXPECT_EQ(dpz_compress(data, config), ref_archive)
+        << "archive differs at threads=" << threads;
+    EXPECT_EQ(float_bytes(dpz_decompress(ref_archive, 0, threads)),
+              ref_decode)
+        << "decode differs at threads=" << threads;
+  }
+}
+
+TEST(Determinism, DpzStrictArchiveAndDecodeAreThreadCountInvariant) {
+  const Dataset ds = make_dataset("CLDHGH", 0.05, 2021);
+  DpzConfig config = DpzConfig::strict();
+  config.threads = 1;
+  const std::vector<std::uint8_t> ref_archive =
+      dpz_compress(ds.data, config);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(dpz_decompress(ref_archive, 0, 1));
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    EXPECT_EQ(dpz_compress(ds.data, config), ref_archive)
+        << "archive differs at threads=" << threads;
+    EXPECT_EQ(float_bytes(dpz_decompress(ref_archive, 0, threads)),
+              ref_decode)
+        << "decode differs at threads=" << threads;
+  }
+}
+
+TEST(Determinism, DpzF64ArchiveAndDecodeAreThreadCountInvariant) {
+  Rng rng(7);
+  std::vector<double> values(48 * 64);
+  for (double& v : values) v = rng.uniform(-2.0, 2.0);
+  const DoubleArray data({48, 64}, std::move(values));
+  DpzConfig config = DpzConfig::strict();
+  config.threads = 1;
+  const std::vector<std::uint8_t> ref_archive = dpz_compress(data, config);
+  const std::vector<std::uint8_t> ref_decode =
+      double_bytes(dpz_decompress_f64(ref_archive, 0, 1));
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    EXPECT_EQ(dpz_compress(data, config), ref_archive)
+        << "archive differs at threads=" << threads;
+    EXPECT_EQ(double_bytes(dpz_decompress_f64(ref_archive, 0, threads)),
+              ref_decode)
+        << "decode differs at threads=" << threads;
+  }
+}
+
+TEST(Determinism, DpzSamplingPathIsThreadCountInvariant) {
+  // Algorithm 2 adds the subset estimator and the truncated eigensolver
+  // to the parallel surface; the seed pins its subset choice, so bytes
+  // must still be invariant.
+  const FloatArray data = synthetic_2d(128, 96, 5);
+  DpzConfig config = DpzConfig::strict();
+  config.use_sampling = true;
+  config.threads = 1;
+  const std::vector<std::uint8_t> ref_archive = dpz_compress(data, config);
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    EXPECT_EQ(dpz_compress(data, config), ref_archive)
+        << "archive differs at threads=" << threads;
+  }
+}
+
+TEST(Determinism, ChunkedContainerIsThreadCountInvariant) {
+  const FloatArray data = synthetic_2d(160, 120, 23);
+  ChunkedConfig config;
+  config.dpz = DpzConfig::strict();
+  config.chunk_values = 2048;  // several frames for the outer fan-out
+  config.threads = 1;
+  const std::vector<std::uint8_t> ref_archive =
+      chunked_compress(data, config);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(chunked_decompress(ref_archive, 1));
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    EXPECT_EQ(chunked_compress(data, config), ref_archive)
+        << "container differs at threads=" << threads;
+    EXPECT_EQ(float_bytes(chunked_decompress(ref_archive, threads)),
+              ref_decode)
+        << "decode differs at threads=" << threads;
+  }
+}
+
+TEST(Determinism, SharedBasisCodecIsThreadCountInvariant) {
+  const FloatArray reference = synthetic_2d(96, 96, 31);
+  const FloatArray snapshot = synthetic_2d(96, 96, 32);
+  DpzConfig config = DpzConfig::strict();
+  config.threads = 1;
+  const SharedBasisCodec ref_codec =
+      SharedBasisCodec::train(reference, config);
+  const std::vector<std::uint8_t> ref_blob = ref_codec.serialize();
+  const std::vector<std::uint8_t> ref_archive =
+      ref_codec.compress(snapshot);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(ref_codec.decompress(ref_archive));
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    const SharedBasisCodec codec =
+        SharedBasisCodec::train(reference, config);
+    EXPECT_EQ(codec.serialize(), ref_blob)
+        << "basis blob differs at threads=" << threads;
+    EXPECT_EQ(codec.compress(snapshot), ref_archive)
+        << "archive differs at threads=" << threads;
+    SharedBasisCodec reader = SharedBasisCodec::deserialize(ref_blob);
+    reader.set_threads(threads);
+    EXPECT_EQ(float_bytes(reader.decompress(ref_archive)), ref_decode)
+        << "decode differs at threads=" << threads;
+  }
+}
+
+TEST(Determinism, BaselineUnderScopedPoolIsThreadCountInvariant) {
+  // The DCTZ-like baseline reaches the free parallel_for through
+  // whatever pool is in scope; its bytes must not depend on the pool
+  // either.
+  const FloatArray data = synthetic_2d(72, 88, 41);
+  DctzLikeConfig config;
+  std::vector<std::uint8_t> ref_archive;
+  std::vector<std::uint8_t> ref_decode;
+  for (const unsigned threads : kThreadCounts) {
+    const ScopedThreads scope(threads);
+    const std::vector<std::uint8_t> archive =
+        dctzlike_compress(data, config);
+    const std::vector<std::uint8_t> decode =
+        float_bytes(dctzlike_decompress(archive));
+    if (ref_archive.empty()) {
+      ref_archive = archive;
+      ref_decode = decode;
+    } else {
+      EXPECT_EQ(archive, ref_archive)
+          << "archive differs at threads=" << threads;
+      EXPECT_EQ(decode, ref_decode)
+          << "decode differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, ProgressiveDecodeIsThreadCountInvariant) {
+  // max_components trims the score streams; the partial reconstruction
+  // must be as thread-invariant as the full one.
+  const FloatArray data = synthetic_2d(96, 80, 55);
+  DpzConfig config = DpzConfig::strict();
+  const std::vector<std::uint8_t> archive = dpz_compress(data, config);
+  const DpzArchiveInfo info = dpz_inspect(archive);
+  const std::size_t partial = info.k > 1 ? info.k / 2 : 1;
+  const std::vector<std::uint8_t> ref =
+      float_bytes(dpz_decompress(archive, partial, 1));
+  for (const unsigned threads : kThreadCounts)
+    EXPECT_EQ(float_bytes(dpz_decompress(archive, partial, threads)), ref)
+        << "partial decode differs at threads=" << threads;
+}
+
+}  // namespace
+}  // namespace dpz

@@ -1,0 +1,147 @@
+// Golden-archive format stability: committed archives under tests/golden/
+// must (a) be reproduced byte for byte when the same input is re-encoded
+// with the same configuration, and (b) decode to a reconstruction that
+// matches a fresh encode/decode round trip exactly. Together these pin
+// both directions of the format: an encoder change that alters bytes and
+// a decoder change that alters reconstructions each fail one arm.
+//
+// After a DELIBERATE format change, regenerate with tests/make_golden and
+// commit the new bytes alongside a docs/FORMAT.md version note.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "golden_common.h"
+#include "io/file_io.h"
+#include "metrics/metrics.h"
+
+namespace dpz {
+namespace {
+
+using namespace dpz::golden;
+
+std::string golden_path(const std::string& name, const char* ext) {
+  return std::string(DPZ_GOLDEN_DIR) + "/" + name + ext;
+}
+
+std::vector<std::uint8_t> float_bytes(const FloatArray& a) {
+  std::vector<std::uint8_t> bytes(a.size() * sizeof(float));
+  std::memcpy(bytes.data(), a.flat().data(), bytes.size());
+  return bytes;
+}
+
+GoldenCase find_case(const std::string& name) {
+  for (const GoldenCase& c : golden_cases())
+    if (c.name == name) return c;
+  ADD_FAILURE() << "unknown golden case " << name;
+  return {};
+}
+
+void check_dpz_f32(const std::string& name) {
+  const GoldenCase c = find_case(name);
+  const FloatArray input = golden_f32(c);
+  const std::vector<std::uint8_t> committed =
+      read_bytes(golden_path(c.name, ".dpz"));
+
+  EXPECT_EQ(dpz_compress(input, golden_config(c)), committed)
+      << "re-encoding no longer reproduces " << c.name
+      << " — format drift; see tests/make_golden.cpp";
+
+  const FloatArray decoded = dpz_decompress(committed);
+  EXPECT_EQ(decoded.shape(), input.shape());
+  const ErrorStats err =
+      compute_error_stats(input.flat(), decoded.flat());
+  EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+}
+
+TEST(GoldenArchive, Dpz1DF32Loose) { check_dpz_f32("dpz_1d_f32_loose"); }
+TEST(GoldenArchive, Dpz2DF32Strict) { check_dpz_f32("dpz_2d_f32_strict"); }
+TEST(GoldenArchive, Dpz3DF32Strict) { check_dpz_f32("dpz_3d_f32_strict"); }
+
+TEST(GoldenArchive, Dpz2DF64Strict) {
+  const GoldenCase c = find_case("dpz_2d_f64_strict");
+  const DoubleArray input = golden_f64(c);
+  const std::vector<std::uint8_t> committed =
+      read_bytes(golden_path(c.name, ".dpz"));
+
+  EXPECT_EQ(dpz_compress(input, golden_config(c)), committed)
+      << "re-encoding no longer reproduces " << c.name;
+
+  const DoubleArray decoded = dpz_decompress_f64(committed);
+  EXPECT_EQ(decoded.shape(), input.shape());
+  const ErrorStats err =
+      compute_error_stats(input.flat(), decoded.flat());
+  EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+}
+
+TEST(GoldenArchive, Chunked2DF32Strict) {
+  const GoldenCase c = find_case("chunked_2d_f32_strict");
+  const FloatArray input = golden_f32(c);
+  const std::vector<std::uint8_t> committed =
+      read_bytes(golden_path(c.name, ".dpz"));
+
+  EXPECT_EQ(chunked_compress(input, golden_chunked_config(c)), committed)
+      << "re-encoding no longer reproduces " << c.name;
+  EXPECT_GT(chunked_frame_count(committed), std::size_t{1})
+      << "golden container should hold several frames";
+
+  const FloatArray decoded = chunked_decompress(committed);
+  EXPECT_EQ(decoded.shape(), input.shape());
+  const ErrorStats err =
+      compute_error_stats(input.flat(), decoded.flat());
+  EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+}
+
+TEST(GoldenArchive, SharedBasis2DF32Strict) {
+  const GoldenCase c = find_case("shared_basis_2d_f32_strict");
+  const FloatArray reference = golden_f32(c);
+  const FloatArray snapshot = golden_snapshot(c);
+  const std::vector<std::uint8_t> committed_blob =
+      read_bytes(golden_path(c.name, ".blob"));
+  const std::vector<std::uint8_t> committed_archive =
+      read_bytes(golden_path(c.name, ".dpz"));
+
+  const SharedBasisCodec trained =
+      SharedBasisCodec::train(reference, golden_config(c));
+  EXPECT_EQ(trained.serialize(), committed_blob)
+      << "re-training no longer reproduces the golden basis blob";
+  EXPECT_EQ(trained.compress(snapshot), committed_archive)
+      << "re-encoding no longer reproduces the golden snapshot archive";
+
+  // The committed blob alone must be able to open the committed archive.
+  const SharedBasisCodec restored =
+      SharedBasisCodec::deserialize(committed_blob);
+  const FloatArray decoded = restored.decompress(committed_archive);
+  EXPECT_EQ(decoded.shape(), snapshot.shape());
+  const ErrorStats err =
+      compute_error_stats(snapshot.flat(), decoded.flat());
+  EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+  // And it must agree byte for byte with the trainer's own decode.
+  EXPECT_EQ(float_bytes(decoded),
+            float_bytes(trained.decompress(committed_archive)));
+}
+
+TEST(GoldenArchive, HeadersParseAsRecorded) {
+  // Header-level invariants the format promises, checked on the
+  // committed bytes (no re-encode involved).
+  const std::vector<std::uint8_t> loose =
+      read_bytes(golden_path("dpz_1d_f32_loose", ".dpz"));
+  const DpzArchiveInfo li = dpz_inspect(loose);
+  EXPECT_FALSE(li.double_precision);
+  EXPECT_FALSE(li.wide_codes);
+  EXPECT_DOUBLE_EQ(li.error_bound, 1e-3);
+  EXPECT_EQ(li.shape, std::vector<std::size_t>{4096});
+
+  const std::vector<std::uint8_t> wide =
+      read_bytes(golden_path("dpz_2d_f64_strict", ".dpz"));
+  const DpzArchiveInfo wi = dpz_inspect(wide);
+  EXPECT_TRUE(wi.double_precision);
+  EXPECT_TRUE(wi.wide_codes);
+  EXPECT_DOUBLE_EQ(wi.error_bound, 1e-4);
+  EXPECT_EQ(wi.shape, (std::vector<std::size_t>{64, 72}));
+}
+
+}  // namespace
+}  // namespace dpz

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "util/cli.h"
@@ -189,6 +190,109 @@ TEST(ThreadPool, ResultsIndependentOfThreadCount) {
     return out;
   };
   EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  const ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  pool.parallel_for(0, 64, [&](std::size_t outer) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // The nested call must not deadlock or oversubscribe: it runs
+    // serially on this worker.
+    pool.parallel_for(0, 16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, NestedCallOnDifferentPoolRunsInline) {
+  const ThreadPool outer(3);
+  const ThreadPool inner(3);
+  std::vector<std::atomic<int>> hits(32 * 8);
+  outer.parallel_for(0, 32, [&](std::size_t i) {
+    inner.parallel_for(0, 8,
+                       [&](std::size_t j) { hits[i * 8 + j].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallsAreSerialized) {
+  // Multiple plain threads hammer the same pool; every loop must still
+  // cover its range exactly once. This is the documented multi-caller
+  // contract (top-level calls serialize internally).
+  const ThreadPool pool(4);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kRange = 512;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& v : hits) {
+    std::vector<std::atomic<int>> fresh(kRange);
+    v.swap(fresh);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c)
+    callers.emplace_back([&, c] {
+      for (int repeat = 0; repeat < 8; ++repeat)
+        pool.parallel_for(0, kRange,
+                          [&](std::size_t i) { hits[c][i].fetch_add(1); });
+    });
+  for (auto& t : callers) t.join();
+  for (const auto& caller : hits)
+    for (const auto& h : caller) EXPECT_EQ(h.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  const ThreadPool pool(4);
+  std::vector<int> out(100, 0);
+  for (int round = 0; round < 200; ++round)
+    pool.parallel_for(0, out.size(), [&](std::size_t i) { out[i] += 1; });
+  for (const int v : out) EXPECT_EQ(v, 200);
+}
+
+TEST(PoolScope, FreeParallelForRoutesThroughActivePool) {
+  // A 1-thread scoped pool keeps everything on the calling thread; the
+  // free parallel_for must pick it up instead of the global pool.
+  const ThreadPool solo(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  {
+    const PoolScope scope(solo);
+    EXPECT_EQ(&PoolScope::current(), &solo);
+    parallel_for(0, 32, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+  }
+  EXPECT_EQ(&PoolScope::current(), &ThreadPool::global());
+}
+
+TEST(PoolScope, ScopesNestAndRestore) {
+  const ThreadPool a(2);
+  const ThreadPool b(3);
+  {
+    const PoolScope outer(a);
+    EXPECT_EQ(PoolScope::current().thread_count(), 2U);
+    {
+      const PoolScope inner(b);
+      EXPECT_EQ(PoolScope::current().thread_count(), 3U);
+    }
+    EXPECT_EQ(PoolScope::current().thread_count(), 2U);
+  }
+}
+
+TEST(ScopedThreads, ZeroKeepsAmbientPoolNonzeroOwnsOne) {
+  const ThreadPool ambient(2);
+  const PoolScope scope(ambient);
+  {
+    const ScopedThreads keep(0);
+    EXPECT_EQ(&PoolScope::current(), &ambient);
+  }
+  {
+    const ScopedThreads own(5);
+    EXPECT_EQ(PoolScope::current().thread_count(), 5U);
+    EXPECT_NE(&PoolScope::current(), &ambient);
+  }
+  EXPECT_EQ(&PoolScope::current(), &ambient);
 }
 
 // ---- Timers ----------------------------------------------------------------
