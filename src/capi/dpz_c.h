@@ -58,6 +58,15 @@ enum {
   DPZ_SELECT_KNEE_POLY = 2 /* knee point, polynomial fit */
 };
 
+/* Compression options.
+ *
+ * ABI note: this struct may grow at the end in future releases (the
+ * `threads` field was appended this way), which changes sizeof(dpz_options)
+ * and is an ABI break for clients holding the old layout. Always compile
+ * against the header that matches the linked library, and ALWAYS initialize
+ * the struct with dpz_options_default() before setting fields — never by
+ * memset or field-by-field assignment — so newly appended fields get their
+ * defaults instead of garbage. */
 typedef struct dpz_options {
   int scheme;           /* DPZ_SCHEME_* */
   int selection;        /* DPZ_SELECT_* */

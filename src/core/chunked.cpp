@@ -145,12 +145,32 @@ FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               unsigned threads) {
   const ContainerHeader h = parse_header(container);
 
+  // Cheap header-only pre-pass: every frame claims its decoded size, and
+  // the claims must exactly tile the container's shape *before* any frame
+  // is decoded. This bounds transient memory by h.total — a forged
+  // container cannot make us decode an arbitrary sum of frames and only
+  // find out afterwards that they exceed the claimed shape.
+  std::size_t claimed = 0;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    const auto frame = container.subspan(
+        h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
+        static_cast<std::size_t>(h.frame_sizes[f]));
+    const DpzArchiveInfo info = dpz_inspect(frame);
+    std::size_t count = 1;
+    for (const std::size_t d : info.shape) count *= d;
+    if (count > h.total - claimed)
+      throw FormatError("chunked container: frames exceed the shape");
+    claimed += count;
+  }
+  if (claimed != h.total)
+    throw FormatError("chunked container: frames do not cover the shape");
+
   // Decode the frames in parallel into per-frame buffers, then
   // concatenate in frame order. Nothing is allocated from the claimed
   // shape up front: the header's dims are archive data, and a forged
   // total must not size an allocation the frames cannot back — each
   // frame's own decode validates (and bounds) its output, and the sum is
-  // checked against the shape before the final buffer is built.
+  // re-checked against the shape before the final buffer is built.
   const ScopedThreads pool_scope(threads);
   std::vector<FloatArray> chunks(h.frame_count);
   parallel_for(0, h.frame_count, [&](std::size_t f) {

@@ -210,6 +210,19 @@ TEST(CorruptChunkedContainer, TableDriven) {
        nullptr},
       {"frame-overlap-forged-offset",
        [](auto& b) { write_u64_at(b, 45, ~std::uint64_t{0}); }, nullptr},
+      // Shape forgeries must be rejected by the header-only pre-pass,
+      // i.e. with the shape-mismatch message even when a frame payload
+      // byte is also corrupted — decoding a frame before the claimed
+      // sizes are reconciled would surface a frame decode error instead.
+      {"shape-smaller-than-frames",
+       [](auto& b) {
+         write_u64_at(b, 5, 8);
+         b[b.size() / 2] ^= 0xFF;
+       },
+       "frames exceed the shape"},
+      {"shape-larger-than-frames",
+       [](auto& b) { write_u64_at(b, 5, 3 * 4096); },
+       "frames do not cover the shape"},
   };
   run_cases(valid, cases, [](std::span<const std::uint8_t> bytes) {
     (void)chunked_decompress(bytes);

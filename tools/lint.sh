@@ -65,6 +65,16 @@ check_reader() {
 check_reader src/codec/bytes.h ByteReader
 check_reader src/codec/bitstream.h BitReader
 
+# --- Rule 4: golden fixtures must be tracked ----------------------------
+# tests/golden/ holds the format-stability archives the test suite reads
+# from a fresh clone. The repo-wide *.dpz ignore rule can silently swallow
+# a new fixture, so any file present on disk but unknown to git (untracked
+# OR ignored) is an error here.
+untracked=$(git ls-files --others tests/golden)
+if [ -n "$untracked" ]; then
+  fail "untracked file in tests/golden/ (git add -f it, or extend the .gitignore negation — the format-stability tests read fixtures from a fresh clone):" "$untracked"
+fi
+
 if [ "$status" -eq 0 ]; then
   echo "lint: OK"
 fi
