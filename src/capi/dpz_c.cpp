@@ -1,10 +1,12 @@
 #include "capi/dpz_c.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
 
+#include "core/chunked.h"
 #include "core/dpz.h"
 #include "util/error.h"
 
@@ -137,6 +139,55 @@ void dpz_options_default(dpz_options* opt) {
   opt->dct_keep_fraction = 1.0;
   opt->zlib_level = 6;
   opt->threads = 0;
+  opt->best_effort = 0;
+  opt->fill_value = 0.0;
+}
+
+int dpz_chunked_decompress_float(const unsigned char* container,
+                                 size_t container_size,
+                                 const dpz_options* opt, float** out,
+                                 size_t* out_count,
+                                 dpz_decode_report* report) {
+  if (container == nullptr || out == nullptr || out_count == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  if (report != nullptr) {
+    *report = dpz_decode_report{};
+    report->first_lost_frame = static_cast<size_t>(-1);
+  }
+  try {
+    dpz::ChunkedConfig config;
+    if (opt != nullptr) {
+      config.threads =
+          opt->threads > 0 ? static_cast<unsigned>(opt->threads) : 0;
+      config.decode_policy = opt->best_effort != 0
+                                 ? dpz::DecodePolicy::kBestEffort
+                                 : dpz::DecodePolicy::kStrict;
+      config.fill_value = static_cast<float>(opt->fill_value);
+    }
+    dpz::DecodeReport cpp_report;
+    const dpz::FloatArray array = dpz::chunked_decompress(
+        std::span<const std::uint8_t>{container, container_size}, config,
+        &cpp_report);
+    if (report != nullptr) {
+      report->frames_total = cpp_report.frames_total;
+      report->frames_recovered = cpp_report.frames_recovered;
+      report->frames_lost = cpp_report.lost.size();
+      if (!cpp_report.lost.empty()) {
+        report->first_lost_frame = cpp_report.lost.front().frame;
+        const std::string& msg = cpp_report.lost.front().message;
+        const size_t n =
+            std::min(msg.size(), sizeof(report->first_error) - 1);
+        msg.copy(report->first_error, n);
+        report->first_error[n] = '\0';
+      }
+    }
+    g_last_error.clear();
+    const int rc = export_values(array, out, out_count);
+    if (rc != DPZ_OK) return rc;
+    return cpp_report.complete() ? DPZ_OK : DPZ_PARTIAL;
+  } catch (...) {
+    return translate_exception();
+  }
 }
 
 int dpz_compress_float(const float* data, const size_t* dims, size_t rank,

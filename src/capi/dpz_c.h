@@ -32,14 +32,19 @@ extern "C" {
 /* Status codes. Values mirror dpz::StatusCode (util/error.h) so a status
  * survives the C boundary unchanged. DPZ_ERR_FORMAT is the recoverable
  * "malformed archive" status: decoding untrusted bytes either succeeds or
- * returns it — never crashes. */
+ * returns it — never crashes. DPZ_ERR_CHECKSUM is its format-v2
+ * refinement (a stored CRC32C did not match the bytes). DPZ_PARTIAL is
+ * not an error: a best-effort chunked decode completed but lost frames —
+ * the output is valid, with lost frames holding the fill value. */
 enum {
   DPZ_OK = 0,
   DPZ_ERR_INVALID_ARGUMENT = 1,
   DPZ_ERR_FORMAT = 2,
   DPZ_ERR_INTERNAL = 3,
   DPZ_ERR_IO = 4,
-  DPZ_ERR_NUMERICAL = 5
+  DPZ_ERR_NUMERICAL = 5,
+  DPZ_ERR_CHECKSUM = 6,
+  DPZ_PARTIAL = 7
 };
 
 /* Short stable name for a status code ("ok", "format", ...). */
@@ -80,6 +85,13 @@ typedef struct dpz_options {
    * wall-clock knob only, never a format parameter (the determinism
    * tests assert this). */
   int threads;
+  /* Damage handling for dpz_chunked_decompress_float. 0 (strict): the
+   * first damaged frame fails the whole decode. 1 (best effort): intact
+   * frames decode normally, damaged frames are filled with `fill_value`
+   * and reported via dpz_decode_report / DPZ_PARTIAL. */
+  int best_effort;
+  /* Value written into lost frames in best-effort mode (default 0.0). */
+  double fill_value;
 } dpz_options;
 
 /* Fills `opt` with the library defaults (strict scheme, five-nine TVE). */
@@ -116,6 +128,29 @@ int dpz_decompress_float_mt(const unsigned char* archive,
 int dpz_decompress_double_mt(const unsigned char* archive,
                              size_t archive_size, int threads, double** out,
                              size_t* out_count);
+
+/* Per-frame outcome of a chunked decode (see dpz_chunked_decompress_float).
+ * first_lost_frame is (size_t)-1 when no frame was lost. */
+typedef struct dpz_decode_report {
+  size_t frames_total;
+  size_t frames_recovered;
+  size_t frames_lost;
+  size_t first_lost_frame;
+  /* Message of the first lost frame's error ("" when none), truncated. */
+  char first_error[240];
+} dpz_decode_report;
+
+/* Decompresses a chunked container (format "DZCK"/"DZC2"). `opt` may be
+ * NULL for strict defaults; otherwise `threads`, `best_effort`, and
+ * `fill_value` apply. `report` may be NULL. Returns DPZ_OK on a full
+ * reconstruction, DPZ_PARTIAL when best-effort lost frames (the output
+ * buffer is still produced, lost frames filled), or an error code with
+ * the outputs untouched. */
+int dpz_chunked_decompress_float(const unsigned char* container,
+                                 size_t container_size,
+                                 const dpz_options* opt, float** out,
+                                 size_t* out_count,
+                                 dpz_decode_report* report);
 
 /* Reads the shape from an archive header. `dims` must hold at least 4
  * entries; *rank receives the actual rank. */

@@ -138,15 +138,18 @@ DpzAnalysis::Evaluation DpzAnalysis::evaluate(std::size_t k,
 
   const std::vector<std::uint8_t> side_raw =
       detail::serialize_side(side, standardized_);
-  st.side_bytes = zlib_compress(side_raw, zlib_level).size() + 16;
+  // v2 section framing adds 20 bytes per section: raw size (8), CRC32C
+  // (4), and the blob length prefix (8).
+  st.side_bytes = zlib_compress(side_raw, zlib_level).size() + 20;
   ByteWriter outlier_bytes;
   for (const float v : qs.outliers) outlier_bytes.put_f32(v);
   st.zlib_payload_bytes =
       zlib_compress(qs.codes, zlib_level).size() +
-      zlib_compress(outlier_bytes.bytes(), zlib_level).size() + 32;
-  // Header: magic/version/flags/P + shape + layout + k + outlier count.
+      zlib_compress(outlier_bytes.bytes(), zlib_level).size() + 40;
+  // Header: magic/version/flags/P + shape + layout + k + outlier count
+  // + the v2 header CRC32C.
   const std::uint64_t header_bytes =
-      4 + 1 + 1 + 8 + 1 + 8 * original_.shape().size() + 8 * 3 + 4 + 8;
+      4 + 1 + 1 + 8 + 1 + 8 * original_.shape().size() + 8 * 3 + 4 + 8 + 4;
   st.archive_bytes = header_bytes + st.side_bytes + st.zlib_payload_bytes;
   return ev;
 }

@@ -12,6 +12,24 @@
 
 namespace dpz::detail {
 
+/// Archive format versions. Version 2 adds CRC32C integrity: a header
+/// checksum sealing every fixed field and a per-section checksum that is
+/// verified *before* the blob reaches zlib. Writers always emit
+/// kFormatVersion; readers accept both (docs/FORMAT.md, "Format v2").
+inline constexpr std::uint8_t kFormatVersionLegacy = 1;
+inline constexpr std::uint8_t kFormatVersion = 2;
+
+/// Container magics (little-endian u32 of the 4-byte tag). The v1 tags
+/// carry no version byte, so v2 containers announce themselves with new
+/// magics and readers accept either generation.
+inline constexpr std::uint32_t kDpzMagic = 0x315A5044;         // "DPZ1"
+inline constexpr std::uint32_t kChunkedMagicV1 = 0x4B435A44;   // "DZCK"
+inline constexpr std::uint32_t kChunkedMagicV2 = 0x32435A44;   // "DZC2"
+inline constexpr std::uint32_t kBasisMagicV1 = 0x42505A44;     // "DZPB"
+inline constexpr std::uint32_t kBasisMagicV2 = 0x32425A44;     // "DZB2"
+inline constexpr std::uint32_t kSnapshotMagicV1 = 0x53505A44;  // "DZPS"
+inline constexpr std::uint32_t kSnapshotMagicV2 = 0x32535A44;  // "DZS2"
+
 /// Score-normalization calibration: every k-PCA score is divided by ONE
 /// global scale — kScoreSigmaScale times the standard deviation of the
 /// first (largest) component — before quantization, mirroring the paper's
@@ -43,9 +61,29 @@ std::vector<std::uint8_t> serialize_side(const SideData& side,
 SideData deserialize_side(std::span<const std::uint8_t> bytes, std::size_t m,
                           std::size_t k, bool standardized);
 
-/// Section framing: (u64 raw size, u64-length-prefixed zlib blob).
+/// Section framing.
+///   v1: raw_size:u64, blob:u64-length-prefixed zlib stream
+///   v2: raw_size:u64, crc:u32, blob  — crc is CRC32C over the 8
+///       little-endian raw-size bytes followed by the compressed blob.
+/// put_section always writes v2; get_section parses the framing the
+/// given version uses and, for v2, verifies the checksum *before* the
+/// blob is handed to zlib (ChecksumError on mismatch), so corrupted
+/// payloads never reach the inflater or size an allocation.
 void put_section(ByteWriter& w, std::span<const std::uint8_t> raw,
                  int level);
-std::vector<std::uint8_t> get_section(ByteReader& r);
+std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version);
+
+/// CRC32C over the section's wire image (raw-size field + blob), i.e.
+/// exactly what a v2 section checksum covers. Shared with verify.cpp.
+std::uint32_t section_crc(std::uint64_t raw_size,
+                          std::span<const std::uint8_t> blob);
+
+/// Header seal: put_header_crc appends a CRC32C over every byte written
+/// so far; check_header_crc recomputes it over archive[0, cursor) and
+/// reads the stored value, throwing ChecksumError("<what>: ...") on
+/// mismatch. Only meaningful for version >= 2 headers.
+void put_header_crc(ByteWriter& w);
+void check_header_crc(ByteReader& r, std::span<const std::uint8_t> archive,
+                      const char* what);
 
 }  // namespace dpz::detail

@@ -1,6 +1,12 @@
 #include "core/chunked.h"
 
+#include <algorithm>
+#include <exception>
+#include <utility>
+
 #include "codec/bytes.h"
+#include "core/archive_detail.h"
+#include "util/crc32c.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
 
@@ -8,23 +14,53 @@ namespace dpz {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4B435A44;  // "DZCK"
-
 struct ContainerHeader {
+  std::uint8_t version = detail::kFormatVersionLegacy;
   std::vector<std::size_t> shape;
   std::size_t total = 0;
   std::size_t chunk_values = 0;
   std::size_t frame_count = 0;
   std::vector<std::uint64_t> frame_offsets;  // relative to frame area
   std::vector<std::uint64_t> frame_sizes;
+  std::vector<std::uint32_t> frame_crcs;  // empty for v1 containers
   std::size_t frames_begin = 0;  // byte offset of the frame area
 };
 
+// Number of frames the compressor emits for (total, chunk_values): one
+// per full chunk, the tail merged into the previous frame when it would
+// fall below the pipeline minimum of 8 values. Computed arithmetically —
+// never by materializing the boundary list — so a forged header cannot
+// drive an allocation before this check runs.
+std::size_t expected_frame_count(std::size_t total,
+                                 std::size_t chunk_values) {
+  std::size_t n = (total + chunk_values - 1) / chunk_values;
+  if (n > 1 && total - (n - 1) * chunk_values < 8) --n;
+  return n;
+}
+
+// Flat value range frame `f` covers. Well-defined once the frame count
+// matches expected_frame_count: every frame holds chunk_values values
+// except the last, which runs to the end of the data.
+std::pair<std::size_t, std::size_t> frame_slot(const ContainerHeader& h,
+                                               std::size_t f) {
+  const std::size_t begin = f * h.chunk_values;
+  const std::size_t end =
+      f + 1 < h.frame_count ? begin + h.chunk_values : h.total;
+  return {begin, end};
+}
+
 ContainerHeader parse_header(std::span<const std::uint8_t> container) {
   ByteReader r(container);
-  if (r.get_u32() != kMagic) throw FormatError("not a chunked DPZ container");
+  const std::uint32_t magic = r.get_u32();
+  if (magic != detail::kChunkedMagicV1 && magic != detail::kChunkedMagicV2)
+    throw FormatError("not a chunked DPZ container");
 
   ContainerHeader h;
+  if (magic == detail::kChunkedMagicV2) {
+    h.version = r.get_u8();
+    if (h.version != detail::kFormatVersion)
+      throw FormatError("unsupported chunked container version");
+  }
   const std::uint8_t rank = r.get_u8();
   if (rank == 0 || rank > 4)
     throw FormatError("chunked container: bad rank");
@@ -40,16 +76,26 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
   }
   h.chunk_values = static_cast<std::size_t>(r.get_u64());
   h.frame_count = static_cast<std::size_t>(r.get_u64());
-  if (h.chunk_values < 8 || h.frame_count == 0 ||
-      h.frame_count > h.total / 8 + 1)
+  // The chunk geometry fully determines the frame count, so demand the
+  // exact value instead of a plausibility envelope: best-effort recovery
+  // needs every frame's slot to be computable from the header alone.
+  if (h.chunk_values < 8 || h.chunk_values > (1ULL << 40) ||
+      h.frame_count != expected_frame_count(h.total, h.chunk_values))
     throw FormatError("chunked container: inconsistent chunking");
 
   h.frame_offsets.resize(h.frame_count);
   h.frame_sizes.resize(h.frame_count);
+  if (h.version >= detail::kFormatVersion)
+    h.frame_crcs.resize(h.frame_count);
   for (std::size_t f = 0; f < h.frame_count; ++f) {
     h.frame_offsets[f] = r.get_u64();
     h.frame_sizes[f] = r.get_u64();
+    if (h.version >= detail::kFormatVersion) h.frame_crcs[f] = r.get_u32();
   }
+  // v2 seals everything up to here — fields *and* frame table — so a
+  // flipped table byte is caught before any frame bytes are touched.
+  if (h.version >= detail::kFormatVersion)
+    detail::check_header_crc(r, container, "chunked container");
   h.frames_begin = r.position();
 
   // Frame table sanity: contiguous, in-bounds frames. Sizes are archive
@@ -69,6 +115,24 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
   return h;
 }
 
+std::span<const std::uint8_t> frame_bytes(
+    std::span<const std::uint8_t> container, const ContainerHeader& h,
+    std::size_t f) {
+  return container.subspan(
+      h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
+      static_cast<std::size_t>(h.frame_sizes[f]));
+}
+
+// v2 per-frame integrity: verify the frame's CRC32C before its bytes
+// reach the DPZ decoder (verify-before-inflate, docs/FORMAT.md).
+void check_frame_crc(std::span<const std::uint8_t> frame,
+                     const ContainerHeader& h, std::size_t f) {
+  if (h.frame_crcs.empty()) return;
+  if (crc32c(frame) != h.frame_crcs[f])
+    throw ChecksumError("chunked container: frame " + std::to_string(f) +
+                        " checksum mismatch");
+}
+
 // Chunk boundaries over `total` values: every chunk has `chunk_values`
 // values except the last, which absorbs the tail (and is merged into the
 // previous chunk when the tail would fall below the pipeline minimum).
@@ -78,6 +142,110 @@ std::vector<std::size_t> chunk_starts(std::size_t total,
   for (std::size_t s = 0; s < total; s += chunk_values) starts.push_back(s);
   if (starts.size() > 1 && total - starts.back() < 8) starts.pop_back();
   return starts;
+}
+
+FloatArray decompress_strict(std::span<const std::uint8_t> container,
+                             const ContainerHeader& h,
+                             DecodeReport* report) {
+  // Cheap header-only pre-pass: every frame claims its decoded size, and
+  // the claims must exactly tile the container's shape *before* any frame
+  // is decoded. This bounds transient memory by h.total — a forged
+  // container cannot make us decode an arbitrary sum of frames and only
+  // find out afterwards that they exceed the claimed shape.
+  std::size_t claimed = 0;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    const DpzArchiveInfo info = dpz_inspect(frame_bytes(container, h, f));
+    std::size_t count = 1;
+    for (const std::size_t d : info.shape) count *= d;
+    if (count > h.total - claimed)
+      throw FormatError("chunked container: frames exceed the shape");
+    claimed += count;
+  }
+  if (claimed != h.total)
+    throw FormatError("chunked container: frames do not cover the shape");
+
+  // Decode the frames in parallel into per-frame buffers, then
+  // concatenate in frame order. Nothing is allocated from the claimed
+  // shape up front: the header's dims are archive data, and a forged
+  // total must not size an allocation the frames cannot back — each
+  // frame's own decode validates (and bounds) its output, and the sum is
+  // re-checked against the shape before the final buffer is built.
+  // Per-frame failures are collected rather than rethrown by the pool so
+  // the error that surfaces is deterministically the lowest frame's.
+  std::vector<FloatArray> chunks(h.frame_count);
+  std::vector<std::exception_ptr> errors(h.frame_count);
+  parallel_for(0, h.frame_count, [&](std::size_t f) {
+    try {
+      const auto frame = frame_bytes(container, h, f);
+      check_frame_crc(frame, h, f);
+      chunks[f] = dpz_decompress(frame);
+    } catch (...) {
+      errors[f] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  std::size_t total = 0;
+  for (const FloatArray& chunk : chunks) {
+    if (chunk.size() > h.total - total)
+      throw FormatError("chunked container: frames exceed the shape");
+    total += chunk.size();
+  }
+  if (total != h.total)
+    throw FormatError("chunked container: frames do not cover the shape");
+
+  if (report != nullptr) {
+    *report = DecodeReport{};
+    report->frames_total = h.frame_count;
+    report->frames_recovered = h.frame_count;
+  }
+  std::vector<float> values;
+  values.reserve(h.total);
+  for (const FloatArray& chunk : chunks)
+    values.insert(values.end(), chunk.flat().begin(), chunk.flat().end());
+  return FloatArray(h.shape, std::move(values));
+}
+
+FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
+                                  const ContainerHeader& h, float fill,
+                                  DecodeReport* report) {
+  // The output is sized from the header geometry (already validated and,
+  // for v2, sealed by the header CRC) and pre-filled so lost frames are
+  // visible as runs of the fill value. Each frame writes only its own
+  // slot, so the parallel loop touches disjoint ranges.
+  std::vector<float> values(h.total, fill);
+  std::vector<std::string> frame_error(h.frame_count);
+  std::vector<std::uint8_t> frame_lost(h.frame_count, 0);
+  parallel_for(0, h.frame_count, [&](std::size_t f) {
+    const auto [begin, end] = frame_slot(h, f);
+    try {
+      const auto frame = frame_bytes(container, h, f);
+      check_frame_crc(frame, h, f);
+      const FloatArray chunk = dpz_decompress(frame);
+      if (chunk.size() != end - begin)
+        throw FormatError("chunked container: frame " + std::to_string(f) +
+                          " does not match its slot");
+      std::copy(chunk.flat().begin(), chunk.flat().end(),
+                values.begin() + static_cast<std::ptrdiff_t>(begin));
+    } catch (const Error& e) {
+      frame_lost[f] = 1;
+      frame_error[f] = e.what();
+    }
+  });
+
+  if (report != nullptr) {
+    *report = DecodeReport{};
+    report->frames_total = h.frame_count;
+    for (std::size_t f = 0; f < h.frame_count; ++f) {
+      if (frame_lost[f] != 0) {
+        report->lost.push_back({f, frame_error[f]});
+      } else {
+        ++report->frames_recovered;
+      }
+    }
+  }
+  return FloatArray(h.shape, std::move(values));
 }
 
 }  // namespace
@@ -122,7 +290,8 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
     if (raw != 0) ++st.stored_raw_frames;
 
   ByteWriter w;
-  w.put_u32(kMagic);
+  w.put_u32(detail::kChunkedMagicV2);
+  w.put_u8(detail::kFormatVersion);
   w.put_u8(static_cast<std::uint8_t>(data.shape().size()));
   for (const std::size_t d : data.shape()) w.put_u64(d);
   w.put_u64(config.chunk_values);
@@ -131,8 +300,10 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   for (const auto& frame : frames) {
     w.put_u64(offset);
     w.put_u64(frame.size());
+    w.put_u32(crc32c(frame));
     offset += frame.size();
   }
+  detail::put_header_crc(w);
   for (const auto& frame : frames) w.put_bytes(frame);
 
   std::vector<std::uint8_t> out = w.take();
@@ -144,56 +315,18 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
 FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               unsigned threads) {
   const ContainerHeader h = parse_header(container);
-
-  // Cheap header-only pre-pass: every frame claims its decoded size, and
-  // the claims must exactly tile the container's shape *before* any frame
-  // is decoded. This bounds transient memory by h.total — a forged
-  // container cannot make us decode an arbitrary sum of frames and only
-  // find out afterwards that they exceed the claimed shape.
-  std::size_t claimed = 0;
-  for (std::size_t f = 0; f < h.frame_count; ++f) {
-    const auto frame = container.subspan(
-        h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
-        static_cast<std::size_t>(h.frame_sizes[f]));
-    const DpzArchiveInfo info = dpz_inspect(frame);
-    std::size_t count = 1;
-    for (const std::size_t d : info.shape) count *= d;
-    if (count > h.total - claimed)
-      throw FormatError("chunked container: frames exceed the shape");
-    claimed += count;
-  }
-  if (claimed != h.total)
-    throw FormatError("chunked container: frames do not cover the shape");
-
-  // Decode the frames in parallel into per-frame buffers, then
-  // concatenate in frame order. Nothing is allocated from the claimed
-  // shape up front: the header's dims are archive data, and a forged
-  // total must not size an allocation the frames cannot back — each
-  // frame's own decode validates (and bounds) its output, and the sum is
-  // re-checked against the shape before the final buffer is built.
   const ScopedThreads pool_scope(threads);
-  std::vector<FloatArray> chunks(h.frame_count);
-  parallel_for(0, h.frame_count, [&](std::size_t f) {
-    const auto frame = container.subspan(
-        h.frames_begin + static_cast<std::size_t>(h.frame_offsets[f]),
-        static_cast<std::size_t>(h.frame_sizes[f]));
-    chunks[f] = dpz_decompress(frame);
-  });
+  return decompress_strict(container, h, nullptr);
+}
 
-  std::size_t total = 0;
-  for (const FloatArray& chunk : chunks) {
-    if (chunk.size() > h.total - total)
-      throw FormatError("chunked container: frames exceed the shape");
-    total += chunk.size();
-  }
-  if (total != h.total)
-    throw FormatError("chunked container: frames do not cover the shape");
-
-  std::vector<float> values;
-  values.reserve(h.total);
-  for (const FloatArray& chunk : chunks)
-    values.insert(values.end(), chunk.flat().begin(), chunk.flat().end());
-  return FloatArray(h.shape, std::move(values));
+FloatArray chunked_decompress(std::span<const std::uint8_t> container,
+                              const ChunkedConfig& config,
+                              DecodeReport* report) {
+  const ContainerHeader h = parse_header(container);
+  const ScopedThreads pool_scope(config.threads);
+  if (config.decode_policy == DecodePolicy::kBestEffort)
+    return decompress_best_effort(container, h, config.fill_value, report);
+  return decompress_strict(container, h, report);
 }
 
 ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
@@ -201,9 +334,8 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
   const ContainerHeader h = parse_header(container);
   DPZ_REQUIRE(frame_index < h.frame_count, "frame index out of range");
 
-  const auto frame = container.subspan(
-      h.frames_begin + static_cast<std::size_t>(h.frame_offsets[frame_index]),
-      static_cast<std::size_t>(h.frame_sizes[frame_index]));
+  const auto frame = frame_bytes(container, h, frame_index);
+  check_frame_crc(frame, h, frame_index);
   const FloatArray chunk = dpz_decompress(frame);
 
   ChunkView view;

@@ -15,17 +15,49 @@
 //     per-chunk basis overhead — use SharedBasisCodec when the statistics
 //     are stationary).
 //
-// Format: magic, element width, shape, chunk size, frame count, then a
-// frame table (u64 offsets) and the frames themselves.
+// Format v2 ("DZC2"): magic, version, shape, chunk size, frame count, a
+// frame table of (offset, size, CRC32C) entries, a header checksum over
+// everything before the frames, then the frames themselves. v1 ("DZCK")
+// containers — same layout minus version byte and checksums — still
+// decode. See docs/FORMAT.md.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/dpz.h"
 
 namespace dpz {
+
+/// What a decoder does when a frame inside an otherwise-parsable
+/// container is damaged (bad CRC, malformed frame bytes).
+enum class DecodePolicy {
+  /// Throw on the first damaged frame (the classic contract: decode
+  /// succeeds fully or fails with a FormatError).
+  kStrict,
+  /// Decode every intact frame, fill lost frames with
+  /// ChunkedConfig::fill_value, and report the damage via DecodeReport
+  /// instead of throwing. Container-level damage (header, frame table)
+  /// still throws — without a trustworthy table there is nothing to
+  /// salvage.
+  kBestEffort,
+};
+
+/// Outcome of a best-effort chunked decode: which frames survived and
+/// the first error observed for each lost frame.
+struct DecodeReport {
+  struct FrameError {
+    std::size_t frame = 0;  ///< 0-based frame index
+    std::string message;    ///< first error observed for this frame
+  };
+  std::size_t frames_total = 0;
+  std::size_t frames_recovered = 0;
+  std::vector<FrameError> lost;  ///< ascending by frame index
+
+  [[nodiscard]] bool complete() const { return lost.empty(); }
+};
 
 struct ChunkedConfig {
   DpzConfig dpz;
@@ -39,6 +71,12 @@ struct ChunkedConfig {
   /// chunk) while frames are in flight. Inner pipeline loops run inline
   /// on their frame's worker, so `dpz.threads` is ignored here.
   unsigned threads = 0;
+  /// Damage handling for chunked_decompress (see DecodePolicy).
+  DecodePolicy decode_policy = DecodePolicy::kStrict;
+  /// Value written into every position of a lost frame in best-effort
+  /// mode — caller-visible, so "recovered with holes" is distinguishable
+  /// from real data (NaN is a deliberate choice for float analysis).
+  float fill_value = 0.0F;
 };
 
 /// Per-container accounting.
@@ -65,6 +103,15 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
 /// `threads` workers (0 = ambient pool) with bit-identical output.
 FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               unsigned threads = 0);
+
+/// Policy-aware variant: honors config.decode_policy / fill_value /
+/// threads. When `report` is non-null it receives the per-frame outcome
+/// (strict decodes that succeed report every frame recovered). In
+/// best-effort mode frame damage never throws; intact frames still
+/// decode in parallel and are byte-identical to a strict decode.
+FloatArray chunked_decompress(std::span<const std::uint8_t> container,
+                              const ChunkedConfig& config,
+                              DecodeReport* report = nullptr);
 
 /// Decompresses a single frame (0-based). Returns the chunk's values in
 /// flattened order along with its offset into the flat dataset. This is

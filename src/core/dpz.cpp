@@ -1,6 +1,7 @@
 #include "core/dpz.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "codec/bytes.h"
@@ -13,6 +14,7 @@
 #include "linalg/pca.h"
 #include "stats/descriptive.h"
 #include "stats/vif.h"
+#include "util/crc32c.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
@@ -94,22 +96,49 @@ double component_scale(std::span<const double> scores) {
   return peak > 0.0 ? peak : 1.0;
 }
 
+std::uint32_t section_crc(std::uint64_t raw_size,
+                          std::span<const std::uint8_t> blob) {
+  std::array<std::uint8_t, 8> size_bytes{};
+  for (std::size_t i = 0; i < 8; ++i)
+    size_bytes[i] = static_cast<std::uint8_t>(raw_size >> (8 * i));
+  return crc32c(blob, crc32c(size_bytes));
+}
+
 void put_section(ByteWriter& w, std::span<const std::uint8_t> raw,
                  int level) {
   w.put_u64(raw.size());
   const std::vector<std::uint8_t> z = zlib_compress(raw, level);
+  w.put_u32(section_crc(raw.size(), z));
   w.put_blob(z);
 }
 
-std::vector<std::uint8_t> get_section(ByteReader& r) {
+std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version) {
   const std::uint64_t raw_size = r.get_u64();
+  const std::uint32_t stored_crc =
+      version >= kFormatVersion ? r.get_u32() : 0;
   const std::vector<std::uint8_t> z = r.get_blob();
   // A corrupted raw-size field must not drive the output allocation:
   // deflate expands at most ~1032:1, so anything beyond that bound (plus
   // slack for tiny sections) is a forged header.
   if (raw_size > z.size() * 1100 + 4096)
     throw FormatError("section raw size implausible for its payload");
+  // Verify-before-inflate: a damaged blob must never reach zlib (whose
+  // failure modes on corrupt streams are a generic error at best) or
+  // drive the quantizer. tools/lint.sh rule 5 keeps every core section
+  // read on this path.
+  if (version >= kFormatVersion &&
+      section_crc(raw_size, z) != stored_crc)
+    throw ChecksumError("section checksum mismatch (corrupted blob)");
   return zlib_decompress(z, static_cast<std::size_t>(raw_size));
+}
+
+void put_header_crc(ByteWriter& w) { w.put_u32(crc32c(w.bytes())); }
+
+void check_header_crc(ByteReader& r, std::span<const std::uint8_t> archive,
+                      const char* what) {
+  const std::uint32_t computed = crc32c(archive.first(r.position()));
+  if (r.get_u32() != computed)
+    throw ChecksumError(std::string(what) + ": header checksum mismatch");
 }
 
 }  // namespace detail
@@ -117,13 +146,25 @@ std::vector<std::uint8_t> get_section(ByteReader& r) {
 namespace {
 
 using detail::SideData;
+using detail::check_header_crc;
 using detail::deserialize_side;
 using detail::get_section;
+using detail::put_header_crc;
 using detail::put_section;
 using detail::serialize_side;
 
-constexpr std::uint32_t kMagic = 0x315A5044;  // "DPZ1" little-endian
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint32_t kMagic = detail::kDpzMagic;
+constexpr std::uint8_t kVersion = detail::kFormatVersion;
+
+// Reads and validates the version byte: v1 (legacy, no checksums) and v2
+// (checksummed) archives both decode; anything else is from the future.
+std::uint8_t read_version(ByteReader& r) {
+  const std::uint8_t version = r.get_u8();
+  if (version != detail::kFormatVersionLegacy &&
+      version != detail::kFormatVersion)
+    throw FormatError("unsupported DPZ archive version");
+  return version;
+}
 
 constexpr std::uint8_t kFlagWideCodes = 0x01;
 constexpr std::uint8_t kFlagStandardized = 0x02;
@@ -187,6 +228,7 @@ std::vector<std::uint8_t> make_stored_archive(const NdArray<T>& data,
   w.put_f64(1.0);  // error bound slot (unused for stored archives)
   w.put_u8(static_cast<std::uint8_t>(data.shape().size()));
   for (const std::size_t d : data.shape()) w.put_u64(d);
+  put_header_crc(w);
 
   ByteWriter raw;
   for (const T v : data.flat())
@@ -338,6 +380,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
     w.put_u64(layout.original_total);
     w.put_u32(static_cast<std::uint32_t>(k));
     w.put_u64(qs.outliers.size());
+    put_header_crc(w);
 
     const std::size_t before_side = w.size();
     put_section(w, serialize_side(side, standardized), config.zlib_level);
@@ -369,8 +412,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   const ScopedThreads pool_scope(threads);
   ByteReader r(archive);
   if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
-  if (r.get_u8() != kVersion)
-    throw FormatError("unsupported DPZ archive version");
+  const std::uint8_t version = read_version(r);
   const std::uint8_t flags = r.get_u8();
   const bool wide_codes = (flags & kFlagWideCodes) != 0;
   const bool standardized = (flags & kFlagStandardized) != 0;
@@ -385,9 +427,11 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   if ((flags & kFlagStoredRaw) != 0) {
     r.get_f64();  // unused error-bound slot
     const std::vector<std::size_t> shape = read_shape(r);
+    if (version >= kVersion)
+      check_header_crc(r, archive, "stored DPZ archive");
     std::size_t total = 1;
     for (const std::size_t d : shape) total *= d;
-    const std::vector<std::uint8_t> raw = get_section(r);
+    const std::vector<std::uint8_t> raw = get_section(r, version);
     if (raw.size() != total * sizeof(T))
       throw FormatError("stored DPZ archive size mismatch");
     ByteReader raw_reader(raw);
@@ -411,6 +455,11 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   layout.padded = layout.m * layout.n != layout.original_total;
   const std::size_t k = r.get_u32();
   const std::uint64_t outlier_count = r.get_u64();
+  // The header seal comes first: a flipped bit in any fixed field is
+  // reported as corruption, not as whichever geometry invariant it
+  // happens to break. (Forged-but-resealed headers still hit the checks
+  // below — the CRC authenticates bytes, not semantics.)
+  if (version >= kVersion) check_header_crc(r, archive, "DPZ archive");
 
   std::size_t shape_total = 1;
   for (const std::size_t d : shape) shape_total *= d;
@@ -424,19 +473,19 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
       outlier_count > static_cast<std::uint64_t>(k) * layout.n)
     throw FormatError("inconsistent DPZ archive geometry");
 
-  const std::vector<std::uint8_t> side_bytes = get_section(r);
+  const std::vector<std::uint8_t> side_bytes = get_section(r, version);
   const SideData side =
       deserialize_side(side_bytes, layout.m, k, standardized);
 
   QuantizedStream qs;
   qs.count = k * layout.n;
-  qs.codes = get_section(r);
+  qs.codes = get_section(r, version);
   // Validate the code-section size against the claimed geometry *before*
   // anything downstream (score matrices, outlier buffers) is sized from
   // k*n — dequantize()'s size contract must never see archive data.
   if (qs.codes.size() != qs.count * qcfg.code_bytes())
     throw FormatError("DPZ code section size mismatch");
-  const std::vector<std::uint8_t> outlier_raw = get_section(r);
+  const std::vector<std::uint8_t> outlier_raw = get_section(r, version);
   if (outlier_raw.size() != outlier_count * sizeof(T))
     throw FormatError("DPZ outlier section size mismatch");
   ByteReader outlier_reader(outlier_raw);
@@ -532,11 +581,11 @@ DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
 DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive) {
   ByteReader r(archive);
   if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
-  if (r.get_u8() != kVersion)
-    throw FormatError("unsupported DPZ archive version");
+  const std::uint8_t version = read_version(r);
   const std::uint8_t flags = r.get_u8();
 
   DpzArchiveInfo info;
+  info.version = version;
   info.archive_bytes = archive.size();
   info.stored_raw = (flags & kFlagStoredRaw) != 0;
   info.wide_codes = (flags & kFlagWideCodes) != 0;
@@ -545,7 +594,11 @@ DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive) {
   info.error_bound = r.get_f64();
 
   info.shape = read_shape(r);
-  if (info.stored_raw) return info;
+  if (info.stored_raw) {
+    if (version >= kVersion)
+      check_header_crc(r, archive, "stored DPZ archive");
+    return info;
+  }
 
   info.layout.m = static_cast<std::size_t>(r.get_u64());
   info.layout.n = static_cast<std::size_t>(r.get_u64());
@@ -554,6 +607,7 @@ DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive) {
       info.layout.m * info.layout.n != info.layout.original_total;
   info.k = r.get_u32();
   info.outlier_count = r.get_u64();
+  if (version >= kVersion) check_header_crc(r, archive, "DPZ archive");
   return info;
 }
 

@@ -188,8 +188,11 @@ DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
                                std::size_t max_components = 0,
                                unsigned threads = 0);
 
-/// Header-level description of an archive (no payload decoding).
+/// Header-level description of an archive (no payload decoding). For
+/// format-v2 archives the header checksum is verified as part of the
+/// parse, so a corrupted header throws rather than reporting garbage.
 struct DpzArchiveInfo {
+  int version = 0;  ///< archive format version (1 legacy, 2 checksummed)
   bool stored_raw = false;
   bool wide_codes = false;
   bool standardized = false;

@@ -4,7 +4,6 @@
 
 #include "codec/bytes.h"
 #include "codec/shuffle.h"
-#include "codec/zlib_codec.h"
 #include "core/archive_detail.h"
 #include "dsp/dct.h"
 #include "stats/knee.h"
@@ -14,8 +13,16 @@ namespace dpz {
 
 namespace {
 
-constexpr std::uint32_t kBasisMagic = 0x42505A44;     // "DZPB"
-constexpr std::uint32_t kSnapshotMagic = 0x53505A44;  // "DZPS"
+// Reads the version byte of a v2 blob/snapshot; v1 tags carry none, so
+// the magic alone selects the legacy parse.
+std::uint8_t read_shared_version(ByteReader& r, std::uint32_t magic,
+                                 std::uint32_t v2_magic) {
+  if (magic != v2_magic) return detail::kFormatVersionLegacy;
+  const std::uint8_t version = r.get_u8();
+  if (version != detail::kFormatVersion)
+    throw FormatError("unsupported shared-basis format version");
+  return version;
+}
 
 // Stage 1 helper shared by train/compress.
 Matrix dct_blocks_of(const FloatArray& data, const BlockLayout& layout) {
@@ -100,7 +107,8 @@ SharedBasisCodec SharedBasisCodec::train(const FloatArray& reference,
 
 std::vector<std::uint8_t> SharedBasisCodec::serialize() const {
   ByteWriter w;
-  w.put_u32(kBasisMagic);
+  w.put_u32(detail::kBasisMagicV2);
+  w.put_u8(detail::kFormatVersion);
   w.put_u8(qcfg_.wide_codes ? 1 : 0);
   w.put_f64(qcfg_.error_bound);
   w.put_u8(static_cast<std::uint8_t>(shape_.size()));
@@ -109,23 +117,26 @@ std::vector<std::uint8_t> SharedBasisCodec::serialize() const {
   w.put_u64(layout_.n);
   w.put_u64(layout_.original_total);
   w.put_u32(static_cast<std::uint32_t>(basis_.cols()));
+  detail::put_header_crc(w);
 
   ByteWriter basis_bytes;
   for (std::size_t i = 0; i < basis_.rows(); ++i)
     for (std::size_t j = 0; j < basis_.cols(); ++j)
       basis_bytes.put_f32(static_cast<float>(basis_(i, j)));
   const auto shuffled = shuffle_bytes(basis_bytes.bytes(), sizeof(float));
-  w.put_u64(shuffled.size());
-  w.put_blob(zlib_compress(shuffled, zlib_level_));
+  detail::put_section(w, shuffled, zlib_level_);
   return w.take();
 }
 
 SharedBasisCodec SharedBasisCodec::deserialize(
     std::span<const std::uint8_t> blob) {
   ByteReader r(blob);
-  if (r.get_u32() != kBasisMagic)
+  const std::uint32_t magic = r.get_u32();
+  if (magic != detail::kBasisMagicV1 && magic != detail::kBasisMagicV2)
     throw FormatError("not a shared-basis blob");
   SharedBasisCodec codec;
+  const std::uint8_t version =
+      read_shared_version(r, magic, detail::kBasisMagicV2);
   codec.qcfg_.wide_codes = r.get_u8() != 0;
   codec.qcfg_.error_bound = r.get_f64();
   if (!(codec.qcfg_.error_bound > 0.0))
@@ -152,6 +163,8 @@ SharedBasisCodec SharedBasisCodec::deserialize(
   codec.layout_.padded =
       codec.layout_.m * codec.layout_.n != codec.layout_.original_total;
   const std::size_t k = r.get_u32();
+  if (version >= detail::kFormatVersion)
+    detail::check_header_crc(r, blob, "shared-basis blob");
   // Same geometry envelope the DPZ decoder enforces: m < n keeps m (and
   // with it every m*k product below) far from overflow, and the padded
   // total must stay within the layout chooser's worst case.
@@ -163,9 +176,8 @@ SharedBasisCodec SharedBasisCodec::deserialize(
       k > lay.m)
     throw FormatError("shared-basis blob: inconsistent geometry");
 
-  const std::uint64_t raw_size = r.get_u64();
   const std::vector<std::uint8_t> shuffled =
-      zlib_decompress(r.get_blob(), static_cast<std::size_t>(raw_size));
+      detail::get_section(r, version);
   if (shuffled.size() != codec.layout_.m * k * sizeof(float))
     throw FormatError("shared-basis blob: basis size mismatch");
   const std::vector<std::uint8_t> raw =
@@ -218,9 +230,11 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
   st.stage3_bytes = qs.codes.size() + qs.outliers.size() * sizeof(float);
 
   ByteWriter w;
-  w.put_u32(kSnapshotMagic);
+  w.put_u32(detail::kSnapshotMagicV2);
+  w.put_u8(detail::kFormatVersion);
   w.put_f64(score_scale);
   w.put_u64(qs.outliers.size());
+  detail::put_header_crc(w);
 
   ByteWriter mean_bytes;
   for (const double v : mean) mean_bytes.put_f64(v);
@@ -243,16 +257,22 @@ FloatArray SharedBasisCodec::decompress(
     std::span<const std::uint8_t> archive) const {
   const ScopedThreads pool_scope(threads_);
   ByteReader r(archive);
-  if (r.get_u32() != kSnapshotMagic)
+  const std::uint32_t magic = r.get_u32();
+  if (magic != detail::kSnapshotMagicV1 && magic != detail::kSnapshotMagicV2)
     throw FormatError("not a shared-basis snapshot archive");
+  const std::uint8_t version =
+      read_shared_version(r, magic, detail::kSnapshotMagicV2);
   const double score_scale = r.get_f64();
   if (!(score_scale > 0.0))
     throw FormatError("snapshot archive: bad score scale");
   const std::uint64_t outlier_count = r.get_u64();
+  if (version >= detail::kFormatVersion)
+    detail::check_header_crc(r, archive, "snapshot archive");
   if (outlier_count > basis_.cols() * layout_.n)
     throw FormatError("snapshot archive: implausible outlier count");
 
-  const std::vector<std::uint8_t> mean_raw = detail::get_section(r);
+  const std::vector<std::uint8_t> mean_raw =
+      detail::get_section(r, version);
   if (mean_raw.size() != layout_.m * sizeof(double))
     throw FormatError("snapshot archive: mean size mismatch");
   ByteReader mean_reader(mean_raw);
@@ -262,12 +282,13 @@ FloatArray SharedBasisCodec::decompress(
   const std::size_t k = basis_.cols();
   QuantizedStream qs;
   qs.count = k * layout_.n;
-  qs.codes = detail::get_section(r);
+  qs.codes = detail::get_section(r, version);
   // Check the section against the codec's geometry before dequantize()
   // sees it: its size contract is for callers, not for archive bytes.
   if (qs.codes.size() != qs.count * qcfg_.code_bytes())
     throw FormatError("snapshot archive: code section size mismatch");
-  const std::vector<std::uint8_t> outlier_raw = detail::get_section(r);
+  const std::vector<std::uint8_t> outlier_raw =
+      detail::get_section(r, version);
   if (outlier_raw.size() != outlier_count * sizeof(float))
     throw FormatError("snapshot archive: outlier size mismatch");
   ByteReader outlier_reader(outlier_raw);

@@ -1,0 +1,249 @@
+#include "core/verify.h"
+
+#include "codec/bytes.h"
+#include "core/archive_detail.h"
+#include "util/crc32c.h"
+#include "util/error.h"
+
+namespace dpz {
+
+namespace {
+
+using detail::kFormatVersion;
+using detail::kFormatVersionLegacy;
+
+// Records the fixed header (bytes [0, cursor) plus the v2 seal) as a
+// pseudo-section. Reads the stored CRC for v2, so the cursor lands on
+// the first section afterwards.
+void walk_header(ByteReader& r, std::span<const std::uint8_t> bytes,
+                 std::uint8_t version, VerifyReport& rep) {
+  SectionStatus s;
+  s.name = "header";
+  s.offset = 0;
+  if (version >= kFormatVersion) {
+    s.has_crc = true;
+    s.computed_crc = crc32c(bytes.first(r.position()));
+    s.stored_crc = r.get_u32();
+    s.crc_ok = s.stored_crc == s.computed_crc;
+    if (!s.crc_ok) rep.problems.push_back("header checksum mismatch");
+  }
+  s.size = r.position();
+  rep.sections.push_back(s);
+}
+
+// Walks one compressed section (v1 or v2 framing) without inflating it.
+void walk_section(ByteReader& r, std::uint8_t version,
+                  const std::string& name, VerifyReport& rep) {
+  SectionStatus s;
+  s.name = name;
+  s.offset = r.position();
+  s.raw_size = r.get_u64();
+  if (version >= kFormatVersion) {
+    s.has_crc = true;
+    s.stored_crc = r.get_u32();
+  }
+  const std::vector<std::uint8_t> blob = r.get_blob();
+  if (s.raw_size > blob.size() * 1100 + 4096)
+    rep.problems.push_back("section '" + name +
+                           "': raw size implausible for its payload");
+  if (s.has_crc) {
+    s.computed_crc = detail::section_crc(s.raw_size, blob);
+    s.crc_ok = s.computed_crc == s.stored_crc;
+    if (!s.crc_ok)
+      rep.problems.push_back("section '" + name + "' checksum mismatch");
+  }
+  s.size = r.position() - s.offset;
+  rep.sections.push_back(s);
+}
+
+// Shape fields shared by every header: rank byte + u64 extents. Returns
+// the element count; throws FormatError on nonsense (caught by the
+// top-level walker).
+std::uint64_t walk_shape(ByteReader& r) {
+  const std::uint8_t rank = r.get_u8();
+  if (rank == 0 || rank > 4) throw FormatError("bad rank");
+  std::uint64_t total = 1;
+  for (std::uint8_t d = 0; d < rank; ++d) {
+    const std::uint64_t e = r.get_u64();
+    if (e == 0 || e > (1ULL << 40)) throw FormatError("implausible extent");
+    total *= e;
+    if (total > (1ULL << 40)) throw FormatError("implausible total");
+  }
+  return total;
+}
+
+void require_consumed(ByteReader& r, VerifyReport& rep) {
+  if (r.remaining() != 0)
+    rep.problems.push_back(std::to_string(r.remaining()) +
+                           " trailing bytes after the last section");
+}
+
+void walk_dpz(ByteReader& r, std::span<const std::uint8_t> bytes,
+              VerifyReport& rep) {
+  const std::uint8_t version = r.get_u8();
+  if (version != kFormatVersionLegacy && version != kFormatVersion)
+    throw FormatError("unsupported version");
+  rep.version = version;
+  const std::uint8_t flags = r.get_u8();
+  const bool stored_raw = (flags & 0x04) != 0;
+  rep.kind = stored_raw ? "stored" : "dpz";
+  r.get_f64();  // error bound
+  walk_shape(r);
+  if (stored_raw) {
+    walk_header(r, bytes, version, rep);
+    walk_section(r, version, "payload", rep);
+  } else {
+    r.get_u64();  // m
+    r.get_u64();  // n
+    r.get_u64();  // original total
+    r.get_u32();  // k
+    r.get_u64();  // outlier count
+    walk_header(r, bytes, version, rep);
+    walk_section(r, version, "side", rep);
+    walk_section(r, version, "codes", rep);
+    walk_section(r, version, "outliers", rep);
+  }
+  require_consumed(r, rep);
+}
+
+void walk_chunked(ByteReader& r, std::span<const std::uint8_t> bytes,
+                  bool v2, VerifyReport& rep) {
+  rep.kind = "chunked";
+  std::uint8_t version = kFormatVersionLegacy;
+  if (v2) {
+    version = r.get_u8();
+    if (version != kFormatVersion) throw FormatError("unsupported version");
+  }
+  rep.version = version;
+  walk_shape(r);
+  const std::uint64_t chunk_values = r.get_u64();
+  const std::uint64_t frame_count = r.get_u64();
+  const std::size_t entry = version >= kFormatVersion ? 20 : 16;
+  if (chunk_values < 8 || frame_count == 0 ||
+      frame_count > r.remaining() / entry)
+    throw FormatError("inconsistent chunking");
+
+  std::vector<std::uint64_t> offsets(frame_count);
+  std::vector<std::uint64_t> sizes(frame_count);
+  std::vector<std::uint32_t> crcs(frame_count, 0);
+  for (std::uint64_t f = 0; f < frame_count; ++f) {
+    offsets[f] = r.get_u64();
+    sizes[f] = r.get_u64();
+    if (version >= kFormatVersion) crcs[f] = r.get_u32();
+  }
+  walk_header(r, bytes, version, rep);
+
+  const std::size_t frames_begin = r.position();
+  const std::uint64_t frame_area = bytes.size() - frames_begin;
+  std::uint64_t expected = 0;
+  for (std::uint64_t f = 0; f < frame_count; ++f) {
+    if (offsets[f] != expected)
+      throw FormatError("non-contiguous frame table");
+    if (sizes[f] > frame_area - expected)
+      throw FormatError("frame exceeds the container");
+    expected += sizes[f];
+
+    SectionStatus s;
+    s.name = "frame[" + std::to_string(f) + "]";
+    s.offset = frames_begin + offsets[f];
+    s.size = sizes[f];
+    const auto frame =
+        bytes.subspan(static_cast<std::size_t>(s.offset),
+                      static_cast<std::size_t>(s.size));
+    if (version >= kFormatVersion) {
+      s.has_crc = true;
+      s.stored_crc = crcs[f];
+      s.computed_crc = crc32c(frame);
+      s.crc_ok = s.computed_crc == s.stored_crc;
+      if (!s.crc_ok)
+        rep.problems.push_back(s.name + " checksum mismatch");
+    }
+    rep.sections.push_back(s);
+
+    // Each frame is a self-contained DPZ archive; verify its structure
+    // too so a v1 container (no CRCs) still gets a meaningful check.
+    const VerifyReport inner = verify_archive(frame);
+    if (!inner.ok)
+      rep.problems.push_back(
+          s.name + ": " +
+          (inner.problems.empty() ? "malformed frame"
+                                  : inner.problems.front()));
+  }
+  if (expected != frame_area)
+    throw FormatError("frame area size mismatch");
+}
+
+void walk_basis(ByteReader& r, std::span<const std::uint8_t> bytes,
+                bool v2, VerifyReport& rep) {
+  rep.kind = "shared-basis";
+  std::uint8_t version = kFormatVersionLegacy;
+  if (v2) {
+    version = r.get_u8();
+    if (version != kFormatVersion) throw FormatError("unsupported version");
+  }
+  rep.version = version;
+  r.get_u8();   // wide codes
+  r.get_f64();  // error bound
+  walk_shape(r);
+  r.get_u64();  // m
+  r.get_u64();  // n
+  r.get_u64();  // original total
+  r.get_u32();  // k
+  walk_header(r, bytes, version, rep);
+  walk_section(r, version, "basis", rep);
+  require_consumed(r, rep);
+}
+
+void walk_snapshot(ByteReader& r, std::span<const std::uint8_t> bytes,
+                   bool v2, VerifyReport& rep) {
+  rep.kind = "snapshot";
+  std::uint8_t version = kFormatVersionLegacy;
+  if (v2) {
+    version = r.get_u8();
+    if (version != kFormatVersion) throw FormatError("unsupported version");
+  }
+  rep.version = version;
+  r.get_f64();  // score scale
+  r.get_u64();  // outlier count
+  walk_header(r, bytes, version, rep);
+  walk_section(r, version, "mean", rep);
+  walk_section(r, version, "codes", rep);
+  walk_section(r, version, "outliers", rep);
+  require_consumed(r, rep);
+}
+
+}  // namespace
+
+VerifyReport verify_archive(std::span<const std::uint8_t> bytes) {
+  VerifyReport rep;
+  rep.kind = "unknown";
+  try {
+    ByteReader r(bytes);
+    const std::uint32_t magic = r.get_u32();
+    switch (magic) {
+      case detail::kDpzMagic:
+        walk_dpz(r, bytes, rep);
+        break;
+      case detail::kChunkedMagicV1:
+      case detail::kChunkedMagicV2:
+        walk_chunked(r, bytes, magic == detail::kChunkedMagicV2, rep);
+        break;
+      case detail::kBasisMagicV1:
+      case detail::kBasisMagicV2:
+        walk_basis(r, bytes, magic == detail::kBasisMagicV2, rep);
+        break;
+      case detail::kSnapshotMagicV1:
+      case detail::kSnapshotMagicV2:
+        walk_snapshot(r, bytes, magic == detail::kSnapshotMagicV2, rep);
+        break;
+      default:
+        throw FormatError("not a recognized DPZ container");
+    }
+  } catch (const Error& e) {
+    rep.problems.push_back(e.what());
+  }
+  rep.ok = rep.problems.empty();
+  return rep;
+}
+
+}  // namespace dpz

@@ -1,0 +1,49 @@
+// Archive integrity verification: a structural walk over any DPZ
+// container (monolithic, stored-raw, chunked, shared-basis blob or
+// snapshot) that checks framing and — for format v2 — every CRC32C,
+// without inflating a single payload byte.
+//
+// This is the read-only side of the v2 integrity layer: `dpz verify`
+// prints the report, the fuzz truncation sweep derives section
+// boundaries from it, and callers can pre-flight an archive fetched
+// from unreliable storage before committing to a decode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dpz {
+
+/// One checksummed unit of an archive: the fixed header, a compressed
+/// section, or a chunked frame.
+struct SectionStatus {
+  std::string name;          ///< "header", "side", "frame[3]", ...
+  std::uint64_t offset = 0;  ///< byte offset of the unit in the archive
+  std::uint64_t size = 0;    ///< wire size including framing fields
+  std::uint64_t raw_size = 0;  ///< claimed inflated size (sections only)
+  bool has_crc = false;      ///< false for every v1 unit
+  bool crc_ok = true;        ///< vacuously true when !has_crc
+  std::uint32_t stored_crc = 0;
+  std::uint32_t computed_crc = 0;
+};
+
+/// Outcome of verify_archive: the archive's kind and version, one row
+/// per section, and a list of human-readable problems (empty iff ok).
+struct VerifyReport {
+  std::string kind;  ///< "dpz", "stored", "chunked", "shared-basis",
+                     ///< "snapshot", or "unknown"
+  int version = 0;   ///< 1 (legacy) or 2 (checksummed); 0 when unknown
+  bool ok = false;
+  std::vector<SectionStatus> sections;
+  std::vector<std::string> problems;
+};
+
+/// Walks `bytes` and reports its integrity. Never throws: malformed or
+/// truncated input produces ok == false with the failure described in
+/// `problems`, and the sections walked up to that point are retained.
+/// Chunked containers additionally verify each frame's own structure.
+VerifyReport verify_archive(std::span<const std::uint8_t> bytes);
+
+}  // namespace dpz

@@ -1,0 +1,23 @@
+#include "io/fault_injection.h"
+
+namespace dpz::io {
+
+namespace {
+thread_local FaultPlan g_plan;
+thread_local bool g_active = false;
+}  // namespace
+
+void install_fault_plan(const FaultPlan* plan) {
+  if (plan != nullptr) {
+    g_plan = *plan;
+    g_active = true;
+  } else {
+    g_active = false;
+  }
+}
+
+namespace detail {
+FaultPlan* active_fault_plan() { return g_active ? &g_plan : nullptr; }
+}  // namespace detail
+
+}  // namespace dpz::io

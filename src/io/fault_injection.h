@@ -1,0 +1,69 @@
+// Deterministic I/O fault injection for the file_io syscall wrappers.
+//
+// Production storage fails in ways unit tests never exercise: signals
+// interrupt read()/write() mid-transfer, transfers come back short,
+// disks flip bits, and files arrive truncated. The full-read/full-write
+// loops in file_io.cpp are written to survive all of these — this hook
+// lets the test suite prove it, by injecting each failure class at a
+// seeded offset and asserting the outcome is either a byte-exact
+// recovery or a clean IoError/FormatError (tests/test_fault_injection.cpp).
+//
+// The plan applies to the calling thread only and describes faults in
+// terms of the byte stream of one whole-file operation (read_bytes,
+// write_bytes, read_f32, ...): offsets are relative to the start of
+// that operation. Counters (EINTR, short transfers) are consumed as
+// the faults fire. Not compiled out in release builds — the branch per
+// syscall is negligible next to the syscall itself.
+#pragma once
+
+#include <cstdint>
+
+namespace dpz::io {
+
+struct FaultPlan {
+  /// Sentinel for "this fault is disabled".
+  static constexpr std::uint64_t kNoFault = ~0ULL;
+
+  // -- read-side faults --------------------------------------------------
+  int read_eintr = 0;       ///< first N read() calls fail once with EINTR
+  int short_reads = 0;      ///< first N read() calls transfer <= 7 bytes
+  /// Simulated truncation: read() reports end-of-file at this offset.
+  std::uint64_t read_truncate_at = kNoFault;
+  /// Bit corruption: XOR `read_flip_mask` into the byte at this offset
+  /// as it is read (models storage rot under an unwitting reader).
+  std::uint64_t read_flip_offset = kNoFault;
+  std::uint8_t read_flip_mask = 0;
+
+  // -- write-side faults -------------------------------------------------
+  int write_eintr = 0;      ///< first N write() calls fail once with EINTR
+  int short_writes = 0;     ///< first N write() calls transfer <= 7 bytes
+  /// Hard failure: write() fails with ENOSPC at this offset.
+  std::uint64_t write_fail_at = kNoFault;
+  /// Bit corruption: the byte at this offset lands flipped on disk.
+  std::uint64_t write_flip_offset = kNoFault;
+  std::uint8_t write_flip_mask = 0;
+};
+
+/// Installs a copy of `plan` for this thread's subsequent file_io
+/// operations; counters are consumed in place. Passing nullptr clears
+/// the active plan.
+void install_fault_plan(const FaultPlan* plan);
+
+/// RAII installer: active for the scope's lifetime, cleared on exit.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    install_fault_plan(&plan);
+  }
+  ~ScopedFaultPlan() { install_fault_plan(nullptr); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+namespace detail {
+/// The calling thread's active plan (mutable: counters tick down), or
+/// nullptr. For the file_io syscall wrappers only.
+FaultPlan* active_fault_plan();
+}  // namespace detail
+
+}  // namespace dpz::io

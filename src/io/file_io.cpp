@@ -1,23 +1,179 @@
 #include "io/file_io.h"
 
-#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
+
+#include "io/fault_injection.h"
 
 namespace dpz {
 
 namespace {
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
+// POSIX-level I/O with two robustness guarantees the old stdio
+// implementation lacked:
+//
+//  * full_read / full_write loop until the transfer completes, retrying
+//    EINTR (a signal mid-syscall) and continuing after short transfers —
+//    both are legal POSIX behavior that a single fread/fwrite call turns
+//    into a spurious failure;
+//  * every write lands via a temp file + fsync + rename, so a crash,
+//    ENOSPC, or injected fault mid-write can never leave a torn file at
+//    the destination — the old contents (or absence) survive intact.
+//
+// Both paths consult the thread's io::FaultPlan (io/fault_injection.h)
+// so the fault-injection suite can drive them through each failure mode.
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    const int f = fd;
+    fd = -1;
+    return f;
   }
 };
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-FilePtr open_file(const std::string& path, const char* mode) {
-  FilePtr f(std::fopen(path.c_str(), mode));
-  if (!f) throw IoError("cannot open file: " + path);
-  return f;
+[[noreturn]] void throw_errno(const std::string& op,
+                              const std::string& path) {
+  throw IoError(op + " " + path + " (" + std::strerror(errno) + ")");
+}
+
+// read(2) with the thread's fault plan applied. `off` is the operation
+// offset, used to place flips and truncation deterministically.
+ssize_t faulty_read(int fd, std::uint8_t* buf, std::size_t count,
+                    std::uint64_t off) {
+  io::FaultPlan* plan = io::detail::active_fault_plan();
+  if (plan != nullptr) {
+    if (plan->read_eintr > 0) {
+      --plan->read_eintr;
+      errno = EINTR;
+      return -1;
+    }
+    if (plan->read_truncate_at != io::FaultPlan::kNoFault) {
+      if (off >= plan->read_truncate_at) return 0;  // premature EOF
+      count = std::min<std::uint64_t>(count, plan->read_truncate_at - off);
+    }
+    if (plan->short_reads > 0) {
+      --plan->short_reads;
+      count = std::min<std::size_t>(count, 7);
+    }
+  }
+  const ssize_t got = ::read(fd, buf, count);
+  if (plan != nullptr && got > 0 &&
+      plan->read_flip_offset != io::FaultPlan::kNoFault &&
+      plan->read_flip_offset >= off &&
+      plan->read_flip_offset < off + static_cast<std::uint64_t>(got))
+    buf[plan->read_flip_offset - off] ^= plan->read_flip_mask;
+  return got;
+}
+
+// write(2) with the thread's fault plan applied.
+ssize_t faulty_write(int fd, const std::uint8_t* buf, std::size_t count,
+                     std::uint64_t off) {
+  io::FaultPlan* plan = io::detail::active_fault_plan();
+  if (plan != nullptr) {
+    if (plan->write_eintr > 0) {
+      --plan->write_eintr;
+      errno = EINTR;
+      return -1;
+    }
+    if (plan->write_fail_at != io::FaultPlan::kNoFault &&
+        off + count > plan->write_fail_at) {
+      if (off >= plan->write_fail_at) {
+        errno = ENOSPC;
+        return -1;
+      }
+      count = static_cast<std::size_t>(plan->write_fail_at - off);
+    }
+    if (plan->short_writes > 0) {
+      --plan->short_writes;
+      count = std::min<std::size_t>(count, 7);
+    }
+    if (plan->write_flip_offset != io::FaultPlan::kNoFault &&
+        plan->write_flip_offset >= off &&
+        plan->write_flip_offset < off + count) {
+      // Corrupt the byte that lands on disk without touching the
+      // caller's buffer.
+      std::vector<std::uint8_t> copy(buf, buf + count);
+      copy[plan->write_flip_offset - off] ^= plan->write_flip_mask;
+      return ::write(fd, copy.data(), copy.size());
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+// Reads exactly `n` bytes or throws IoError; EINTR retries, short reads
+// continue where they left off, early EOF is a clean failure.
+void full_read(int fd, void* out, std::size_t n, const std::string& path) {
+  auto* buf = static_cast<std::uint8_t*>(out);
+  std::uint64_t off = 0;
+  while (off < n) {
+    const ssize_t got = faulty_read(fd, buf + off, n - off, off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot read", path);
+    }
+    if (got == 0)
+      throw IoError("short read from " + path + " (got " +
+                    std::to_string(off) + " of " + std::to_string(n) +
+                    " bytes)");
+    off += static_cast<std::uint64_t>(got);
+  }
+}
+
+// Writes exactly `n` bytes or throws IoError, with the same retry rules.
+void full_write(int fd, const void* data, std::size_t n,
+                const std::string& path) {
+  const auto* buf = static_cast<const std::uint8_t*>(data);
+  std::uint64_t off = 0;
+  while (off < n) {
+    const ssize_t put = faulty_write(fd, buf + off, n - off, off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("cannot write", path);
+    }
+    off += static_cast<std::uint64_t>(put);
+  }
+}
+
+int open_for_read(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) throw IoError("cannot open file: " + path);
+  return fd;
+}
+
+// Atomic whole-file write: the destination either keeps its previous
+// state or holds the complete new contents — never a torn mix. The data
+// is durable (fsync) before the rename publishes it.
+void atomic_write(const std::string& path, const void* data,
+                  std::size_t n) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  FdCloser f{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644)};  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (f.fd < 0) throw IoError("cannot open file: " + tmp);
+  try {
+    full_write(f.fd, data, n, tmp);
+    if (::fsync(f.fd) != 0) throw_errno("cannot fsync", tmp);
+  } catch (...) {
+    ::close(f.release());
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(f.release()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("cannot close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("cannot rename into", path);
+  }
 }
 
 }  // namespace
@@ -31,18 +187,13 @@ FloatArray read_f32(const std::string& path,
     throw IoError("file " + path + " has unexpected size (expected " +
                   std::to_string(expected) + " bytes)");
   }
-  FilePtr f = open_file(path, "rb");
-  const std::size_t read =
-      std::fread(array.flat().data(), sizeof(float), array.size(), f.get());
-  if (read != array.size()) throw IoError("short read from " + path);
+  FdCloser f{open_for_read(path)};
+  full_read(f.fd, array.flat().data(), array.size() * sizeof(float), path);
   return array;
 }
 
 void write_f32(const std::string& path, const FloatArray& array) {
-  FilePtr f = open_file(path, "wb");
-  const std::size_t written = std::fwrite(
-      array.flat().data(), sizeof(float), array.size(), f.get());
-  if (written != array.size()) throw IoError("short write to " + path);
+  atomic_write(path, array.flat().data(), array.size() * sizeof(float));
 }
 
 DoubleArray read_f64(const std::string& path,
@@ -54,35 +205,27 @@ DoubleArray read_f64(const std::string& path,
     throw IoError("file " + path + " has unexpected size (expected " +
                   std::to_string(expected) + " bytes)");
   }
-  FilePtr f = open_file(path, "rb");
-  const std::size_t read =
-      std::fread(array.flat().data(), sizeof(double), array.size(), f.get());
-  if (read != array.size()) throw IoError("short read from " + path);
+  FdCloser f{open_for_read(path)};
+  full_read(f.fd, array.flat().data(), array.size() * sizeof(double),
+            path);
   return array;
 }
 
 void write_f64(const std::string& path, const DoubleArray& array) {
-  FilePtr f = open_file(path, "wb");
-  const std::size_t written = std::fwrite(
-      array.flat().data(), sizeof(double), array.size(), f.get());
-  if (written != array.size()) throw IoError("short write to " + path);
+  atomic_write(path, array.flat().data(), array.size() * sizeof(double));
 }
 
 std::vector<std::uint8_t> read_bytes(const std::string& path) {
   const std::uint64_t n = file_size(path);
   std::vector<std::uint8_t> bytes(n);
-  FilePtr f = open_file(path, "rb");
-  if (n != 0 && std::fread(bytes.data(), 1, n, f.get()) != n)
-    throw IoError("short read from " + path);
+  FdCloser f{open_for_read(path)};
+  full_read(f.fd, bytes.data(), bytes.size(), path);
   return bytes;
 }
 
 void write_bytes(const std::string& path,
                  const std::vector<std::uint8_t>& bytes) {
-  FilePtr f = open_file(path, "wb");
-  if (!bytes.empty() &&
-      std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size())
-    throw IoError("short write to " + path);
+  atomic_write(path, bytes.data(), bytes.size());
 }
 
 std::uint64_t file_size(const std::string& path) {

@@ -11,6 +11,7 @@
 #include "core/chunked.h"
 #include "core/rate_control.h"
 #include "core/sampling.h"
+#include "core/verify.h"
 #include "data/datasets.h"
 #include "dsp/dct.h"
 #include "io/file_io.h"
@@ -29,9 +30,22 @@ namespace {
 const char* kUsage = R"(usage:
   dpz compress   <in.f32> <out.dpz> --shape=AxBxC [options]
   dpz decompress <in.dpz> <out.f32> [--components=k] [--threads=N]
+                 [--best-effort] [--fill=V]
   dpz info       <in.dpz>
+  dpz verify     <archive>
+  dpz inspect    <archive>
   dpz probe      <in.f32> --shape=AxBxC [--tve=...]
   dpz datasets   <outdir> [--scale=0.2] [--names=CLDHGH,PHIS] [--seed=N]
+
+decompress options:
+  --best-effort       salvage a damaged chunked container: intact frames
+                      decode normally, lost frames are filled with --fill
+                      (exit 3 when frames were lost, 0 on full recovery)
+  --fill=V            fill value for lost frames (default 0)
+
+verify walks an archive's sections and checks every CRC32C (format v2)
+without decompressing; inspect dumps the header and section table.
+Both exit 0 when the archive is intact, 1 otherwise.
 
 compress options:
   --scheme=l|s        loose (P=1e-3, 1-byte codes) or strict (default)
@@ -207,19 +221,35 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
 
   const std::vector<std::uint8_t> archive = read_bytes(in_path);
 
-  // Chunked containers carry their own magic; route them directly.
+  // Chunked containers carry their own magic ("DZCK" v1, "DZC2" v2);
+  // route them directly.
   const bool is_chunked =
       archive.size() >= 4 && archive[0] == 0x44 && archive[1] == 0x5A &&
-      archive[2] == 0x43 && archive[3] == 0x4B;
+      archive[2] == 0x43 && (archive[3] == 0x4B || archive[3] == 0x32);
   if (is_chunked) {
+    ChunkedConfig config;
+    config.threads = threads;
+    if (args.get_bool("best-effort", false))
+      config.decode_policy = DecodePolicy::kBestEffort;
+    config.fill_value = static_cast<float>(args.get_double("fill", 0.0));
+
     Timer chunk_timer;
-    const FloatArray data = chunked_decompress(archive, threads);
+    DecodeReport report;
+    const FloatArray data = chunked_decompress(archive, config, &report);
     const double seconds = chunk_timer.elapsed();
     write_f32(out_path, data);
     out << in_path << " -> " << out_path << " ("
         << human_bytes(data.size() * sizeof(float)) << ", "
         << fixed(seconds, 2) << " s, "
-        << chunked_frame_count(archive) << " frames)\n";
+        << report.frames_total << " frames)\n";
+    if (!report.complete()) {
+      out << "best effort: recovered " << report.frames_recovered << "/"
+          << report.frames_total << " frames; lost frames filled with "
+          << config.fill_value << "\n";
+      for (const DecodeReport::FrameError& e : report.lost)
+        out << "  frame " << e.frame << ": " << e.message << "\n";
+      return 3;
+    }
     return 0;
   }
 
@@ -283,6 +313,67 @@ int cmd_info(const CliArgs& args, std::ostream& out) {
       << fixed(static_cast<double>(elem) * 8.0 / std::max(cr, 1e-9), 3)
       << " bits/value)\n";
   return 0;
+}
+
+// One section-table row per checksummed unit, e.g.
+//   side        offset 75      size 1432    crc ok
+void print_section_table(const VerifyReport& rep, std::ostream& out) {
+  for (const SectionStatus& s : rep.sections) {
+    out << "  " << s.name;
+    for (std::size_t pad = s.name.size(); pad < 12; ++pad) out << ' ';
+    out << "offset " << s.offset << "  size " << s.size;
+    if (s.raw_size != 0) out << "  raw " << s.raw_size;
+    if (s.has_crc)
+      out << (s.crc_ok ? "  crc ok" : "  crc MISMATCH");
+    else
+      out << "  crc -";
+    out << "\n";
+  }
+}
+
+int cmd_verify(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2, "verify needs <archive>");
+  const std::vector<std::uint8_t> bytes = read_bytes(args.positional()[1]);
+  const VerifyReport rep = verify_archive(bytes);
+
+  out << "kind:     " << rep.kind << "\n"
+      << "format:   v" << rep.version
+      << (rep.version >= 2 ? " (checksummed)"
+                           : " (legacy, no checksums)")
+      << "\n";
+  print_section_table(rep, out);
+  for (const std::string& p : rep.problems) out << "problem:  " << p << "\n";
+  out << (rep.ok ? "OK" : "CORRUPT") << "\n";
+  return rep.ok ? 0 : 1;
+}
+
+int cmd_inspect(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2, "inspect needs <archive>");
+  const std::vector<std::uint8_t> bytes = read_bytes(args.positional()[1]);
+  const VerifyReport rep = verify_archive(bytes);
+
+  out << "kind:     " << rep.kind << "\n"
+      << "format:   v" << rep.version << "\n"
+      << "bytes:    " << bytes.size() << "\n";
+  if (rep.kind == "dpz" || rep.kind == "stored") {
+    // The header parsed (verify walked it), so dpz_inspect's richer
+    // geometry view is available too.
+    const DpzArchiveInfo info = dpz_inspect(bytes);
+    out << "dtype:    " << (info.double_precision ? "f64" : "f32") << "\n";
+    out << "shape:    ";
+    for (std::size_t d = 0; d < info.shape.size(); ++d)
+      out << (d ? " x " : "") << info.shape[d];
+    out << "\n";
+    if (!info.stored_raw)
+      out << "blocks:   " << info.layout.m << " x " << info.layout.n
+          << (info.layout.padded ? " (padded)" : "") << "\n"
+          << "k:        " << info.k << "\n"
+          << "outliers: " << info.outlier_count << "\n";
+  }
+  out << "sections:\n";
+  print_section_table(rep, out);
+  for (const std::string& p : rep.problems) out << "problem:  " << p << "\n";
+  return rep.ok ? 0 : 1;
 }
 
 int cmd_probe(const CliArgs& args, std::ostream& out) {
@@ -398,7 +489,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                         "error-bound", "dct-keep", "dtype", "verify",
                         "components", "scale", "names", "seed",
                         "target-cr", "target-psnr", "chunk", "threads",
-                        "help"});
+                        "best-effort", "fill", "help"});
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.has("help") ? 0 : 2;
@@ -407,6 +498,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "compress") return cmd_compress(args, out);
     if (command == "decompress") return cmd_decompress(args, out);
     if (command == "info") return cmd_info(args, out);
+    if (command == "verify") return cmd_verify(args, out);
+    if (command == "inspect") return cmd_inspect(args, out);
     if (command == "probe") return cmd_probe(args, out);
     if (command == "datasets") return cmd_datasets(args, out);
     err << "unknown command '" << command << "'\n" << kUsage;

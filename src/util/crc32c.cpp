@@ -1,0 +1,65 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace dpz {
+
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78U;
+
+// Slice-by-8 lookup tables. table[0] is the classic byte-at-a-time
+// table; table[s][b] extends it so eight input bytes can be folded into
+// the running remainder with eight independent lookups per iteration.
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tables{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t crc = b;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 1U) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    tables.t[0][b] = crc;
+  }
+  for (std::uint32_t b = 0; b < 256; ++b)
+    for (int s = 1; s < 8; ++s)
+      tables.t[s][b] =
+          (tables.t[s - 1][b] >> 8) ^ tables.t[0][tables.t[s - 1][b] & 0xFF];
+  return tables;
+}
+
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes,
+                     std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+
+  // Eight bytes per iteration: fold the low word through slices 7..4 and
+  // the following four bytes through slices 3..0. Bytes are assembled
+  // explicitly (never type-punned) so the result is endian-independent.
+  const auto& t = kTables.t;
+  while (bytes.size() - i >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(bytes[i]) |
+                                    static_cast<std::uint32_t>(bytes[i + 1])
+                                        << 8 |
+                                    static_cast<std::uint32_t>(bytes[i + 2])
+                                        << 16 |
+                                    static_cast<std::uint32_t>(bytes[i + 3])
+                                        << 24);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+          t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^ t[3][bytes[i + 4]] ^
+          t[2][bytes[i + 5]] ^ t[1][bytes[i + 6]] ^ t[0][bytes[i + 7]];
+    i += 8;
+  }
+  for (; i < bytes.size(); ++i)
+    crc = (crc >> 8) ^ t[0][(crc ^ bytes[i]) & 0xFF];
+  return ~crc;
+}
+
+}  // namespace dpz

@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli) — the integrity checksum of archive format v2.
+//
+// CRC32C is the variant used by iSCSI, ext4, and Btrfs; its polynomial
+// (0x1EDC6F41, reflected 0x82F63B78) detects all burst errors up to 32
+// bits and has better Hamming-distance properties at typical section
+// sizes than the zlib CRC32. The implementation is self-contained
+// slice-by-8 table lookup (no SSE4.2 intrinsics, no new dependencies),
+// processing eight bytes per iteration; the tables are computed at
+// compile time.
+//
+// The checksum is reflected with the conventional pre/post inversion, so
+// crc32c("123456789") == 0xE3069283 (the standard check value) and a
+// stream can be checksummed incrementally by seeding each call with the
+// previous result:
+//
+//   crc32c(concat(a, b)) == crc32c(b, crc32c(a))
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dpz {
+
+/// CRC32C of `bytes`, optionally continuing from a previous result.
+/// `seed` is the finalized value of the preceding prefix (0 for a fresh
+/// stream); the return value is likewise finalized.
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes,
+                     std::uint32_t seed = 0);
+
+}  // namespace dpz

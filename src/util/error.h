@@ -33,6 +33,14 @@ enum class StatusCode {
   kInternal = 3,
   kIo = 4,
   kNumerical = 5,
+  /// A stored CRC32C did not match the archive bytes (format v2). A
+  /// refinement of kFormat: the framing parsed, but the content is
+  /// provably corrupted. ChecksumError derives from FormatError, so
+  /// fault boundaries that catch FormatError handle both.
+  kChecksum = 6,
+  /// Not an exception code: a best-effort decode completed but lost
+  /// frames (see core/chunked.h DecodeReport and the C API DPZ_PARTIAL).
+  kPartial = 7,
 };
 
 /// Human-readable name of a status code ("ok", "format", ...).
@@ -43,6 +51,8 @@ constexpr const char* status_code_name(StatusCode code) {
     case StatusCode::kFormat: return "format";
     case StatusCode::kIo: return "io";
     case StatusCode::kNumerical: return "numerical";
+    case StatusCode::kChecksum: return "checksum";
+    case StatusCode::kPartial: return "partial";
     case StatusCode::kInternal: break;
   }
   return "internal";
@@ -84,6 +94,20 @@ class FormatError : public Error {
  public:
   explicit FormatError(const std::string& what)
       : Error(what, StatusCode::kFormat) {}
+
+ protected:
+  /// For subclasses that refine the classification (ChecksumError).
+  FormatError(const std::string& what, StatusCode code)
+      : Error(what, code) {}
+};
+
+/// A v2 archive section failed its CRC32C check. Thrown *before* the
+/// damaged payload reaches zlib or any allocation sized from it, and
+/// catchable as FormatError at every existing fault boundary.
+class ChecksumError : public FormatError {
+ public:
+  explicit ChecksumError(const std::string& what)
+      : FormatError(what, StatusCode::kChecksum) {}
 };
 
 /// A numerical routine failed to converge or hit an ill-conditioned input.

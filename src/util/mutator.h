@@ -33,6 +33,7 @@ enum class MutationKind {
   kLengthField,      ///< rewrite a u64 at a random offset (0, huge, +-delta)
   kHeaderByte,       ///< corrupt a byte within the leading 24 bytes
   kDuplicateRegion,  ///< copy one random region over another
+  kCrcField,         ///< rewrite a u32 at a random offset (0, ~orig, random)
 };
 
 /// Little-endian u64 field access, for targeted corruption in tests.
@@ -47,6 +48,21 @@ inline std::uint64_t read_u64_at(std::span<const std::uint8_t> bytes,
 inline void write_u64_at(std::span<std::uint8_t> bytes, std::size_t offset,
                          std::uint64_t v) {
   for (std::size_t i = 0; i < 8; ++i)
+    bytes[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/// Little-endian u32 field access (checksum fields, k, frame CRCs).
+inline std::uint32_t read_u32_at(std::span<const std::uint8_t> bytes,
+                                 std::size_t offset) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(bytes[offset + i]) << (8 * i);
+  return v;
+}
+
+inline void write_u32_at(std::span<std::uint8_t> bytes, std::size_t offset,
+                         std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i)
     bytes[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
@@ -66,7 +82,7 @@ class ArchiveMutator {
     const std::size_t rounds = 1 + rng_.uniform_index(3);
     for (std::size_t round = 0; round < rounds; ++round) {
       if (out.empty()) break;
-      apply(out, static_cast<MutationKind>(rng_.uniform_index(9)));
+      apply(out, static_cast<MutationKind>(rng_.uniform_index(10)));
     }
     return out;
   }
@@ -152,6 +168,28 @@ class ArchiveMutator {
           bytes[dst + i] = bytes[src + i];
         note("duplicate " + std::to_string(src) + "->" +
              std::to_string(dst) + " x" + std::to_string(len));
+        break;
+      }
+      case MutationKind::kCrcField: {
+        // Targets the v2 CRC32C seals (and any other u32 field): a forged
+        // checksum must read as corruption, never be trusted.
+        if (bytes.size() < 4) {
+          apply(bytes, MutationKind::kBitFlip);
+          break;
+        }
+        const std::size_t offset = rng_.uniform_index(bytes.size() - 3);
+        const std::uint32_t original = read_u32_at(bytes, offset);
+        std::uint32_t forged = 0;
+        switch (rng_.uniform_index(3)) {
+          case 0: forged = 0; break;
+          case 1: forged = ~original; break;
+          default:
+            forged = static_cast<std::uint32_t>(rng_.next_u64());
+            break;
+        }
+        write_u32_at(bytes, offset, forged);
+        note("crc-field @" + std::to_string(offset) + " -> " +
+             std::to_string(forged));
         break;
       }
     }

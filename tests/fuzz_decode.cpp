@@ -19,7 +19,9 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "baselines/dctzlike.h"
@@ -32,6 +34,8 @@
 #include "core/chunked.h"
 #include "core/dpz.h"
 #include "core/shared_basis.h"
+#include "core/verify.h"
+#include "io/file_io.h"
 #include "util/mutator.h"
 #include "util/rng.h"
 
@@ -255,6 +259,133 @@ TEST(FuzzDecode, TthreshLike) {
   fuzz_decode(archive, 117, [](std::span<const std::uint8_t> bytes) {
     (void)tthresh_like_decompress(bytes);
   });
+}
+
+TEST(FuzzDecode, ChunkedBestEffort) {
+  // Best effort may convert frame damage into a partial success, but a
+  // success must keep its books consistent: every frame is accounted for
+  // either as recovered or as lost, and the output covers the full shape.
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  const auto container = chunked_compress(wave({3 * 4096 + 100}, 32),
+                                          config);
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  best.fill_value = -1.0F;
+  fuzz_decode(container, 121, [&](std::span<const std::uint8_t> bytes) {
+    DecodeReport report;
+    const FloatArray out = chunked_decompress(bytes, best, &report);
+    ASSERT_EQ(report.frames_recovered + report.lost.size(),
+              report.frames_total);
+    std::size_t product = 1;
+    for (const std::size_t d : out.shape()) product *= d;
+    ASSERT_EQ(product, out.size());
+  });
+}
+
+TEST(FuzzDecode, VerifyArchiveNeverThrows) {
+  // verify_archive is the no-throw pre-flight check: for any input,
+  // however mangled, it must return a report (never raise) whose ok bit
+  // agrees with the problem list.
+  std::vector<std::vector<std::uint8_t>> archives;
+  archives.push_back(dpz_compress(wave({64, 96}, 33), DpzConfig::strict()));
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  archives.push_back(chunked_compress(wave({2 * 4096 + 500}, 34), config));
+  const SharedBasisCodec codec =
+      SharedBasisCodec::train(wave({64, 64}, 35), DpzConfig::strict());
+  archives.push_back(codec.serialize());
+
+  std::uint64_t seed = 122;
+  for (const auto& archive : archives) {
+    ASSERT_TRUE(verify_archive(archive).ok);
+    std::size_t detected = 0;
+    for (std::size_t i = 0; i < kMutationsPerShape; ++i) {
+      ArchiveMutator mutator(seed * 1000003ULL + i);
+      const std::vector<std::uint8_t> mutated = mutator.mutate(archive);
+      VerifyReport rep;
+      ASSERT_NO_THROW(rep = verify_archive(mutated)) << mutator.trace();
+      EXPECT_EQ(rep.ok, rep.problems.empty()) << mutator.trace();
+      if (!rep.ok) ++detected;
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    EXPECT_GT(detected, kMutationsPerShape / 20);
+    ++seed;
+  }
+}
+
+// Truncation sweep over the committed golden fixtures (both the frozen v1
+// generation and the current v2 one): cut every archive at each section
+// boundary and one byte either side, then require a clean dpz::Error from
+// the decoder and an !ok verify report. A partial download must never
+// decode silently, whichever format generation it came from.
+TEST(FuzzDecode, TruncationSweepOverGoldenFixtures) {
+  const std::string dir = DPZ_GOLDEN_DIR;
+  // The committed blob and its v2 regeneration train on identical data,
+  // so one codec can host the snapshot decode for both generations (the
+  // golden suite pins that equivalence).
+  const SharedBasisCodec codec = SharedBasisCodec::deserialize(
+      read_bytes(dir + "/shared_basis_2d_f32_strict.blob"));
+
+  struct Fixture {
+    std::string file;
+    std::function<void(std::span<const std::uint8_t>)> decode;
+  };
+  const auto f32 = [](std::span<const std::uint8_t> b) {
+    (void)dpz_decompress(b);
+  };
+  std::vector<Fixture> fixtures;
+  for (const std::string& gen : {std::string(), std::string(".v2")}) {
+    fixtures.push_back({"dpz_1d_f32_loose" + gen + ".dpz", f32});
+    fixtures.push_back({"dpz_2d_f32_strict" + gen + ".dpz", f32});
+    fixtures.push_back({"dpz_3d_f32_strict" + gen + ".dpz", f32});
+    fixtures.push_back({"dpz_2d_f64_strict" + gen + ".dpz",
+                        [](std::span<const std::uint8_t> b) {
+                          (void)dpz_decompress_f64(b);
+                        }});
+    fixtures.push_back({"chunked_2d_f32_strict" + gen + ".dpz",
+                        [](std::span<const std::uint8_t> b) {
+                          (void)chunked_decompress(b);
+                        }});
+    fixtures.push_back({"shared_basis_2d_f32_strict" + gen + ".blob",
+                        [](std::span<const std::uint8_t> b) {
+                          (void)SharedBasisCodec::deserialize(b);
+                        }});
+    fixtures.push_back({"shared_basis_2d_f32_strict" + gen + ".dpz",
+                        [&codec](std::span<const std::uint8_t> b) {
+                          (void)codec.decompress(b);
+                        }});
+  }
+
+  std::size_t total_cuts = 0;
+  for (const Fixture& fixture : fixtures) {
+    const std::vector<std::uint8_t> bytes =
+        read_bytes(dir + "/" + fixture.file);
+    const VerifyReport pristine = verify_archive(bytes);
+    ASSERT_TRUE(pristine.ok) << fixture.file;
+    ASSERT_FALSE(pristine.sections.empty()) << fixture.file;
+
+    std::set<std::size_t> cuts;
+    for (const SectionStatus& s : pristine.sections) {
+      for (const std::uint64_t edge : {s.offset, s.offset + s.size}) {
+        if (edge > 0) cuts.insert(static_cast<std::size_t>(edge - 1));
+        cuts.insert(static_cast<std::size_t>(edge));
+        cuts.insert(static_cast<std::size_t>(edge + 1));
+      }
+    }
+    for (const std::size_t cut : cuts) {
+      if (cut >= bytes.size()) continue;  // full archive is not a cut
+      const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                                bytes.begin() + cut);
+      EXPECT_THROW(fixture.decode(truncated), Error)
+          << fixture.file << " cut at " << cut;
+      const VerifyReport rep = verify_archive(truncated);
+      EXPECT_FALSE(rep.ok) << fixture.file << " cut at " << cut;
+      ++total_cuts;
+    }
+  }
+  // Harness sanity: the sweep must actually have covered boundaries.
+  EXPECT_GE(total_cuts, 100U);
 }
 
 // Degenerate inputs every decoder must survive without an archive at all.

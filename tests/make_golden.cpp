@@ -5,6 +5,13 @@
 // then commit the new bytes together with the format change and a
 // docs/FORMAT.md version note. test_golden_archive.cpp fails loudly when
 // the bytes drift without this step.
+//
+// The generator writes the CURRENT format as <name>.v2.dpz (and .v2.blob
+// for the shared basis). The plain <name>.dpz / <name>.blob files are
+// FROZEN v1 fixtures from before checksums existed — the current encoder
+// cannot reproduce them, and they must never be regenerated or deleted:
+// they are the backward-compatibility evidence that v1 archives keep
+// decoding byte-exactly.
 #include <iostream>
 
 #include "golden_common.h"
@@ -21,23 +28,23 @@ int main(int argc, char** argv) {
   for (const GoldenCase& c : golden_cases()) {
     switch (c.kind) {
       case Kind::kDpzF32:
-        write_bytes(dir + "/" + c.name + ".dpz",
+        write_bytes(dir + "/" + c.name + ".v2.dpz",
                     dpz_compress(golden_f32(c), golden_config(c)));
         break;
       case Kind::kDpzF64:
-        write_bytes(dir + "/" + c.name + ".dpz",
+        write_bytes(dir + "/" + c.name + ".v2.dpz",
                     dpz_compress(golden_f64(c), golden_config(c)));
         break;
       case Kind::kChunked:
-        write_bytes(dir + "/" + c.name + ".dpz",
+        write_bytes(dir + "/" + c.name + ".v2.dpz",
                     chunked_compress(golden_f32(c),
                                      golden_chunked_config(c)));
         break;
       case Kind::kSharedBasis: {
         const SharedBasisCodec codec =
             SharedBasisCodec::train(golden_f32(c), golden_config(c));
-        write_bytes(dir + "/" + c.name + ".blob", codec.serialize());
-        write_bytes(dir + "/" + c.name + ".dpz",
+        write_bytes(dir + "/" + c.name + ".v2.blob", codec.serialize());
+        write_bytes(dir + "/" + c.name + ".v2.dpz",
                     codec.compress(golden_snapshot(c)));
         break;
       }

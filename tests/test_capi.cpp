@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "capi/dpz_c.h"
+#include "core/chunked.h"
 
 namespace {
 
@@ -26,7 +29,101 @@ TEST(CApi, OptionsDefaultMatchesStrictScheme) {
   EXPECT_EQ(opt.use_sampling, 0);
   EXPECT_DOUBLE_EQ(opt.dct_keep_fraction, 1.0);
   EXPECT_EQ(opt.zlib_level, 6);
+  EXPECT_EQ(opt.best_effort, 0);
+  EXPECT_DOUBLE_EQ(opt.fill_value, 0.0);
   dpz_options_default(nullptr);  // must not crash
+}
+
+TEST(CApi, StatusNamesCoverIntegrityCodes) {
+  EXPECT_EQ(std::string(dpz_status_name(DPZ_ERR_CHECKSUM)), "checksum");
+  EXPECT_EQ(std::string(dpz_status_name(DPZ_PARTIAL)), "partial");
+  EXPECT_EQ(std::string(dpz_status_name(DPZ_OK)), "ok");
+}
+
+// A chunked container for the C-surface tests; built through the C++
+// encoder (the C API is decode-only for containers).
+std::vector<unsigned char> chunked_fixture(std::vector<float>* values) {
+  *values = smooth_values(3 * 4096);
+  const dpz::FloatArray data({values->size()},
+                             std::vector<float>(*values));
+  dpz::ChunkedConfig config;
+  config.chunk_values = 4096;
+  return dpz::chunked_compress(data, config);
+}
+
+TEST(CApi, ChunkedStrictDecodeRoundTrips) {
+  std::vector<float> values;
+  const std::vector<unsigned char> container = chunked_fixture(&values);
+
+  float* out = nullptr;
+  size_t out_count = 0;
+  dpz_decode_report report;
+  ASSERT_EQ(dpz_chunked_decompress_float(container.data(),
+                                         container.size(), nullptr, &out,
+                                         &out_count, &report),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_EQ(out_count, values.size());
+  EXPECT_EQ(report.frames_total, 3U);
+  EXPECT_EQ(report.frames_recovered, 3U);
+  EXPECT_EQ(report.frames_lost, 0U);
+  EXPECT_EQ(report.first_lost_frame, static_cast<size_t>(-1));
+  EXPECT_EQ(report.first_error[0], '\0');
+  dpz_free(out);
+}
+
+TEST(CApi, ChunkedDamageStrictFailsBestEffortGoesPartial) {
+  std::vector<float> values;
+  std::vector<unsigned char> container = chunked_fixture(&values);
+
+  // Reference reconstruction from the intact container.
+  float* ref = nullptr;
+  size_t ref_count = 0;
+  ASSERT_EQ(dpz_chunked_decompress_float(container.data(),
+                                         container.size(), nullptr, &ref,
+                                         &ref_count, nullptr),
+            DPZ_OK);
+
+  container[container.size() - 32] ^= 0x20;  // damage the last frame
+
+  // Strict: the checksum refinement of the format error.
+  float* out = nullptr;
+  size_t out_count = 0;
+  EXPECT_EQ(dpz_chunked_decompress_float(container.data(),
+                                         container.size(), nullptr, &out,
+                                         &out_count, nullptr),
+            DPZ_ERR_CHECKSUM);
+  EXPECT_EQ(out, nullptr) << "output must be untouched on error";
+  EXPECT_NE(std::string(dpz_last_error()).find("checksum"),
+            std::string::npos);
+
+  // Best effort: partial result, lost frame filled and reported.
+  dpz_options opt;
+  dpz_options_default(&opt);
+  opt.best_effort = 1;
+  opt.fill_value = -3.0;
+  dpz_decode_report report;
+  ASSERT_EQ(dpz_chunked_decompress_float(container.data(),
+                                         container.size(), &opt, &out,
+                                         &out_count, &report),
+            DPZ_PARTIAL);
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out_count, ref_count);
+  EXPECT_EQ(report.frames_total, 3U);
+  EXPECT_EQ(report.frames_recovered, 2U);
+  EXPECT_EQ(report.frames_lost, 1U);
+  EXPECT_EQ(report.first_lost_frame, 2U);
+  EXPECT_NE(std::string(report.first_error).find("checksum"),
+            std::string::npos);
+  for (size_t i = 0; i < out_count; ++i) {
+    if (i < 2 * 4096) {
+      ASSERT_EQ(out[i], ref[i]) << "intact frame altered at " << i;
+    } else {
+      ASSERT_EQ(out[i], -3.0F) << "lost frame not filled at " << i;
+    }
+  }
+  dpz_free(ref);
+  dpz_free(out);
 }
 
 TEST(CApi, FloatRoundTrip) {

@@ -114,6 +114,93 @@ TEST(Chunked, CorruptionIsContainedToOneFrame) {
   EXPECT_THROW(chunked_decompress(container), Error);
 }
 
+TEST(Chunked, BestEffortRecoversEveryIntactFrame) {
+  const FloatArray data = long_signal(60000, 9);
+  ChunkedConfig config;
+  config.chunk_values = 16384;
+  auto container = chunked_compress(data, config);
+  const FloatArray reference = chunked_decompress(container);
+  const std::size_t frames = chunked_frame_count(container);
+  ASSERT_GE(frames, 3U);
+
+  container[container.size() - 16] ^= 0xFF;  // damage the last frame
+
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  best.fill_value = 42.0F;
+  DecodeReport report;
+  const FloatArray out = chunked_decompress(container, best, &report);
+
+  EXPECT_EQ(report.frames_total, frames);
+  EXPECT_EQ(report.frames_recovered, frames - 1);
+  ASSERT_EQ(report.lost.size(), 1U);
+  EXPECT_EQ(report.lost[0].frame, frames - 1);
+  EXPECT_FALSE(report.complete());
+  EXPECT_NE(report.lost[0].message.find("checksum"), std::string::npos);
+
+  // 100% of the uncorrupted frames must come back byte-exact; the lost
+  // tail must be wall-to-wall fill.
+  const std::size_t lost_begin = (frames - 1) * config.chunk_values;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i < lost_begin) {
+      ASSERT_EQ(out[i], reference[i]) << "intact value altered at " << i;
+    } else {
+      ASSERT_EQ(out[i], 42.0F) << "lost frame not filled at " << i;
+    }
+  }
+}
+
+TEST(Chunked, BestEffortOnIntactContainerIsCompleteAndExact) {
+  const FloatArray data = long_signal(40000, 10);
+  ChunkedConfig config;
+  config.chunk_values = 10000;
+  const auto container = chunked_compress(data, config);
+  const FloatArray reference = chunked_decompress(container);
+
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  DecodeReport report;
+  const FloatArray out = chunked_decompress(container, best, &report);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.frames_recovered, report.frames_total);
+  EXPECT_TRUE(report.lost.empty());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], reference[i]);
+}
+
+TEST(Chunked, BestEffortCannotSurviveHeaderDamage) {
+  // Best effort isolates FRAME damage; the sealed header is the recovery
+  // map, so header corruption still fails the whole decode.
+  const FloatArray data = long_signal(30000, 11);
+  ChunkedConfig config;
+  config.chunk_values = 10000;
+  auto container = chunked_compress(data, config);
+  container[8] ^= 0x01;  // inside dim0, under the header seal
+
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  EXPECT_THROW(chunked_decompress(container, best, nullptr), FormatError);
+}
+
+TEST(Chunked, BestEffortStrictPolicyMatchesLegacyOverload) {
+  // The config overload with kStrict must behave exactly like the
+  // original entry point, including the report on success.
+  const FloatArray data = long_signal(30000, 12);
+  ChunkedConfig config;
+  config.chunk_values = 10000;
+  const auto container = chunked_compress(data, config);
+  DecodeReport report;
+  const FloatArray a = chunked_decompress(container, config, &report);
+  const FloatArray b = chunked_decompress(container);
+  EXPECT_TRUE(report.complete());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+
+  auto damaged = container;
+  damaged[damaged.size() - 10] ^= 0x04;
+  EXPECT_THROW(chunked_decompress(damaged, config, nullptr),
+               ChecksumError);
+}
+
 TEST(Chunked, GarbageContainerRejected) {
   const std::vector<std::uint8_t> garbage(128, 0x42);
   EXPECT_THROW(chunked_decompress(garbage), FormatError);

@@ -228,6 +228,79 @@ TEST_F(CliFlowTest, ChunkedAndTargetConflict) {
             1);
 }
 
+TEST_F(CliFlowTest, VerifyReportsIntactAndCorruptArchives) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("v.dpz"),
+                 "--shape=64x96"}),
+            0)
+      << err_.str();
+
+  ASSERT_EQ(run({"verify", path("v.dpz")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("kind:     dpz"), std::string::npos);
+  EXPECT_NE(out_.str().find("format:   v2"), std::string::npos);
+  EXPECT_NE(out_.str().find("crc ok"), std::string::npos);
+  EXPECT_NE(out_.str().find("OK"), std::string::npos);
+
+  // Flip a payload byte: verify must exit 1, name the bad section, and
+  // never throw.
+  auto bytes = read_bytes(path("v.dpz"));
+  bytes[bytes.size() / 2] ^= 0x08;
+  write_bytes(path("v_bad.dpz"), bytes);
+  EXPECT_EQ(run({"verify", path("v_bad.dpz")}), 1);
+  EXPECT_NE(out_.str().find("crc MISMATCH"), std::string::npos);
+  EXPECT_NE(out_.str().find("CORRUPT"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, VerifyChunkedShowsFrames) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("vc.dpzc"),
+                 "--shape=64x96", "--chunk=2048"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"verify", path("vc.dpzc")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("kind:     chunked"), std::string::npos);
+  EXPECT_NE(out_.str().find("frame[0]"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, InspectDumpsHeaderAndSections) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("i.dpz"),
+                 "--shape=64x96"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"inspect", path("i.dpz")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("shape:    64 x 96"), std::string::npos);
+  EXPECT_NE(out_.str().find("dtype:    f32"), std::string::npos);
+  EXPECT_NE(out_.str().find("sections:"), std::string::npos);
+  EXPECT_NE(out_.str().find("k:"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, BestEffortDecompressRecoversDamagedContainer) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("be.dpzc"),
+                 "--shape=64x96", "--chunk=2048"}),
+            0)
+      << err_.str();
+
+  auto bytes = read_bytes(path("be.dpzc"));
+  bytes[bytes.size() - 24] ^= 0x10;  // damage the last frame
+  write_bytes(path("be.dpzc"), bytes);
+
+  // Strict decode refuses.
+  EXPECT_EQ(run({"decompress", path("be.dpzc"), path("be_out.f32")}), 1);
+  EXPECT_NE(err_.str().find("checksum"), std::string::npos);
+
+  // Best effort exits 3 (partial) and writes the filled reconstruction.
+  EXPECT_EQ(run({"decompress", path("be.dpzc"), path("be_out.f32"),
+                 "--best-effort", "--fill=0"}),
+            3)
+      << err_.str();
+  EXPECT_NE(out_.str().find("best effort: recovered 2/3 frames"),
+            std::string::npos);
+  EXPECT_NO_THROW(read_f32(path("be_out.f32"), {64, 96}));
+}
+
+TEST_F(CliFlowTest, VerifyMissingOperandFails) {
+  EXPECT_EQ(run({"verify"}), 1);
+  EXPECT_EQ(run({"inspect"}), 1);
+}
+
 TEST_F(CliFlowTest, WrongShapeSizeFails) {
   EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpz"),
                  "--shape=10x10"}),

@@ -56,7 +56,8 @@ Payload parse_payload(std::span<const std::uint8_t> archive) {
   Payload p;
   ByteReader r(archive);
   EXPECT_EQ(r.get_u32(), 0x315A5044U);  // "DPZ1"
-  EXPECT_EQ(r.get_u8(), 1);             // version
+  const std::uint8_t version = r.get_u8();
+  EXPECT_EQ(version, detail::kFormatVersion);
   const std::uint8_t flags = r.get_u8();
   EXPECT_EQ(flags & 0x04, 0) << "stored-raw fallback fired unexpectedly";
   p.qcfg.wide_codes = (flags & 0x01) != 0;
@@ -69,16 +70,18 @@ Payload parse_payload(std::span<const std::uint8_t> archive) {
   r.get_u64();  // original_total
   p.k = r.get_u32();
   const std::uint64_t outlier_count = r.get_u64();
+  r.get_u32();  // header_crc (v2)
 
   const detail::SideData side = detail::deserialize_side(
-      detail::get_section(r), m, p.k, standardized);
+      detail::get_section(r, version), m, p.k, standardized);
   p.score_scale = side.score_scale;
 
   p.stream.count = p.k * p.n;
-  p.stream.codes = detail::get_section(r);
+  p.stream.codes = detail::get_section(r, version);
   EXPECT_EQ(p.stream.codes.size(), p.stream.count * p.qcfg.code_bytes());
 
-  const std::vector<std::uint8_t> outlier_raw = detail::get_section(r);
+  const std::vector<std::uint8_t> outlier_raw =
+      detail::get_section(r, version);
   EXPECT_EQ(outlier_raw.size(), outlier_count * sizeof(float));
   ByteReader outlier_reader(outlier_raw);
   p.stream.outliers.resize(static_cast<std::size_t>(outlier_count));

@@ -1,0 +1,385 @@
+// Deterministic I/O fault-injection suite: every seeded fault driven
+// through the file_io syscall wrappers must end in one of exactly two
+// outcomes — a byte-exact recovery (for survivable faults: EINTR, short
+// transfers) or a clean dpz::Error (for real damage: bit rot,
+// truncation, ENOSPC). Never a crash, never a hang, never a silently
+// wrong reconstruction. The suite drives 200+ faults through each
+// pipeline (DPZ f32/f64, stored-raw, chunked, shared-basis) and runs
+// under ASan/UBSan in CI, so an out-of-bounds read on damaged bytes
+// fails loudly.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/chunked.h"
+#include "core/dpz.h"
+#include "core/shared_basis.h"
+#include "io/fault_injection.h"
+#include "io/file_io.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace dpz {
+namespace {
+
+FloatArray smooth_f32(std::vector<std::size_t> shape, std::uint64_t seed) {
+  FloatArray a(std::move(shape));
+  Rng rng(seed);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>(std::sin(static_cast<double>(i) * 0.02) +
+                              0.01 * rng.normal());
+  return a;
+}
+
+FloatArray noise_f32(std::vector<std::size_t> shape, std::uint64_t seed) {
+  FloatArray a(std::move(shape));
+  Rng rng(seed);
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  return a;
+}
+
+/// One decode pipeline under test: the committed archive bytes plus a
+/// decoder that reduces the reconstruction to raw bytes for exact
+/// comparison.
+struct Pipeline {
+  std::string name;
+  std::vector<std::uint8_t> archive;
+  std::function<std::vector<std::uint8_t>(std::span<const std::uint8_t>)>
+      decode;
+};
+
+template <typename T>
+std::vector<std::uint8_t> value_bytes(const NdArray<T>& a) {
+  std::vector<std::uint8_t> bytes(a.size() * sizeof(T));
+  std::memcpy(bytes.data(), a.flat().data(), bytes.size());
+  return bytes;
+}
+
+std::vector<Pipeline> make_pipelines() {
+  std::vector<Pipeline> out;
+
+  out.push_back({"dpz-f32",
+                 dpz_compress(smooth_f32({64, 96}, 11), DpzConfig::strict()),
+                 [](std::span<const std::uint8_t> b) {
+                   return value_bytes(dpz_decompress(b));
+                 }});
+
+  {
+    DoubleArray d({48, 64});
+    Rng rng(12);
+    for (std::size_t i = 0; i < d.size(); ++i)
+      d[i] = std::sin(static_cast<double>(i) * 0.03) + 0.01 * rng.normal();
+    out.push_back({"dpz-f64", dpz_compress(d, DpzConfig::strict()),
+                   [](std::span<const std::uint8_t> b) {
+                     return value_bytes(dpz_decompress_f64(b));
+                   }});
+  }
+
+  {
+    // Incompressible noise trips the stored-raw fallback.
+    const std::vector<std::uint8_t> stored =
+        dpz_compress(noise_f32({40, 50}, 13), DpzConfig::strict());
+    EXPECT_TRUE(dpz_inspect(stored).stored_raw)
+        << "noise input no longer triggers the stored-raw path";
+    out.push_back({"stored-raw", stored,
+                   [](std::span<const std::uint8_t> b) {
+                     return value_bytes(dpz_decompress(b));
+                   }});
+  }
+
+  {
+    ChunkedConfig config;
+    config.chunk_values = 4096;
+    out.push_back({"chunked",
+                   chunked_compress(smooth_f32({3 * 4096}, 14), config),
+                   [](std::span<const std::uint8_t> b) {
+                     return value_bytes(chunked_decompress(b));
+                   }});
+  }
+
+  {
+    auto codec = std::make_shared<SharedBasisCodec>(SharedBasisCodec::train(
+        smooth_f32({96, 96}, 15), DpzConfig::strict()));
+    out.push_back({"shared-basis",
+                   codec->compress(smooth_f32({96, 96}, 16)),
+                   [codec](std::span<const std::uint8_t> b) {
+                     return value_bytes(codec->decompress(b));
+                   }});
+  }
+  return out;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dpz_fault_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// True when `dir_` holds any leftover atomic-write temp file.
+  [[nodiscard]] bool temp_files_left() const {
+    for (const auto& entry : std::filesystem::directory_iterator(dir_))
+      if (entry.path().filename().string().find(".tmp.") !=
+          std::string::npos)
+        return true;
+    return false;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Drives one read-side fault plan through load + decode and asserts the
+/// contract: IoError on the load, OR decode error, OR byte-exact output.
+/// Returns a label of which outcome happened (for coverage accounting).
+enum class Outcome { kIoError, kDecodeError, kExact };
+
+Outcome drive_read_fault(const Pipeline& p, const std::string& file,
+                         const std::vector<std::uint8_t>& reference_out,
+                         const io::FaultPlan& plan) {
+  std::vector<std::uint8_t> loaded;
+  try {
+    const io::ScopedFaultPlan guard(plan);
+    loaded = read_bytes(file);
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()), "");
+    return Outcome::kIoError;
+  }
+  try {
+    const std::vector<std::uint8_t> out = p.decode(loaded);
+    // A decode that went through must be the true reconstruction: an
+    // undetected fault that alters the output is the one forbidden
+    // outcome (silent wrong answer).
+    EXPECT_EQ(out, reference_out)
+        << p.name << ": decode accepted faulted bytes and produced a "
+        << "different reconstruction";
+    return Outcome::kExact;
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()), "");
+    return Outcome::kDecodeError;
+  }
+  // Any non-dpz exception propagates and fails the test.
+}
+
+TEST_F(FaultInjectionTest, EveryReadFaultRecoversOrFailsCleanly) {
+  for (const Pipeline& p : make_pipelines()) {
+    SCOPED_TRACE(p.name);
+    const std::string file = path(p.name + ".dpz");
+    write_bytes(file, p.archive);
+    const std::vector<std::uint8_t> reference_out = p.decode(p.archive);
+
+    std::size_t faults = 0;
+    std::size_t detected = 0;
+
+    // Survivable faults: EINTR storms and short reads must be absorbed
+    // by the full_read loop — always byte-exact, never an error.
+    for (const int eintr : {1, 2, 5, 17}) {
+      for (const int shorts : {0, 1, 3, 9}) {
+        io::FaultPlan plan;
+        plan.read_eintr = eintr;
+        plan.short_reads = shorts;
+        EXPECT_EQ(drive_read_fault(p, file, reference_out, plan),
+                  Outcome::kExact)
+            << "eintr=" << eintr << " shorts=" << shorts;
+        ++faults;
+      }
+    }
+
+    // Bit rot: flip one bit at ~160 positions across the file. Every
+    // flip must be detected (v2 seals all bytes) — the undetected-but-
+    // exact outcome is impossible for a changed byte, and drive_read_
+    // fault already fails the silent-wrong-answer case.
+    const std::size_t n = p.archive.size();
+    for (std::size_t i = 0; i < 160; ++i) {
+      io::FaultPlan plan;
+      plan.read_flip_offset = (i * n) / 160;
+      plan.read_flip_mask = static_cast<std::uint8_t>(1U << (i % 8));
+      const Outcome o = drive_read_fault(p, file, reference_out, plan);
+      EXPECT_EQ(o, Outcome::kDecodeError)
+          << "flip at byte " << plan.read_flip_offset << " mask "
+          << int{plan.read_flip_mask} << " was not detected";
+      if (o == Outcome::kDecodeError) ++detected;
+      ++faults;
+    }
+
+    // Truncation: premature EOF at ~48 cut points, plus the edges. The
+    // loader reports these as short reads (IoError).
+    for (std::size_t i = 0; i <= 48; ++i) {
+      io::FaultPlan plan;
+      plan.read_truncate_at = (i * n) / 49;
+      if (plan.read_truncate_at >= n) plan.read_truncate_at = n - 1;
+      EXPECT_EQ(drive_read_fault(p, file, reference_out, plan),
+                Outcome::kIoError)
+          << "truncation at " << plan.read_truncate_at;
+      ++faults;
+    }
+
+    // Compound faults: EINTR + short reads + a flip — the loop recovery
+    // must not mask the corruption.
+    for (std::size_t i = 0; i < 8; ++i) {
+      io::FaultPlan plan;
+      plan.read_eintr = 2;
+      plan.short_reads = 2;
+      plan.read_flip_offset = (i * n) / 8 + i;
+      plan.read_flip_mask = 0x80;
+      EXPECT_EQ(drive_read_fault(p, file, reference_out, plan),
+                Outcome::kDecodeError);
+      ++faults;
+    }
+
+    EXPECT_GE(faults, 200U) << "fault budget not met for " << p.name;
+    EXPECT_GE(detected, 160U);
+  }
+}
+
+TEST_F(FaultInjectionTest, SurvivableWriteFaultsLandByteExact) {
+  const std::vector<std::uint8_t> payload =
+      dpz_compress(smooth_f32({64, 96}, 21), DpzConfig::strict());
+  int cases = 0;
+  for (const int eintr : {1, 3, 11}) {
+    for (const int shorts : {0, 2, 7}) {
+      const std::string file =
+          path("w_" + std::to_string(cases++) + ".dpz");
+      {
+        io::FaultPlan plan;
+        plan.write_eintr = eintr;
+        plan.short_writes = shorts;
+        const io::ScopedFaultPlan guard(plan);
+        write_bytes(file, payload);
+      }
+      EXPECT_EQ(read_bytes(file), payload)
+          << "eintr=" << eintr << " shorts=" << shorts;
+    }
+  }
+  EXPECT_FALSE(temp_files_left());
+}
+
+TEST_F(FaultInjectionTest, FailedWriteLeavesDestinationUntouched) {
+  const std::vector<std::uint8_t> old_payload{1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> new_payload(4096, 0xAB);
+  const std::string file = path("atomic.bin");
+  write_bytes(file, old_payload);
+
+  // ENOSPC at assorted offsets, including zero (nothing written at all)
+  // and just short of completion.
+  for (const std::uint64_t fail_at :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{100},
+        std::uint64_t{4095}}) {
+    io::FaultPlan plan;
+    plan.write_fail_at = fail_at;
+    const io::ScopedFaultPlan guard(plan);
+    EXPECT_THROW(write_bytes(file, new_payload), IoError)
+        << "fail_at=" << fail_at;
+  }
+  EXPECT_EQ(read_bytes(file), old_payload)
+      << "failed writes must not tear the destination";
+  EXPECT_FALSE(temp_files_left())
+      << "failed writes must unlink their temp file";
+
+  // And a write to a brand-new path that fails must not create the file.
+  {
+    io::FaultPlan plan;
+    plan.write_fail_at = 10;
+    const io::ScopedFaultPlan guard(plan);
+    EXPECT_THROW(write_bytes(path("never.bin"), new_payload), IoError);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path("never.bin")));
+  EXPECT_FALSE(temp_files_left());
+}
+
+TEST_F(FaultInjectionTest, TornWriteIsDetectedOnRead) {
+  // A bit that lands flipped on disk (firmware lies, cable rot) is not
+  // write_bytes' fault to catch — but the v2 checksums must refuse the
+  // bytes at decode time.
+  const FloatArray input = smooth_f32({64, 96}, 22);
+  const std::vector<std::uint8_t> archive =
+      dpz_compress(input, DpzConfig::strict());
+  const std::string file = path("torn.dpz");
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    {
+      io::FaultPlan plan;
+      plan.write_flip_offset = (i * archive.size()) / 24;
+      plan.write_flip_mask = static_cast<std::uint8_t>(1U << (i % 8));
+      const io::ScopedFaultPlan guard(plan);
+      write_bytes(file, archive);
+    }
+    const std::vector<std::uint8_t> loaded = read_bytes(file);
+    ASSERT_EQ(loaded.size(), archive.size());
+    EXPECT_NE(loaded, archive) << "flip did not land";
+    try {
+      (void)dpz_decompress(loaded);
+    } catch (const Error&) {
+      ++detected;
+    }
+  }
+  EXPECT_EQ(detected, 24U) << "some torn writes decoded silently";
+}
+
+TEST_F(FaultInjectionTest, BestEffortRecoversIntactFramesFromDamagedFile) {
+  // End to end: a chunked container damaged in exactly one frame, loaded
+  // through the faulty reader, must strict-fail but best-effort-recover
+  // every other frame byte-exactly.
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  const FloatArray input = smooth_f32({4 * 4096}, 23);
+  const std::vector<std::uint8_t> archive = chunked_compress(input, config);
+  const FloatArray reference = chunked_decompress(archive);
+  const std::string file = path("frames.dpz");
+  write_bytes(file, archive);
+
+  io::FaultPlan plan;
+  plan.read_flip_offset = archive.size() / 2;  // inside a middle frame
+  plan.read_flip_mask = 0x40;
+  std::vector<std::uint8_t> loaded;
+  {
+    const io::ScopedFaultPlan guard(plan);
+    loaded = read_bytes(file);
+  }
+
+  EXPECT_THROW((void)chunked_decompress(loaded), ChecksumError);
+
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  best.fill_value = -7.5F;
+  DecodeReport report;
+  const FloatArray out = chunked_decompress(loaded, best, &report);
+  ASSERT_EQ(out.shape(), reference.shape());
+  EXPECT_EQ(report.frames_total, 4U);
+  EXPECT_EQ(report.frames_recovered, 3U);
+  ASSERT_EQ(report.lost.size(), 1U);
+  const std::size_t lost = report.lost[0].frame;
+  EXPECT_NE(std::string(report.lost[0].message), "");
+
+  // Lost frame: all fill. Every other frame: byte-exact.
+  for (std::size_t f = 0; f < 4; ++f) {
+    const std::size_t begin = f * 4096;
+    const std::size_t end = f == 3 ? out.size() : begin + 4096;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (f == lost) {
+        ASSERT_EQ(out[i], -7.5F) << "lost frame not filled at " << i;
+      } else {
+        ASSERT_EQ(out[i], reference[i])
+            << "intact frame " << f << " altered at " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpz

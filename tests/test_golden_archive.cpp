@@ -5,8 +5,16 @@
 // both directions of the format: an encoder change that alters bytes and
 // a decoder change that alters reconstructions each fail one arm.
 //
-// After a DELIBERATE format change, regenerate with tests/make_golden and
-// commit the new bytes alongside a docs/FORMAT.md version note.
+// Two generations are committed per case. <name>.v2.dpz is the CURRENT
+// format (CRC32C-checksummed, version 2): the encoder must reproduce it.
+// <name>.dpz is the FROZEN v1 fixture from before checksums existed: the
+// current encoder can no longer produce it, but the reader must keep
+// decoding it to byte-for-byte the same reconstruction as the v2 file —
+// that pair is the backward-compatibility contract.
+//
+// After a DELIBERATE format change, regenerate the .v2 files with
+// tests/make_golden and commit the new bytes alongside a docs/FORMAT.md
+// version note. Never regenerate or delete the plain v1 fixtures.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -32,6 +40,12 @@ std::vector<std::uint8_t> float_bytes(const FloatArray& a) {
   return bytes;
 }
 
+std::vector<std::uint8_t> double_bytes(const DoubleArray& a) {
+  std::vector<std::uint8_t> bytes(a.size() * sizeof(double));
+  std::memcpy(bytes.data(), a.flat().data(), bytes.size());
+  return bytes;
+}
+
 GoldenCase find_case(const std::string& name) {
   for (const GoldenCase& c : golden_cases())
     if (c.name == name) return c;
@@ -42,18 +56,29 @@ GoldenCase find_case(const std::string& name) {
 void check_dpz_f32(const std::string& name) {
   const GoldenCase c = find_case(name);
   const FloatArray input = golden_f32(c);
-  const std::vector<std::uint8_t> committed =
+  const std::vector<std::uint8_t> v1 =
       read_bytes(golden_path(c.name, ".dpz"));
+  const std::vector<std::uint8_t> v2 =
+      read_bytes(golden_path(c.name, ".v2.dpz"));
 
-  EXPECT_EQ(dpz_compress(input, golden_config(c)), committed)
+  EXPECT_EQ(dpz_compress(input, golden_config(c)), v2)
       << "re-encoding no longer reproduces " << c.name
       << " — format drift; see tests/make_golden.cpp";
+  EXPECT_EQ(dpz_inspect(v1).version, 1);
+  EXPECT_EQ(dpz_inspect(v2).version, 2);
 
-  const FloatArray decoded = dpz_decompress(committed);
-  EXPECT_EQ(decoded.shape(), input.shape());
+  const FloatArray from_v2 = dpz_decompress(v2);
+  EXPECT_EQ(from_v2.shape(), input.shape());
   const ErrorStats err =
-      compute_error_stats(input.flat(), decoded.flat());
+      compute_error_stats(input.flat(), from_v2.flat());
   EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+
+  // Backward compatibility: the legacy archive must keep decoding to
+  // exactly the reconstruction its v2 re-encode produces.
+  const FloatArray from_v1 = dpz_decompress(v1);
+  EXPECT_EQ(from_v1.shape(), from_v2.shape());
+  EXPECT_EQ(float_bytes(from_v1), float_bytes(from_v2))
+      << "v1 fixture " << c.name << " no longer decodes byte-exactly";
 }
 
 TEST(GoldenArchive, Dpz1DF32Loose) { check_dpz_f32("dpz_1d_f32_loose"); }
@@ -63,64 +88,96 @@ TEST(GoldenArchive, Dpz3DF32Strict) { check_dpz_f32("dpz_3d_f32_strict"); }
 TEST(GoldenArchive, Dpz2DF64Strict) {
   const GoldenCase c = find_case("dpz_2d_f64_strict");
   const DoubleArray input = golden_f64(c);
-  const std::vector<std::uint8_t> committed =
+  const std::vector<std::uint8_t> v1 =
       read_bytes(golden_path(c.name, ".dpz"));
+  const std::vector<std::uint8_t> v2 =
+      read_bytes(golden_path(c.name, ".v2.dpz"));
 
-  EXPECT_EQ(dpz_compress(input, golden_config(c)), committed)
+  EXPECT_EQ(dpz_compress(input, golden_config(c)), v2)
       << "re-encoding no longer reproduces " << c.name;
+  EXPECT_EQ(dpz_inspect(v1).version, 1);
+  EXPECT_EQ(dpz_inspect(v2).version, 2);
 
-  const DoubleArray decoded = dpz_decompress_f64(committed);
-  EXPECT_EQ(decoded.shape(), input.shape());
+  const DoubleArray from_v2 = dpz_decompress_f64(v2);
+  EXPECT_EQ(from_v2.shape(), input.shape());
   const ErrorStats err =
-      compute_error_stats(input.flat(), decoded.flat());
+      compute_error_stats(input.flat(), from_v2.flat());
   EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+
+  const DoubleArray from_v1 = dpz_decompress_f64(v1);
+  EXPECT_EQ(from_v1.shape(), from_v2.shape());
+  EXPECT_EQ(double_bytes(from_v1), double_bytes(from_v2))
+      << "v1 fixture " << c.name << " no longer decodes byte-exactly";
 }
 
 TEST(GoldenArchive, Chunked2DF32Strict) {
   const GoldenCase c = find_case("chunked_2d_f32_strict");
   const FloatArray input = golden_f32(c);
-  const std::vector<std::uint8_t> committed =
+  const std::vector<std::uint8_t> v1 =
       read_bytes(golden_path(c.name, ".dpz"));
+  const std::vector<std::uint8_t> v2 =
+      read_bytes(golden_path(c.name, ".v2.dpz"));
 
-  EXPECT_EQ(chunked_compress(input, golden_chunked_config(c)), committed)
+  EXPECT_EQ(chunked_compress(input, golden_chunked_config(c)), v2)
       << "re-encoding no longer reproduces " << c.name;
-  EXPECT_GT(chunked_frame_count(committed), std::size_t{1})
+  EXPECT_GT(chunked_frame_count(v2), std::size_t{1})
       << "golden container should hold several frames";
+  EXPECT_EQ(chunked_frame_count(v1), chunked_frame_count(v2));
 
-  const FloatArray decoded = chunked_decompress(committed);
-  EXPECT_EQ(decoded.shape(), input.shape());
+  const FloatArray from_v2 = chunked_decompress(v2);
+  EXPECT_EQ(from_v2.shape(), input.shape());
   const ErrorStats err =
-      compute_error_stats(input.flat(), decoded.flat());
+      compute_error_stats(input.flat(), from_v2.flat());
   EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
+
+  const FloatArray from_v1 = chunked_decompress(v1);
+  EXPECT_EQ(from_v1.shape(), from_v2.shape());
+  EXPECT_EQ(float_bytes(from_v1), float_bytes(from_v2))
+      << "v1 fixture " << c.name << " no longer decodes byte-exactly";
 }
 
 TEST(GoldenArchive, SharedBasis2DF32Strict) {
   const GoldenCase c = find_case("shared_basis_2d_f32_strict");
   const FloatArray reference = golden_f32(c);
   const FloatArray snapshot = golden_snapshot(c);
-  const std::vector<std::uint8_t> committed_blob =
+  const std::vector<std::uint8_t> v1_blob =
       read_bytes(golden_path(c.name, ".blob"));
-  const std::vector<std::uint8_t> committed_archive =
+  const std::vector<std::uint8_t> v1_archive =
       read_bytes(golden_path(c.name, ".dpz"));
+  const std::vector<std::uint8_t> v2_blob =
+      read_bytes(golden_path(c.name, ".v2.blob"));
+  const std::vector<std::uint8_t> v2_archive =
+      read_bytes(golden_path(c.name, ".v2.dpz"));
 
   const SharedBasisCodec trained =
       SharedBasisCodec::train(reference, golden_config(c));
-  EXPECT_EQ(trained.serialize(), committed_blob)
+  EXPECT_EQ(trained.serialize(), v2_blob)
       << "re-training no longer reproduces the golden basis blob";
-  EXPECT_EQ(trained.compress(snapshot), committed_archive)
+  EXPECT_EQ(trained.compress(snapshot), v2_archive)
       << "re-encoding no longer reproduces the golden snapshot archive";
 
   // The committed blob alone must be able to open the committed archive.
   const SharedBasisCodec restored =
-      SharedBasisCodec::deserialize(committed_blob);
-  const FloatArray decoded = restored.decompress(committed_archive);
+      SharedBasisCodec::deserialize(v2_blob);
+  const FloatArray decoded = restored.decompress(v2_archive);
   EXPECT_EQ(decoded.shape(), snapshot.shape());
   const ErrorStats err =
       compute_error_stats(snapshot.flat(), decoded.flat());
   EXPECT_GT(err.psnr_db, 30.0) << c.name << " decodes to garbage";
   // And it must agree byte for byte with the trainer's own decode.
   EXPECT_EQ(float_bytes(decoded),
-            float_bytes(trained.decompress(committed_archive)));
+            float_bytes(trained.decompress(v2_archive)));
+
+  // Backward compatibility: the frozen v1 blob still opens the frozen v1
+  // snapshot, and both generations reconstruct identical bytes.
+  const SharedBasisCodec legacy = SharedBasisCodec::deserialize(v1_blob);
+  EXPECT_EQ(float_bytes(legacy.decompress(v1_archive)),
+            float_bytes(decoded))
+      << "v1 shared-basis fixtures no longer decode byte-exactly";
+  // Cross-generation: a v2 reader holding the v1 basis opens the v2
+  // archive (the section framing is per-container, not per-codec).
+  EXPECT_EQ(float_bytes(legacy.decompress(v2_archive)),
+            float_bytes(decoded));
 }
 
 TEST(GoldenArchive, HeadersParseAsRecorded) {
@@ -133,14 +190,16 @@ TEST(GoldenArchive, HeadersParseAsRecorded) {
   EXPECT_FALSE(li.wide_codes);
   EXPECT_DOUBLE_EQ(li.error_bound, 1e-3);
   EXPECT_EQ(li.shape, std::vector<std::size_t>{4096});
+  EXPECT_EQ(li.version, 1);
 
   const std::vector<std::uint8_t> wide =
-      read_bytes(golden_path("dpz_2d_f64_strict", ".dpz"));
+      read_bytes(golden_path("dpz_2d_f64_strict", ".v2.dpz"));
   const DpzArchiveInfo wi = dpz_inspect(wide);
   EXPECT_TRUE(wi.double_precision);
   EXPECT_TRUE(wi.wide_codes);
   EXPECT_DOUBLE_EQ(wi.error_bound, 1e-4);
   EXPECT_EQ(wi.shape, (std::vector<std::size_t>{64, 72}));
+  EXPECT_EQ(wi.version, 2);
 }
 
 }  // namespace

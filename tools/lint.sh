@@ -17,6 +17,12 @@
 #      derived from archive bytes — readers throw FormatError so that
 #      malformed input stays a recoverable status (docs/FORMAT.md,
 #      "Validation and error behavior").
+#   5. zlib_decompress is banned in src/core outside dpz.cpp. The v2
+#      integrity contract is verify-before-inflate: every section blob
+#      flows through detail::get_section (dpz.cpp), which checks the
+#      CRC32C seal before sizing the inflation buffer. A second inflate
+#      call site in core would be a path where corrupted bytes reach the
+#      allocator unchecked.
 #
 # Exit status: 0 clean, 1 violations found. Run from anywhere.
 set -u
@@ -73,6 +79,16 @@ check_reader src/codec/bitstream.h BitReader
 untracked=$(git ls-files --others tests/golden)
 if [ -n "$untracked" ]; then
   fail "untracked file in tests/golden/ (git add -f it, or extend the .gitignore negation — the format-stability tests read fixtures from a fresh clone):" "$untracked"
+fi
+
+# --- Rule 5: inflate only behind the checksum gate ----------------------
+# detail::get_section in dpz.cpp verifies the section CRC32C before
+# inflating; every other core file must obtain decompressed bytes through
+# it so no forged blob reaches zlib (or the allocator) unverified.
+inflates=$(grep -rn "zlib_decompress" src/core --include='*.h' --include='*.cpp' |
+  awk -F: '$1 != "src/core/dpz.cpp"')
+if [ -n "$inflates" ]; then
+  fail "zlib_decompress in src/core outside dpz.cpp (route section reads through detail::get_section so the CRC is verified before inflation):" "$inflates"
 fi
 
 if [ "$status" -eq 0 ]; then
