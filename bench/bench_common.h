@@ -7,8 +7,24 @@
 //   --seed=<n>    dataset seed
 //   --csv         also write bench_results/<name>.csv
 //   --outdir=<d>  where CSV/PGM artifacts go (default bench_results)
+//
+// bench_regression additionally accepts:
+//   --baseline=<p>        committed baseline JSON to gate against
+//                         (default bench_results/BENCH_baseline.json;
+//                         a missing default baseline skips the gate)
+//   --max-regression=<f>  allowed fractional throughput drop before the
+//                         gate fails (default 0.25; the environment
+//                         variable DPZ_BENCH_MAX_REGRESSION overrides
+//                         the default, the flag overrides both)
+//   --repeats=<n>         timing repetitions per cell; the minimum wall
+//                         time wins (default 3 — single-shot timings on
+//                         a shared runner swing more than the gate's
+//                         threshold)
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -26,13 +42,19 @@ struct BenchOptions {
   std::uint64_t seed = 2021;
   bool csv = false;
   std::string outdir = "bench_results";
+  std::string baseline = "bench_results/BENCH_baseline.json";
+  bool baseline_explicit = false;
+  double max_regression = 0.25;
+  int repeats = 3;
 };
 
 inline BenchOptions parse_options(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
-                     {"scale", "seed", "csv", "outdir", "help"});
+                     {"scale", "seed", "csv", "outdir", "baseline",
+                      "max-regression", "repeats", "help"});
   if (args.has("help")) {
-    std::cout << "flags: --scale=<f> --seed=<n> --csv --outdir=<dir>\n";
+    std::cout << "flags: --scale=<f> --seed=<n> --csv --outdir=<dir> "
+                 "--baseline=<json> --max-regression=<f> --repeats=<n>\n";
     std::exit(0);
   }
   BenchOptions opt;
@@ -40,6 +62,13 @@ inline BenchOptions parse_options(int argc, const char* const* argv) {
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 2021));
   opt.csv = args.get_bool("csv", false);
   opt.outdir = args.get_string("outdir", opt.outdir);
+  opt.baseline = args.get_string("baseline", opt.baseline);
+  opt.baseline_explicit = args.has("baseline");
+  if (const char* env = std::getenv("DPZ_BENCH_MAX_REGRESSION"))
+    opt.max_regression = std::atof(env);
+  opt.max_regression = args.get_double("max-regression", opt.max_regression);
+  opt.repeats = static_cast<int>(
+      std::max<std::int64_t>(1, args.get_int("repeats", opt.repeats)));
   return opt;
 }
 

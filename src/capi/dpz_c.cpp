@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string>
 
 #include "core/chunked.h"
 #include "core/dpz.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace {
@@ -32,6 +36,33 @@ int translate_exception() {
     return set_error(DPZ_ERR_INTERNAL, "unknown error");
   }
 }
+
+// Honors opt->trace_path for the span of one API call: telemetry goes on
+// for the call's duration and the trace is flushed to the file on the way
+// out. A flush failure never fails the primary operation — the archive or
+// reconstruction the caller asked for exists either way — it leaves a
+// note in dpz_last_error() instead (documented in dpz_c.h).
+class TraceScope {
+ public:
+  explicit TraceScope(const dpz_options* opt) {
+    if (opt != nullptr && opt->trace_path != nullptr) {
+      path_ = opt->trace_path;
+      enabled_.emplace(true);
+    }
+  }
+  ~TraceScope() {
+    if (!path_.empty() &&
+        !dpz::obs::TraceRecorder::instance().write_file(path_))
+      g_last_error = "failed to write trace file: " + path_;
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string path_;
+  std::optional<dpz::obs::ScopedTelemetry> enabled_;
+};
 
 dpz::DpzConfig to_config(const dpz_options* opt) {
   dpz::DpzConfig config = opt->scheme == DPZ_SCHEME_LOOSE
@@ -112,6 +143,7 @@ int compress_impl(const T* data, const size_t* dims, size_t rank,
   if (rank == 0 || rank > 4)
     return set_error(DPZ_ERR_INVALID_ARGUMENT, "rank must be 1..4");
   try {
+    const TraceScope trace(opt);
     std::vector<std::size_t> shape(dims, dims + rank);
     std::size_t total = 1;
     for (const std::size_t d : shape) total *= d;
@@ -141,7 +173,65 @@ void dpz_options_default(dpz_options* opt) {
   opt->threads = 0;
   opt->best_effort = 0;
   opt->fill_value = 0.0;
+  opt->trace_path = nullptr;
 }
+
+void dpz_telemetry_enable(int enabled) {
+  dpz::obs::set_telemetry_enabled(enabled != 0);
+}
+
+int dpz_telemetry_enabled(void) {
+  return dpz::obs::telemetry_enabled() ? 1 : 0;
+}
+
+int dpz_metrics_snapshot(dpz_metrics* out) {
+  if (out == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  const dpz::obs::MetricsSnapshot snap =
+      dpz::obs::MetricsRegistry::instance().snapshot();
+  using dpz::obs::Counter;
+  *out = dpz_metrics{};
+  out->compress_calls = snap.counter(Counter::kCompressCalls);
+  out->decompress_calls = snap.counter(Counter::kDecompressCalls);
+  out->bytes_in = snap.counter(Counter::kBytesIn);
+  out->bytes_archive = snap.counter(Counter::kBytesArchive);
+  out->bytes_decoded = snap.counter(Counter::kBytesDecoded);
+  out->bytes_stage12 = snap.counter(Counter::kBytesStage12);
+  out->bytes_stage3 = snap.counter(Counter::kBytesStage3);
+  out->bytes_zlib_payload = snap.counter(Counter::kBytesZlibPayload);
+  out->bytes_side = snap.counter(Counter::kBytesSide);
+  out->quantizer_values = snap.counter(Counter::kQuantValues);
+  out->quantizer_saturated = snap.counter(Counter::kQuantSaturated);
+  out->outlier_count = snap.counter(Counter::kOutliers);
+  out->stored_raw_fallbacks = snap.counter(Counter::kStoredRawFallbacks);
+  out->crc_checks = snap.counter(Counter::kCrcChecks);
+  out->crc_failures = snap.counter(Counter::kCrcFailures);
+  out->io_read_eintr = snap.counter(Counter::kIoReadEintr);
+  out->io_write_eintr = snap.counter(Counter::kIoWriteEintr);
+  out->io_short_reads = snap.counter(Counter::kIoShortReads);
+  out->io_short_writes = snap.counter(Counter::kIoShortWrites);
+  out->frames_encoded = snap.counter(Counter::kFramesEncoded);
+  out->frames_decoded = snap.counter(Counter::kFramesDecoded);
+  out->frames_recovered = snap.counter(Counter::kFramesRecovered);
+  out->frames_lost = snap.counter(Counter::kFramesLost);
+  return DPZ_OK;
+}
+
+void dpz_metrics_reset(void) {
+  dpz::obs::MetricsRegistry::instance().reset();
+}
+
+int dpz_trace_write(const char* path) {
+  if (path == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  if (!dpz::obs::TraceRecorder::instance().write_file(path))
+    return set_error(DPZ_ERR_IO,
+                     "cannot write trace file");
+  g_last_error.clear();
+  return DPZ_OK;
+}
+
+void dpz_trace_clear(void) { dpz::obs::TraceRecorder::instance().clear(); }
 
 int dpz_chunked_decompress_float(const unsigned char* container,
                                  size_t container_size,
@@ -155,6 +245,7 @@ int dpz_chunked_decompress_float(const unsigned char* container,
     report->first_lost_frame = static_cast<size_t>(-1);
   }
   try {
+    const TraceScope trace(opt);
     dpz::ChunkedConfig config;
     if (opt != nullptr) {
       config.threads =

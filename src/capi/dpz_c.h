@@ -24,6 +24,7 @@
 #define DPZ_C_H_
 
 #include <stddef.h>
+#include <stdint.h>
 
 #ifdef __cplusplus
 extern "C" {
@@ -92,6 +93,13 @@ typedef struct dpz_options {
   int best_effort;
   /* Value written into lost frames in best-effort mode (default 0.0). */
   double fill_value;
+  /* When non-NULL: telemetry is enabled for the duration of the call and
+   * the recorded spans are written to this path as Chrome trace-event
+   * JSON (loadable in Perfetto) when the call completes. Tracing never
+   * changes archive bytes. A failed trace write does NOT fail the call;
+   * it leaves a note in dpz_last_error(). Appended per the ABI-growth
+   * policy above — dpz_options_default() sets it to NULL. */
+  const char* trace_path;
 } dpz_options;
 
 /* Fills `opt` with the library defaults (strict scheme, five-nine TVE). */
@@ -161,6 +169,65 @@ int dpz_archive_shape(const unsigned char* archive, size_t archive_size,
  * error code on a malformed archive. */
 int dpz_archive_is_double(const unsigned char* archive,
                           size_t archive_size);
+
+/* ---- Telemetry -----------------------------------------------------------
+ *
+ * Process-wide switch over the span recorder and metrics registry
+ * (src/obs). Off by default; when off every instrumented site costs a
+ * single relaxed atomic load. Enabling telemetry never changes archive
+ * bytes. See docs/OBSERVABILITY.md for the span/metric taxonomy. */
+
+/* Turns telemetry recording on (non-zero) or off (0). */
+void dpz_telemetry_enable(int enabled);
+
+/* 1 when telemetry recording is currently on, else 0. */
+int dpz_telemetry_enabled(void);
+
+/* Counter snapshot of the process-wide metrics registry. Field names
+ * mirror the registered counter names (docs/OBSERVABILITY.md).
+ *
+ * ABI note: like dpz_options, this struct may grow at the end in future
+ * releases; always populate it with dpz_metrics_snapshot(). */
+typedef struct dpz_metrics {
+  uint64_t compress_calls;
+  uint64_t decompress_calls;
+  uint64_t bytes_in;
+  uint64_t bytes_archive;
+  uint64_t bytes_decoded;
+  uint64_t bytes_stage12;
+  uint64_t bytes_stage3;
+  uint64_t bytes_zlib_payload;
+  uint64_t bytes_side;
+  uint64_t quantizer_values;
+  uint64_t quantizer_saturated;
+  uint64_t outlier_count;
+  uint64_t stored_raw_fallbacks;
+  uint64_t crc_checks;
+  uint64_t crc_failures;
+  uint64_t io_read_eintr;
+  uint64_t io_write_eintr;
+  uint64_t io_short_reads;
+  uint64_t io_short_writes;
+  uint64_t frames_encoded;
+  uint64_t frames_decoded;
+  uint64_t frames_recovered;
+  uint64_t frames_lost;
+} dpz_metrics;
+
+/* Copies the current counter values into *out. Returns DPZ_OK, or
+ * DPZ_ERR_INVALID_ARGUMENT when out is NULL. */
+int dpz_metrics_snapshot(dpz_metrics* out);
+
+/* Zeroes every counter and histogram bucket in the registry. */
+void dpz_metrics_reset(void);
+
+/* Writes the spans recorded so far to `path` as Chrome trace-event JSON.
+ * Returns DPZ_OK, DPZ_ERR_INVALID_ARGUMENT on NULL, DPZ_ERR_IO when the
+ * file cannot be written. */
+int dpz_trace_write(const char* path);
+
+/* Drops every span recorded so far. */
+void dpz_trace_clear(void);
 
 /* Frees any buffer returned by this API. Safe on NULL. */
 void dpz_free(void* ptr);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
@@ -76,6 +77,8 @@ QuantizedStream quantize(std::span<const double> values,
   out.outliers.reserve(total);
   for (const auto& so : strip_outliers)
     out.outliers.insert(out.outliers.end(), so.begin(), so.end());
+  obs::count(obs::Counter::kQuantValues, values.size());
+  obs::count(obs::Counter::kQuantSaturated, total);
   return out;
 }
 

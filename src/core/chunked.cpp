@@ -6,6 +6,8 @@
 
 #include "codec/bytes.h"
 #include "core/archive_detail.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32c.h"
 #include "util/error.h"
 #include "util/thread_pool.h"
@@ -128,9 +130,13 @@ std::span<const std::uint8_t> frame_bytes(
 void check_frame_crc(std::span<const std::uint8_t> frame,
                      const ContainerHeader& h, std::size_t f) {
   if (h.frame_crcs.empty()) return;
-  if (crc32c(frame) != h.frame_crcs[f])
+  const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+  obs::count(obs::Counter::kCrcChecks);
+  if (crc32c(frame) != h.frame_crcs[f]) {
+    obs::count(obs::Counter::kCrcFailures);
     throw ChecksumError("chunked container: frame " + std::to_string(f) +
                         " checksum mismatch");
+  }
 }
 
 // Chunk boundaries over `total` values: every chunk has `chunk_values`
@@ -175,10 +181,12 @@ FloatArray decompress_strict(std::span<const std::uint8_t> container,
   std::vector<FloatArray> chunks(h.frame_count);
   std::vector<std::exception_ptr> errors(h.frame_count);
   parallel_for(0, h.frame_count, [&](std::size_t f) {
+    const obs::ScopedSpan frame_span(obs::Span::kFrameDecode);
     try {
       const auto frame = frame_bytes(container, h, f);
       check_frame_crc(frame, h, f);
       chunks[f] = dpz_decompress(frame);
+      obs::count(obs::Counter::kFramesDecoded);
     } catch (...) {
       errors[f] = std::current_exception();
     }
@@ -218,6 +226,7 @@ FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
   std::vector<std::string> frame_error(h.frame_count);
   std::vector<std::uint8_t> frame_lost(h.frame_count, 0);
   parallel_for(0, h.frame_count, [&](std::size_t f) {
+    const obs::ScopedSpan frame_span(obs::Span::kFrameDecode);
     const auto [begin, end] = frame_slot(h, f);
     try {
       const auto frame = frame_bytes(container, h, f);
@@ -228,11 +237,16 @@ FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
                           " does not match its slot");
       std::copy(chunk.flat().begin(), chunk.flat().end(),
                 values.begin() + static_cast<std::ptrdiff_t>(begin));
+      obs::count(obs::Counter::kFramesDecoded);
     } catch (const Error& e) {
       frame_lost[f] = 1;
       frame_error[f] = e.what();
     }
   });
+
+  for (const std::uint8_t lost : frame_lost)
+    obs::count(lost != 0 ? obs::Counter::kFramesLost
+                         : obs::Counter::kFramesRecovered);
 
   if (report != nullptr) {
     *report = DecodeReport{};
@@ -275,6 +289,7 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   std::vector<std::vector<std::uint8_t>> frames(starts.size());
   std::vector<std::uint8_t> frame_stored_raw(starts.size(), 0);
   parallel_for(0, starts.size(), [&](std::size_t f) {
+    const obs::ScopedSpan frame_span(obs::Span::kFrameEncode);
     const std::size_t begin = starts[f];
     const std::size_t end =
         (f + 1 < starts.size()) ? starts[f + 1] : data.size();
@@ -285,6 +300,8 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
     DpzStats frame_stats;
     frames[f] = dpz_compress(chunk, frame_config, &frame_stats);
     frame_stored_raw[f] = frame_stats.stored_raw ? 1 : 0;
+    obs::count(obs::Counter::kFramesEncoded);
+    obs::observe(obs::Hist::kFrameBytes, frames[f].size());
   });
   for (const std::uint8_t raw : frame_stored_raw)
     if (raw != 0) ++st.stored_raw_frames;

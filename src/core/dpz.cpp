@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 
 #include "codec/bytes.h"
 #include "codec/quantizer.h"
@@ -12,6 +13,9 @@
 #include "core/sampling.h"
 #include "dsp/dct.h"
 #include "linalg/pca.h"
+#include "obs/metrics.h"
+#include "obs/stage_clock.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 #include "stats/vif.h"
 #include "util/crc32c.h"
@@ -126,9 +130,14 @@ std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version) {
   // failure modes on corrupt streams are a generic error at best) or
   // drive the quantizer. tools/lint.sh rule 5 keeps every core section
   // read on this path.
-  if (version >= kFormatVersion &&
-      section_crc(raw_size, z) != stored_crc)
-    throw ChecksumError("section checksum mismatch (corrupted blob)");
+  if (version >= kFormatVersion) {
+    const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+    obs::count(obs::Counter::kCrcChecks);
+    if (section_crc(raw_size, z) != stored_crc) {
+      obs::count(obs::Counter::kCrcFailures);
+      throw ChecksumError("section checksum mismatch (corrupted blob)");
+    }
+  }
   return zlib_decompress(z, static_cast<std::size_t>(raw_size));
 }
 
@@ -136,9 +145,13 @@ void put_header_crc(ByteWriter& w) { w.put_u32(crc32c(w.bytes())); }
 
 void check_header_crc(ByteReader& r, std::span<const std::uint8_t> archive,
                       const char* what) {
+  const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+  obs::count(obs::Counter::kCrcChecks);
   const std::uint32_t computed = crc32c(archive.first(r.position()));
-  if (r.get_u32() != computed)
+  if (r.get_u32() != computed) {
+    obs::count(obs::Counter::kCrcFailures);
     throw ChecksumError(std::string(what) + ": header checksum mismatch");
+  }
 }
 
 }  // namespace detail
@@ -249,13 +262,18 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   DpzStats& st = stats != nullptr ? *stats : local_stats;
   st = DpzStats{};
   st.original_bytes = data.size() * sizeof(T);
+  obs::count(obs::Counter::kCompressCalls);
+  obs::count(obs::Counter::kBytesIn, st.original_bytes);
+  // Stage accounting accumulates here (thread-safe) and is copied into
+  // st.timers once at the end — StageTimer itself is not synchronized.
+  obs::StageAccumulator acc;
 
   // ---- Stage 1: block decomposition + per-block DCT -------------------
   Matrix blocks;
   BlockLayout layout;
   std::vector<double> spatial_vifs;
   {
-    const ScopedStage stage(st.timers, "stage1_dct");
+    const obs::StageSpan stage(acc, obs::Span::kStage1Dct);
     layout = choose_block_layout(data.size());
     blocks = to_blocks(data.flat(), layout);
 
@@ -297,7 +315,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   std::size_t k = 1;
   bool standardized = config.standardize > 0;
   {
-    const ScopedStage stage(st.timers, "stage2_pca");
+    const obs::StageSpan stage(acc, obs::Span::kStage2Pca);
     if (config.use_sampling && layout.m >= 2 * config.subset_count) {
       SamplingConfig scfg;
       scfg.subset_count = config.subset_count;
@@ -344,7 +362,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   side.scale = model.scale;
   QuantizedStream qs;
   {
-    const ScopedStage stage(st.timers, "stage3_quantize");
+    const obs::StageSpan stage(acc, obs::Span::kStage3Quantize);
     side.score_scale = detail::component_scale(scores.row(0));
     const double inv = 1.0 / side.score_scale;
     parallel_for(0, scores.rows(), [&](std::size_t j) {
@@ -363,7 +381,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   // ---- Serialization + zlib add-on -------------------------------------
   ByteWriter w;
   {
-    const ScopedStage stage(st.timers, "zlib_encode");
+    const obs::StageSpan stage(acc, obs::Span::kZlibEncode);
     w.put_u32(kMagic);
     w.put_u8(kVersion);
     std::uint8_t flags = 0;
@@ -401,8 +419,18 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   if (archive.size() >= st.original_bytes) {
     archive = make_stored_archive(data, config.zlib_level);
     st.stored_raw = true;
+    obs::count(obs::Counter::kStoredRawFallbacks);
   }
   st.archive_bytes = archive.size();
+
+  for (const auto& [name, secs] : acc.buckets()) st.timers.add(name, secs);
+  obs::count(obs::Counter::kBytesArchive, st.archive_bytes);
+  obs::count(obs::Counter::kBytesStage12, st.stage12_bytes);
+  obs::count(obs::Counter::kBytesStage3, st.stage3_bytes);
+  obs::count(obs::Counter::kBytesZlibPayload, st.zlib_payload_bytes);
+  obs::count(obs::Counter::kBytesSide, st.side_bytes);
+  obs::count(obs::Counter::kOutliers, st.outlier_count);
+  obs::observe(obs::Hist::kSelectedK, st.k);
   return archive;
 }
 
@@ -410,6 +438,7 @@ template <typename T>
 NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
                            std::size_t max_components, unsigned threads) {
   const ScopedThreads pool_scope(threads);
+  obs::count(obs::Counter::kDecompressCalls);
   ByteReader r(archive);
   if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
   const std::uint8_t version = read_version(r);
@@ -437,8 +466,14 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
     ByteReader raw_reader(raw);
     NdArray<T> out(shape);
     for (T& v : out.flat()) v = static_cast<T>(get_element<T>(raw_reader));
+    obs::count(obs::Counter::kBytesDecoded, out.size() * sizeof(T));
     return out;
   }
+
+  // One trace span per decode stage; emplace() closes the previous stage
+  // and opens the next (optional<> because the stages share scope).
+  std::optional<obs::ScopedSpan> span;
+  span.emplace(obs::Span::kDecodeSections);
 
   QuantizerConfig qcfg;
   qcfg.error_bound = r.get_f64();
@@ -518,6 +553,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   }
 
   // Stage 3 inverse: codes -> normalized scores -> scores.
+  span.emplace(obs::Span::kDecodeDequantize);
   Matrix scores(use_k, layout.n);
   dequantize(qs, qcfg, scores.flat());
   parallel_for(0, scores.rows(), [&](std::size_t j) {
@@ -526,6 +562,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
 
   // Stage 2 inverse: back-project through the stored basis (leading use_k
   // columns only).
+  span.emplace(obs::Span::kDecodeBackproject);
   PcaModel model;
   model.mean = side.mean;
   model.scale = side.scale;
@@ -542,6 +579,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   Matrix blocks = model.inverse_transform(scores);
 
   // Stage 1 inverse: inverse DCT per block, then de-block.
+  span.emplace(obs::Span::kDecodeIdct);
   const DctPlan plan(layout.n);
   parallel_for(0, layout.m, [&](std::size_t i) {
     auto row = blocks.row(i);
@@ -550,6 +588,8 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
 
   NdArray<T> out(shape);
   from_blocks(blocks, layout, out.flat());
+  span.reset();
+  obs::count(obs::Counter::kBytesDecoded, out.size() * sizeof(T));
   return out;
 }
 

@@ -1,11 +1,15 @@
 #include "core/shared_basis.h"
 
 #include <cmath>
+#include <optional>
 
 #include "codec/bytes.h"
 #include "codec/shuffle.h"
 #include "core/archive_detail.h"
 #include "dsp/dct.h"
+#include "obs/metrics.h"
+#include "obs/stage_clock.h"
+#include "obs/trace.h"
 #include "stats/knee.h"
 #include "util/thread_pool.h"
 
@@ -203,11 +207,17 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
   st.original_bytes = snapshot.size() * sizeof(float);
   st.stage12_bytes =
       static_cast<std::uint64_t>(st.k) * layout_.n * sizeof(float);
+  obs::count(obs::Counter::kCompressCalls);
+  obs::count(obs::Counter::kBytesIn, st.original_bytes);
+  obs::StageAccumulator acc;
 
+  std::optional<obs::StageSpan> stage;
+  stage.emplace(acc, obs::Span::kStage1Dct);
   const Matrix blocks = dct_blocks_of(snapshot, layout_);
   const std::vector<double> mean = row_means(blocks);
 
   // Scores against the frozen basis: Y = D_k^T (Z - mean).
+  stage.emplace(acc, obs::Span::kStage2Pca);
   const std::size_t k = basis_.cols();
   Matrix scores(k, layout_.n);
   parallel_for(0, k, [&](std::size_t j) {
@@ -222,6 +232,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
     }
   });
 
+  stage.emplace(acc, obs::Span::kStage3Quantize);
   const double score_scale = detail::component_scale(scores.row(0));
   const double inv = 1.0 / score_scale;
   for (double& v : scores.flat()) v *= inv;
@@ -229,6 +240,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
   st.outlier_count = qs.outliers.size();
   st.stage3_bytes = qs.codes.size() + qs.outliers.size() * sizeof(float);
 
+  stage.emplace(acc, obs::Span::kZlibEncode);
   ByteWriter w;
   w.put_u32(detail::kSnapshotMagicV2);
   w.put_u8(detail::kFormatVersion);
@@ -247,15 +259,25 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
     outlier_bytes.put_f32(static_cast<float>(v));
   detail::put_section(w, outlier_bytes.bytes(), zlib_level_);
   st.zlib_payload_bytes = w.size() - before_payload;
+  stage.reset();
 
   std::vector<std::uint8_t> archive = w.take();
   st.archive_bytes = archive.size();
+  for (const auto& [name, secs] : acc.buckets()) st.timers.add(name, secs);
+  obs::count(obs::Counter::kBytesArchive, st.archive_bytes);
+  obs::count(obs::Counter::kBytesStage3, st.stage3_bytes);
+  obs::count(obs::Counter::kBytesZlibPayload, st.zlib_payload_bytes);
+  obs::count(obs::Counter::kOutliers, st.outlier_count);
+  obs::observe(obs::Hist::kSelectedK, st.k);
   return archive;
 }
 
 FloatArray SharedBasisCodec::decompress(
     std::span<const std::uint8_t> archive) const {
   const ScopedThreads pool_scope(threads_);
+  obs::count(obs::Counter::kDecompressCalls);
+  std::optional<obs::ScopedSpan> span;
+  span.emplace(obs::Span::kDecodeSections);
   ByteReader r(archive);
   const std::uint32_t magic = r.get_u32();
   if (magic != detail::kSnapshotMagicV1 && magic != detail::kSnapshotMagicV2)
@@ -296,11 +318,13 @@ FloatArray SharedBasisCodec::decompress(
   for (double& v : qs.outliers)
     v = static_cast<double>(outlier_reader.get_f32());
 
+  span.emplace(obs::Span::kDecodeDequantize);
   Matrix scores(k, layout_.n);
   dequantize(qs, qcfg_, scores.flat());
   for (double& v : scores.flat()) v *= score_scale;
 
   // Back-project: Z = D_k Y + mean, then inverse DCT + de-block.
+  span.emplace(obs::Span::kDecodeBackproject);
   Matrix blocks(layout_.m, layout_.n);
   parallel_for(0, layout_.m, [&](std::size_t i) {
     double* out = blocks.row(i).data();
@@ -314,6 +338,7 @@ FloatArray SharedBasisCodec::decompress(
     for (std::size_t c = 0; c < layout_.n; ++c) out[c] += mu;
   });
 
+  span.emplace(obs::Span::kDecodeIdct);
   const DctPlan plan(layout_.n);
   parallel_for(0, layout_.m, [&](std::size_t i) {
     auto row = blocks.row(i);
@@ -322,6 +347,8 @@ FloatArray SharedBasisCodec::decompress(
 
   FloatArray out(shape_);
   from_blocks(blocks, layout_, out.flat());
+  span.reset();
+  obs::count(obs::Counter::kBytesDecoded, out.size() * sizeof(float));
   return out;
 }
 

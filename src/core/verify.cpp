@@ -2,6 +2,8 @@
 
 #include "codec/bytes.h"
 #include "core/archive_detail.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32c.h"
 #include "util/error.h"
 
@@ -21,11 +23,16 @@ void walk_header(ByteReader& r, std::span<const std::uint8_t> bytes,
   s.name = "header";
   s.offset = 0;
   if (version >= kFormatVersion) {
+    const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+    obs::count(obs::Counter::kCrcChecks);
     s.has_crc = true;
     s.computed_crc = crc32c(bytes.first(r.position()));
     s.stored_crc = r.get_u32();
     s.crc_ok = s.stored_crc == s.computed_crc;
-    if (!s.crc_ok) rep.problems.push_back("header checksum mismatch");
+    if (!s.crc_ok) {
+      obs::count(obs::Counter::kCrcFailures);
+      rep.problems.push_back("header checksum mismatch");
+    }
   }
   s.size = r.position();
   rep.sections.push_back(s);
@@ -47,10 +54,14 @@ void walk_section(ByteReader& r, std::uint8_t version,
     rep.problems.push_back("section '" + name +
                            "': raw size implausible for its payload");
   if (s.has_crc) {
+    const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+    obs::count(obs::Counter::kCrcChecks);
     s.computed_crc = detail::section_crc(s.raw_size, blob);
     s.crc_ok = s.computed_crc == s.stored_crc;
-    if (!s.crc_ok)
+    if (!s.crc_ok) {
+      obs::count(obs::Counter::kCrcFailures);
       rep.problems.push_back("section '" + name + "' checksum mismatch");
+    }
   }
   s.size = r.position() - s.offset;
   rep.sections.push_back(s);
@@ -151,12 +162,16 @@ void walk_chunked(ByteReader& r, std::span<const std::uint8_t> bytes,
         bytes.subspan(static_cast<std::size_t>(s.offset),
                       static_cast<std::size_t>(s.size));
     if (version >= kFormatVersion) {
+      const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+      obs::count(obs::Counter::kCrcChecks);
       s.has_crc = true;
       s.stored_crc = crcs[f];
       s.computed_crc = crc32c(frame);
       s.crc_ok = s.computed_crc == s.stored_crc;
-      if (!s.crc_ok)
+      if (!s.crc_ok) {
+        obs::count(obs::Counter::kCrcFailures);
         rep.problems.push_back(s.name + " checksum mismatch");
+      }
     }
     rep.sections.push_back(s);
 

@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "io/fault_injection.h"
+#include "obs/metrics.h"
 
 namespace dpz {
 
@@ -117,13 +118,18 @@ void full_read(int fd, void* out, std::size_t n, const std::string& path) {
   while (off < n) {
     const ssize_t got = faulty_read(fd, buf + off, n - off, off);
     if (got < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        obs::count(obs::Counter::kIoReadEintr);
+        continue;
+      }
       throw_errno("cannot read", path);
     }
     if (got == 0)
       throw IoError("short read from " + path + " (got " +
                     std::to_string(off) + " of " + std::to_string(n) +
                     " bytes)");
+    if (static_cast<std::size_t>(got) < n - off)
+      obs::count(obs::Counter::kIoShortReads);
     off += static_cast<std::uint64_t>(got);
   }
 }
@@ -136,9 +142,14 @@ void full_write(int fd, const void* data, std::size_t n,
   while (off < n) {
     const ssize_t put = faulty_write(fd, buf + off, n - off, off);
     if (put < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        obs::count(obs::Counter::kIoWriteEintr);
+        continue;
+      }
       throw_errno("cannot write", path);
     }
+    if (static_cast<std::size_t>(put) < n - off)
+      obs::count(obs::Counter::kIoShortWrites);
     off += static_cast<std::uint64_t>(put);
   }
 }

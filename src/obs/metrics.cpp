@@ -1,0 +1,101 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace dpz::obs {
+
+namespace {
+
+// [lo, hi) value range covered by histogram bucket `i` (hi as text,
+// "inf" for the open top bucket), for human-readable output.
+std::uint64_t bucket_lo(std::size_t i) {
+  return i == 0 ? 0 : (1ULL << (i - 1));
+}
+
+std::string bucket_hi(std::size_t i) {
+  if (i == 0) return "1";
+  if (i >= kHistBuckets - 1) return "inf";
+  return std::to_string(1ULL << i);
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never
+  // destroyed: recording sites may fire during static destruction.
+  return *registry;
+}
+
+std::size_t MetricsRegistry::bucket_of(std::uint64_t value) {
+  if (value == 0) return 0;
+  std::size_t bucket = 1;
+  while (value >>= 1) ++bucket;
+  return bucket < kHistBuckets ? bucket : kHistBuckets - 1;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
+  for (std::size_t h = 0; h < kHistCount; ++h)
+    for (std::size_t b = 0; b < kHistBuckets; ++b)
+      snap.hists[h][b] = hists_[h][b].load(std::memory_order_relaxed);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& h : hists_)
+    for (auto& b : h) b.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::hist_count(Hist id) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : hists[static_cast<std::size_t>(id)])
+    total += b;
+  return total;
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kCounterCount; ++i)
+    out << counter_name(static_cast<Counter>(i)) << ' ' << counters[i]
+        << '\n';
+  for (std::size_t h = 0; h < kHistCount; ++h) {
+    const char* name = hist_name(static_cast<Hist>(h));
+    out << name << "_count " << hist_count(static_cast<Hist>(h)) << '\n';
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (hists[h][b] == 0) continue;
+      out << name << "_bucket[" << bucket_lo(b) << ',' << bucket_hi(b)
+          << ") " << hists[h][b] << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out << (i == 0 ? "" : ", ") << '"'
+        << counter_name(static_cast<Counter>(i)) << "\": " << counters[i];
+  }
+  out << "}, \"histograms\": {";
+  for (std::size_t h = 0; h < kHistCount; ++h) {
+    out << (h == 0 ? "" : ", ") << '"' << hist_name(static_cast<Hist>(h))
+        << "\": {\"count\": " << hist_count(static_cast<Hist>(h))
+        << ", \"buckets\": [";
+    // Sparse [bucket_index, count] pairs; bucket i covers [2^(i-1), 2^i).
+    bool first = true;
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (hists[h][b] == 0) continue;
+      out << (first ? "" : ", ") << '[' << b << ", " << hists[h][b] << ']';
+      first = false;
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace dpz::obs

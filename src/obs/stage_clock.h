@@ -1,0 +1,82 @@
+// Thread-safe per-stage time accumulation for pipeline accounting.
+//
+// Replaces the old StageTimer/ScopedStage hot path, which funneled
+// durations through a shared std::map<std::string,double> — a latent
+// data race once ScopedStage instances live inside parallel worker code,
+// and a per-call std::string allocation besides. StageAccumulator is a
+// fixed array of relaxed atomics indexed by the interned Span id, so any
+// number of workers can accumulate into one instance concurrently
+// (TSan-covered, tests/test_obs.cpp), and a scope costs two clock reads
+// plus one atomic add.
+//
+// StageSpan always accumulates (stage accounting is part of DpzStats,
+// the numbers behind Figure 9, and must not depend on the telemetry
+// switch); it additionally emits a trace span when telemetry is on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/names.h"
+#include "obs/trace.h"
+
+namespace dpz::obs {
+
+/// Fixed-slot nanosecond accumulator, one slot per Span id. Copy-free,
+/// lock-free, safe for concurrent add() from any number of threads.
+class StageAccumulator {
+ public:
+  void add(Span id, std::uint64_t ns) {
+    ns_[static_cast<std::size_t>(id)].fetch_add(ns,
+                                                std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double seconds(Span id) const {
+    return 1e-9 * static_cast<double>(
+                      ns_[static_cast<std::size_t>(id)].load(
+                          std::memory_order_relaxed));
+  }
+
+  /// Non-zero buckets keyed by display name — the copyable aggregate the
+  /// stats structs and bench harnesses consume.
+  [[nodiscard]] std::map<std::string, double> buckets() const {
+    std::map<std::string, double> out;
+    for (std::size_t i = 0; i < kSpanCount; ++i) {
+      const std::uint64_t ns = ns_[i].load(std::memory_order_relaxed);
+      if (ns != 0)
+        out[span_name(static_cast<Span>(i))] =
+            1e-9 * static_cast<double>(ns);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kSpanCount> ns_{};
+};
+
+/// RAII stage scope: always times into `sink`, and mirrors the interval
+/// into the trace recorder when telemetry is enabled.
+class StageSpan {
+ public:
+  StageSpan(StageAccumulator& sink, Span id)
+      : sink_(sink), id_(id), start_ns_(TraceRecorder::now_ns()) {}
+  ~StageSpan() {
+    const std::uint64_t dur = TraceRecorder::now_ns() - start_ns_;
+    sink_.add(id_, dur);
+    if (telemetry_enabled())
+      TraceRecorder::instance().record(id_, start_ns_, dur);
+  }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  StageAccumulator& sink_;
+  Span id_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace dpz::obs

@@ -1,0 +1,48 @@
+// The telemetry master switch.
+//
+// Every recording site — span RAII guards, metric counters, the thread
+// pool's task spans — checks exactly one relaxed atomic load before doing
+// anything. With the switch off (the default), telemetry costs one
+// predictable branch per site and touches no shared state, so it can stay
+// compiled into release builds. With it on, spans append to per-thread
+// buffers and counters do relaxed atomic adds; neither path ever touches
+// the data being compressed, so archive bytes are identical either way
+// (the determinism suite runs with tracing enabled as proof).
+#pragma once
+
+#include <atomic>
+
+namespace dpz::obs {
+
+namespace detail {
+inline std::atomic<bool> g_telemetry{false};
+}  // namespace detail
+
+/// True when spans and counters are being recorded.
+inline bool telemetry_enabled() {
+  return detail::g_telemetry.load(std::memory_order_relaxed);
+}
+
+/// Flips the process-wide switch. Safe to call from any thread at any
+/// time; sites racing with the flip either record or skip, both fine.
+inline void set_telemetry_enabled(bool enabled) {
+  detail::g_telemetry.store(enabled, std::memory_order_relaxed);
+}
+
+/// RAII toggle for tests and scoped CLI/C-API enablement: installs the
+/// requested state, restores the previous one on destruction.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(bool enabled) : previous_(telemetry_enabled()) {
+    set_telemetry_enabled(enabled);
+  }
+  ~ScopedTelemetry() { set_telemetry_enabled(previous_); }
+
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace dpz::obs

@@ -1,0 +1,105 @@
+// Thread-safe span recorder emitting Chrome trace-event JSON.
+//
+// Spans are recorded into per-thread append buffers: each thread owns a
+// buffer registered once (under the registry mutex) and then appends
+// with only its own buffer lock, which is never contended on the hot
+// path — contention exists only against a concurrent flush/clear. The
+// output is the Chrome trace-event format ("X" complete events with
+// microsecond timestamps), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; see docs/OBSERVABILITY.md.
+//
+// Timing uses the same steady clock as util/timer.h, expressed as
+// nanoseconds since the recorder's epoch (first use in the process).
+// Recording never perturbs compressed output: spans observe wall-clock
+// and ids only, never data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/names.h"
+#include "obs/telemetry.h"
+
+namespace dpz::obs {
+
+/// Process-wide span sink. All members are safe to call from any thread.
+class TraceRecorder {
+ public:
+  /// Sentinel for "this span carries no queue-wait attribution".
+  static constexpr std::uint64_t kNoWait = ~0ULL;
+
+  static TraceRecorder& instance();
+
+  /// Nanoseconds since the recorder epoch on the steady clock.
+  static std::uint64_t now_ns();
+
+  /// Appends a completed span for the calling thread. `queue_wait_ns`
+  /// (when not kNoWait) is emitted as an args entry — used by the thread
+  /// pool to attribute time between job publication and chunk start.
+  void record(Span id, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t queue_wait_ns = kNoWait);
+
+  /// Drops every recorded span (buffers stay registered).
+  void clear();
+
+  /// Number of spans currently held across all threads.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Writes the Chrome trace-event JSON document.
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string json() const;
+
+  /// Writes the JSON to a file; throws IoError-free — returns false on
+  /// failure so flush paths never mask the primary operation's result.
+  bool write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    Span id;
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    std::uint64_t queue_wait_ns;
+  };
+  struct ThreadBuffer {
+    std::mutex m;
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  TraceRecorder() = default;
+
+  ThreadBuffer& local_buffer();
+
+  mutable std::mutex registry_m_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Trace-only RAII span, fully gated on the telemetry switch: when off,
+/// construction and destruction are a single relaxed load each — no
+/// clock reads, no allocation, no shared state.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Span id)
+      : id_(id),
+        armed_(telemetry_enabled()),
+        start_ns_(armed_ ? TraceRecorder::now_ns() : 0) {}
+  ~ScopedSpan() {
+    if (armed_)
+      TraceRecorder::instance().record(
+          id_, start_ns_, TraceRecorder::now_ns() - start_ns_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Span id_;
+  bool armed_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace dpz::obs

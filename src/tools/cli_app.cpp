@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "core/blocking.h"
 #include "core/dpz.h"
@@ -16,6 +17,9 @@
 #include "dsp/dct.h"
 #include "io/file_io.h"
 #include "metrics/metrics.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "stats/vif.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -63,6 +67,14 @@ compress options:
   --threads=N         worker threads for the hot loops (0 = all cores);
                       output bytes are identical for every N
   --verify            decompress after compressing and report PSNR
+
+telemetry options (any command; see docs/OBSERVABILITY.md):
+  --trace=out.json    record spans and write a Chrome trace-event file
+                      (open in ui.perfetto.dev or chrome://tracing)
+  --metrics[=json]    print the pipeline metrics registry after the
+                      command (text by default, one JSON object with
+                      =json); enabling telemetry never changes output
+                      bytes
 )";
 
 unsigned parse_threads(const CliArgs& args) {
@@ -489,21 +501,57 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                         "error-bound", "dct-keep", "dtype", "verify",
                         "components", "scale", "names", "seed",
                         "target-cr", "target-psnr", "chunk", "threads",
-                        "best-effort", "fill", "help"});
+                        "best-effort", "fill", "trace", "metrics",
+                        "help"});
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.has("help") ? 0 : 2;
     }
+
+    // Telemetry flags apply to every command: enable recording before the
+    // dispatch, flush the trace / print the metrics after it returns.
+    const std::string trace_path = args.get_string("trace", "");
+    const bool want_metrics = args.has("metrics");
+    std::optional<obs::ScopedTelemetry> telemetry;
+    if (!trace_path.empty() || want_metrics) telemetry.emplace(true);
+
     const std::string& command = args.positional()[0];
-    if (command == "compress") return cmd_compress(args, out);
-    if (command == "decompress") return cmd_decompress(args, out);
-    if (command == "info") return cmd_info(args, out);
-    if (command == "verify") return cmd_verify(args, out);
-    if (command == "inspect") return cmd_inspect(args, out);
-    if (command == "probe") return cmd_probe(args, out);
-    if (command == "datasets") return cmd_datasets(args, out);
-    err << "unknown command '" << command << "'\n" << kUsage;
-    return 2;
+    int rc = 2;
+    if (command == "compress") {
+      rc = cmd_compress(args, out);
+    } else if (command == "decompress") {
+      rc = cmd_decompress(args, out);
+    } else if (command == "info") {
+      rc = cmd_info(args, out);
+    } else if (command == "verify") {
+      rc = cmd_verify(args, out);
+    } else if (command == "inspect") {
+      rc = cmd_inspect(args, out);
+    } else if (command == "probe") {
+      rc = cmd_probe(args, out);
+    } else if (command == "datasets") {
+      rc = cmd_datasets(args, out);
+    } else {
+      err << "unknown command '" << command << "'\n" << kUsage;
+      return 2;
+    }
+
+    if (!trace_path.empty()) {
+      const obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+      if (!recorder.write_file(trace_path))
+        throw IoError("cannot write trace file: " + trace_path);
+      out << "trace: " << trace_path << " (" << recorder.event_count()
+          << " spans)\n";
+    }
+    if (want_metrics) {
+      const obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::instance().snapshot();
+      if (args.get_string("metrics", "") == "json")
+        out << snap.to_json() << "\n";
+      else
+        out << "metrics:\n" << snap.to_text();
+    }
+    return rc;
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n";
     return 1;

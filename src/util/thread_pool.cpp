@@ -4,6 +4,8 @@
 #include <condition_variable>
 #include <exception>
 
+#include "obs/trace.h"
+
 namespace dpz {
 
 namespace {
@@ -50,7 +52,28 @@ struct ThreadPool::Shared {
   std::size_t chunk = 0;
   unsigned remaining = 0;  // workers that have not finished this job
   std::exception_ptr error;
+  // Trace-clock timestamp of job publication; 0 when telemetry was off at
+  // publish time. Lets each participant attribute queue-wait (publication
+  // to chunk start) separately from run time in its pool_task span.
+  std::uint64_t publish_ns = 0;
 };
+
+namespace {
+
+// Records one pool_task span with queue-wait attribution. `publish_ns`
+// may be 0 (telemetry was off when the job was published) — then the
+// wait is unknown and the span carries no attribution.
+void record_pool_task(std::uint64_t publish_ns, std::uint64_t start_ns,
+                      std::uint64_t end_ns) {
+  const std::uint64_t wait =
+      publish_ns != 0 && start_ns > publish_ns
+          ? start_ns - publish_ns
+          : (publish_ns != 0 ? 0 : obs::TraceRecorder::kNoWait);
+  obs::TraceRecorder::instance().record(obs::Span::kPoolTask, start_ns,
+                                        end_ns - start_ns, wait);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
     : thread_count_(threads != 0 ? threads : default_thread_count()),
@@ -76,6 +99,7 @@ void ThreadPool::worker_main(unsigned index) const {
     const std::function<void(std::size_t)>* body = nullptr;
     std::size_t lo = 0;
     std::size_t hi = 0;
+    std::uint64_t publish_ns = 0;
     {
       std::unique_lock<std::mutex> lock(s.m);
       s.job_cv.wait(lock, [&] { return s.stop || s.generation != seen; });
@@ -84,8 +108,12 @@ void ThreadPool::worker_main(unsigned index) const {
       body = s.body;
       lo = std::min(s.end, s.begin + index * s.chunk);
       hi = std::min(s.end, lo + s.chunk);
+      publish_ns = s.publish_ns;
     }
     if (lo < hi) {
+      const bool traced = obs::telemetry_enabled();
+      const std::uint64_t start_ns =
+          traced ? obs::TraceRecorder::now_ns() : 0;
       const DepthGuard guard;
       try {
         for (std::size_t i = lo; i < hi; ++i) (*body)(i);
@@ -93,6 +121,9 @@ void ThreadPool::worker_main(unsigned index) const {
         const std::lock_guard<std::mutex> lock(s.m);
         if (!s.error) s.error = std::current_exception();
       }
+      if (traced)
+        record_pool_task(publish_ns, start_ns,
+                         obs::TraceRecorder::now_ns());
     }
     {
       const std::lock_guard<std::mutex> lock(s.m);
@@ -129,12 +160,17 @@ void ThreadPool::parallel_for(
     s.chunk = (n + participants - 1) / participants;
     s.remaining = static_cast<unsigned>(workers_.size());
     s.error = nullptr;
+    s.publish_ns =
+        obs::telemetry_enabled() ? obs::TraceRecorder::now_ns() : 0;
     ++s.generation;
   }
   s.job_cv.notify_all();
 
   // The calling thread is participant 0.
   {
+    const bool traced = obs::telemetry_enabled();
+    const std::uint64_t start_ns =
+        traced ? obs::TraceRecorder::now_ns() : 0;
     const DepthGuard guard;
     const std::size_t hi = std::min(end, begin + s.chunk);
     try {
@@ -143,6 +179,9 @@ void ThreadPool::parallel_for(
       const std::lock_guard<std::mutex> lock(s.m);
       if (!s.error) s.error = std::current_exception();
     }
+    if (traced)
+      record_pool_task(s.publish_ns, start_ns,
+                       obs::TraceRecorder::now_ns());
   }
 
   std::exception_ptr error;

@@ -37,8 +37,12 @@ class Timer {
   TimePoint start_;
 };
 
-/// Accumulates named durations, e.g. one bucket per compression stage.
-/// Used to regenerate the paper's Figure 9 (compression-time breakdown).
+/// Copyable aggregation *result* of per-stage accounting: named duration
+/// buckets, used to regenerate the paper's Figure 9 (compression-time
+/// breakdown). Hot-path accumulation happens in the thread-safe
+/// obs::StageAccumulator (src/obs/stage_clock.h); its buckets() output is
+/// copied into a StageTimer once the parallel work has joined. Do not add
+/// to a StageTimer from concurrent code — the map is unsynchronized.
 class StageTimer {
  public:
   /// Adds `seconds` to the bucket named `stage`.
@@ -67,22 +71,6 @@ class StageTimer {
 
  private:
   std::map<std::string, double> totals_;
-};
-
-/// RAII helper: measures the lifetime of a scope into a StageTimer bucket.
-class ScopedStage {
- public:
-  ScopedStage(StageTimer& sink, std::string stage)
-      : sink_(sink), stage_(std::move(stage)) {}
-  ~ScopedStage() { sink_.add(stage_, timer_.elapsed()); }
-
-  ScopedStage(const ScopedStage&) = delete;
-  ScopedStage& operator=(const ScopedStage&) = delete;
-
- private:
-  StageTimer& sink_;
-  std::string stage_;
-  Timer timer_;
 };
 
 }  // namespace dpz

@@ -4,6 +4,11 @@
 // promises (static partitioning, disjoint writes, no order-dependent
 // reductions) — any ordering bug shows up here as a byte diff long
 // before it corrupts a user's data.
+//
+// The whole suite runs with telemetry recording ON: byte identity
+// across thread counts while every span and counter site is live is the
+// standing proof that the observability layer (src/obs) never perturbs
+// output bytes.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,11 +20,17 @@
 #include "core/dpz.h"
 #include "core/shared_basis.h"
 #include "data/datasets.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
 namespace {
+
+[[maybe_unused]] const bool g_telemetry_on = [] {
+  obs::set_telemetry_enabled(true);
+  return true;
+}();
 
 constexpr unsigned kThreadCounts[] = {1, 2, 8};
 

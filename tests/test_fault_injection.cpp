@@ -26,6 +26,8 @@
 #include "core/shared_basis.h"
 #include "io/fault_injection.h"
 #include "io/file_io.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -379,6 +381,62 @@ TEST_F(FaultInjectionTest, BestEffortRecoversIntactFramesFromDamagedFile) {
       }
     }
   }
+}
+
+TEST_F(FaultInjectionTest, TelemetryCountsRetriesAndRecoveries) {
+  // The metrics registry must account for exactly the faults the plan
+  // injected: every absorbed EINTR and short transfer, and — for a
+  // damaged container — the CRC mismatch plus the per-frame
+  // recovered/lost split of the best-effort decode.
+  using obs::Counter;
+  const obs::ScopedTelemetry telemetry(true);
+  obs::MetricsRegistry::instance().reset();
+
+  const std::vector<std::uint8_t> payload(1024, 0x5A);
+  const std::string file = path("telemetry.bin");
+  {
+    io::FaultPlan plan;
+    plan.write_eintr = 3;
+    plan.short_writes = 2;
+    const io::ScopedFaultPlan guard(plan);
+    write_bytes(file, payload);
+  }
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counter(Counter::kIoWriteEintr), 3U);
+  EXPECT_EQ(snap.counter(Counter::kIoShortWrites), 2U);
+
+  {
+    io::FaultPlan plan;
+    plan.read_eintr = 5;
+    plan.short_reads = 4;
+    const io::ScopedFaultPlan guard(plan);
+    EXPECT_EQ(read_bytes(file), payload);
+  }
+  snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counter(Counter::kIoReadEintr), 5U);
+  EXPECT_EQ(snap.counter(Counter::kIoShortReads), 4U);
+
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  const FloatArray input = smooth_f32({4 * 4096}, 29);
+  std::vector<std::uint8_t> archive = chunked_compress(input, config);
+  archive[archive.size() / 2] ^= 0x40;  // damage a middle frame
+
+  obs::MetricsRegistry::instance().reset();  // scope to the decode
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  DecodeReport report;
+  (void)chunked_decompress(archive, best, &report);
+  snap = obs::MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(report.frames_total, 4U);
+  EXPECT_EQ(snap.counter(Counter::kFramesRecovered),
+            report.frames_recovered);
+  EXPECT_EQ(snap.counter(Counter::kFramesLost), report.lost.size());
+  EXPECT_EQ(snap.counter(Counter::kFramesDecoded),
+            report.frames_recovered);
+  EXPECT_GE(snap.counter(Counter::kCrcFailures), 1U);
+  EXPECT_GT(snap.counter(Counter::kCrcChecks),
+            snap.counter(Counter::kCrcFailures));
 }
 
 }  // namespace

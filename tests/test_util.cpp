@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/stage_clock.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/format.h"
@@ -316,12 +317,14 @@ TEST(StageTimer, AccumulatesBuckets) {
   EXPECT_DOUBLE_EQ(st.grand_total(), 3.5);
 }
 
-TEST(StageTimer, ScopedStageRecords) {
-  StageTimer st;
+TEST(StageTimer, StageSpanAccumulatesIntoBuckets) {
+  obs::StageAccumulator acc;
   {
-    const ScopedStage scope(st, "scope");
+    const obs::StageSpan scope(acc, obs::Span::kStage1Dct);
   }
-  EXPECT_GE(st.total("scope"), 0.0);
+  StageTimer st;
+  for (const auto& [name, secs] : acc.buckets()) st.add(name, secs);
+  EXPECT_GE(st.total("stage1_dct"), 0.0);
   EXPECT_EQ(st.buckets().size(), 1U);
 }
 

@@ -23,6 +23,10 @@
 #      CRC32C seal before sizing the inflation buffer. A second inflate
 #      call site in core would be a path where corrupted bytes reach the
 #      allocator unchecked.
+#   6. Telemetry span/metric names are declared once, in the
+#      src/obs/names.h tables; production code records through the
+#      interned enums. A quoted telemetry name anywhere else in src/ is
+#      a stray literal that can drift from the registry.
 #
 # Exit status: 0 clean, 1 violations found. Run from anywhere.
 set -u
@@ -89,6 +93,34 @@ inflates=$(grep -rn "zlib_decompress" src/core --include='*.h' --include='*.cpp'
   awk -F: '$1 != "src/core/dpz.cpp"')
 if [ -n "$inflates" ]; then
   fail "zlib_decompress in src/core outside dpz.cpp (route section reads through detail::get_section so the CRC is verified before inflation):" "$inflates"
+fi
+
+# --- Rule 6: telemetry names live only in src/obs/names.h ---------------
+# The name list is extracted from the registry tables themselves, so the
+# rule tracks additions automatically. Tests and bench harnesses may
+# reference names as consumers of the emitted artifacts; src/ may not.
+# Duplicate names inside the registry are rejected too — two ids sharing
+# a display name would merge silently in every JSON artifact.
+obs_names=$(awk '
+  /kSpanInfo\[|kCounterNames\[|kHistNames\[/ { inside = 1 }
+  inside && match($0, /"[a-z0-9_]+"/) {
+    print substr($0, RSTART + 1, RLENGTH - 2)
+  }
+  inside && /^};/ { inside = 0 }
+' src/obs/names.h)
+if [ -z "$obs_names" ]; then
+  fail "could not extract telemetry names from src/obs/names.h (table markers renamed?):" ""
+else
+  dupes=$(printf '%s\n' "$obs_names" | sort | uniq -d)
+  if [ -n "$dupes" ]; then
+    fail "duplicate telemetry name in src/obs/names.h (every span/metric needs a distinct display name):" "$dupes"
+  fi
+  obs_re=$(printf '%s\n' "$obs_names" | paste -sd'|' -)
+  strays=$(grep -rnE "\"(${obs_re})\"" src --include='*.h' --include='*.cpp' |
+    awk -F: '$1 != "src/obs/names.h"')
+  if [ -n "$strays" ]; then
+    fail "telemetry name literal outside src/obs/names.h (record through the obs enums; names are declared once in the registry):" "$strays"
+  fi
 fi
 
 if [ "$status" -eq 0 ]; then
