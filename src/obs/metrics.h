@@ -8,6 +8,11 @@
 // site costs a single relaxed load. Snapshots copy the arrays out into a
 // plain struct that renders to text or JSON for the CLI, the C API, and
 // the bench harness.
+//
+// Concurrency contract: the registry is deliberately lock-free (relaxed
+// atomics only), so it carries no capability annotations — there is no
+// mutex for -Wthread-safety to track (docs/STATIC_ANALYSIS.md). Any
+// future locked state here must come from util/annotated_mutex.h.
 #pragma once
 
 #include <array>

@@ -8,6 +8,10 @@
 // buffers and counters do relaxed atomic adds; neither path ever touches
 // the data being compressed, so archive bytes are identical either way
 // (the determinism suite runs with tracing enabled as proof).
+//
+// The switch is a single atomic, not mutex-guarded state, so it needs no
+// capability annotations (docs/STATIC_ANALYSIS.md); locked telemetry
+// state lives behind util/annotated_mutex.h types (see obs/trace.h).
 #pragma once
 
 #include <atomic>

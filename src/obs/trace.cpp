@@ -43,10 +43,10 @@ std::uint64_t TraceRecorder::now_ns() {
 TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
   thread_local ThreadBuffer* buffer = nullptr;
   if (buffer == nullptr) {
-    const std::lock_guard<std::mutex> lock(registry_m_);
-    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    const MutexLock lock(registry_m_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(buffers_.size())));
     buffer = buffers_.back().get();
-    buffer->tid = static_cast<std::uint32_t>(buffers_.size() - 1);
   }
   return *buffer;
 }
@@ -55,34 +55,34 @@ void TraceRecorder::record(Span id, std::uint64_t start_ns,
                            std::uint64_t dur_ns,
                            std::uint64_t queue_wait_ns) {
   ThreadBuffer& buffer = local_buffer();
-  const std::lock_guard<std::mutex> lock(buffer.m);
+  const MutexLock lock(buffer.m);
   buffer.events.push_back({id, start_ns, dur_ns, queue_wait_ns});
 }
 
 void TraceRecorder::clear() {
-  const std::lock_guard<std::mutex> lock(registry_m_);
+  const MutexLock lock(registry_m_);
   for (const auto& buffer : buffers_) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->m);
+    const MutexLock buffer_lock(buffer->m);
     buffer->events.clear();
   }
 }
 
 std::size_t TraceRecorder::event_count() const {
-  const std::lock_guard<std::mutex> lock(registry_m_);
+  const MutexLock lock(registry_m_);
   std::size_t n = 0;
   for (const auto& buffer : buffers_) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->m);
+    const MutexLock buffer_lock(buffer->m);
     n += buffer->events.size();
   }
   return n;
 }
 
 void TraceRecorder::write_json(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(registry_m_);
+  const MutexLock lock(registry_m_);
   out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
   bool first = true;
   for (const auto& buffer : buffers_) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->m);
+    const MutexLock buffer_lock(buffer->m);
     for (const Event& e : buffer->events) {
       out << (first ? "\n" : ",\n") << "    {\"name\": \""
           << span_name(e.id) << "\", \"cat\": \"" << span_category(e.id)

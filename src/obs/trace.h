@@ -16,13 +16,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "obs/names.h"
 #include "obs/telemetry.h"
+#include "util/annotated_mutex.h"
 
 namespace dpz::obs {
 
@@ -65,17 +65,21 @@ class TraceRecorder {
     std::uint64_t queue_wait_ns;
   };
   struct ThreadBuffer {
-    std::mutex m;
-    std::uint32_t tid = 0;
-    std::vector<Event> events;
+    /// The trace tid is fixed at registration (construction under the
+    /// registry mutex), so readers need no lock for it.
+    explicit ThreadBuffer(std::uint32_t id) : tid(id) {}
+    Mutex m;
+    const std::uint32_t tid;
+    std::vector<Event> events DPZ_GUARDED_BY(m);
   };
 
   TraceRecorder() = default;
 
   ThreadBuffer& local_buffer();
 
-  mutable std::mutex registry_m_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex registry_m_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      DPZ_GUARDED_BY(registry_m_);
 };
 
 /// Trace-only RAII span, fully gated on the telemetry switch: when off,

@@ -1,10 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <exception>
 
 #include "obs/trace.h"
+#include "util/annotated_mutex.h"
 
 namespace dpz {
 
@@ -35,27 +35,29 @@ unsigned default_thread_count() {
 }  // namespace
 
 // Fork/join state shared between parallel_for and the workers. All
-// fields are guarded by `m`; a job is published by bumping `generation`
-// and consumed by every worker exactly once.
+// fields are guarded by `m` (and annotated so a Clang -Wthread-safety
+// build proves it); a job is published by bumping `generation` and
+// consumed by every worker exactly once.
 struct ThreadPool::Shared {
-  std::mutex m;
-  std::condition_variable job_cv;   // workers wait for a new generation
-  std::condition_variable done_cv;  // the caller waits for remaining == 0
-  std::uint64_t generation = 0;
-  bool stop = false;
+  Mutex m;
+  CondVar job_cv;   // workers wait for a new generation
+  CondVar done_cv;  // the caller waits for remaining == 0
+  std::uint64_t generation DPZ_GUARDED_BY(m) = 0;
+  bool stop DPZ_GUARDED_BY(m) = false;
 
   // Current job: participant p owns [begin + p*chunk, begin + (p+1)*chunk)
   // clamped to end. Participant 0 is the calling thread.
-  const std::function<void(std::size_t)>* body = nullptr;
-  std::size_t begin = 0;
-  std::size_t end = 0;
-  std::size_t chunk = 0;
-  unsigned remaining = 0;  // workers that have not finished this job
-  std::exception_ptr error;
+  const std::function<void(std::size_t)>* body DPZ_GUARDED_BY(m) = nullptr;
+  std::size_t begin DPZ_GUARDED_BY(m) = 0;
+  std::size_t end DPZ_GUARDED_BY(m) = 0;
+  std::size_t chunk DPZ_GUARDED_BY(m) = 0;
+  // Workers that have not finished this job.
+  unsigned remaining DPZ_GUARDED_BY(m) = 0;
+  std::exception_ptr error DPZ_GUARDED_BY(m);
   // Trace-clock timestamp of job publication; 0 when telemetry was off at
   // publish time. Lets each participant attribute queue-wait (publication
   // to chunk start) separately from run time in its pool_task span.
-  std::uint64_t publish_ns = 0;
+  std::uint64_t publish_ns DPZ_GUARDED_BY(m) = 0;
 };
 
 namespace {
@@ -85,7 +87,7 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(shared_->m);
+    const MutexLock lock(shared_->m);
     shared_->stop = true;
   }
   shared_->job_cv.notify_all();
@@ -101,8 +103,10 @@ void ThreadPool::worker_main(unsigned index) const {
     std::size_t hi = 0;
     std::uint64_t publish_ns = 0;
     {
-      std::unique_lock<std::mutex> lock(s.m);
-      s.job_cv.wait(lock, [&] { return s.stop || s.generation != seen; });
+      // Predicate spelled out in the wait loop (not a lambda) so the
+      // thread-safety analysis sees the guarded reads under the lock.
+      const MutexLock lock(s.m);
+      while (!s.stop && s.generation == seen) s.job_cv.wait(s.m);
       if (s.stop) return;
       seen = s.generation;
       body = s.body;
@@ -118,7 +122,7 @@ void ThreadPool::worker_main(unsigned index) const {
       try {
         for (std::size_t i = lo; i < hi; ++i) (*body)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(s.m);
+        const MutexLock lock(s.m);
         if (!s.error) s.error = std::current_exception();
       }
       if (traced)
@@ -126,7 +130,7 @@ void ThreadPool::worker_main(unsigned index) const {
                          obs::TraceRecorder::now_ns());
     }
     {
-      const std::lock_guard<std::mutex> lock(s.m);
+      const MutexLock lock(s.m);
       if (--s.remaining == 0) s.done_cv.notify_all();
     }
   }
@@ -147,13 +151,13 @@ void ThreadPool::parallel_for(
   }
 
   // One loop at a time: concurrent top-level callers queue here.
-  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  const MutexLock run_lock(run_mutex_);
 
   Shared& s = *shared_;
   const auto participants =
       static_cast<unsigned>(std::min<std::size_t>(thread_count_, n));
   {
-    const std::lock_guard<std::mutex> lock(s.m);
+    const MutexLock lock(s.m);
     s.body = &body;
     s.begin = begin;
     s.end = end;
@@ -176,7 +180,7 @@ void ThreadPool::parallel_for(
     try {
       for (std::size_t i = begin; i < hi; ++i) body(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(s.m);
+      const MutexLock lock(s.m);
       if (!s.error) s.error = std::current_exception();
     }
     if (traced)
@@ -186,8 +190,8 @@ void ThreadPool::parallel_for(
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(s.m);
-    s.done_cv.wait(lock, [&] { return s.remaining == 0; });
+    const MutexLock lock(s.m);
+    while (s.remaining != 0) s.done_cv.wait(s.m);
     error = s.error;
     s.body = nullptr;
   }

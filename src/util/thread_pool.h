@@ -27,9 +27,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.h"
 
 namespace dpz {
 
@@ -74,7 +75,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   /// Serializes top-level parallel_for calls arriving from different
   /// threads; the pool runs one loop at a time.
-  mutable std::mutex run_mutex_;
+  mutable Mutex run_mutex_;
 };
 
 /// Installs a pool as the calling thread's active pool for the lifetime
