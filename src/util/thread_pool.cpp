@@ -156,6 +156,11 @@ void ThreadPool::parallel_for(
   Shared& s = *shared_;
   const auto participants =
       static_cast<unsigned>(std::min<std::size_t>(thread_count_, n));
+  // Snapshots of job fields for participant 0's lock-free use below:
+  // after publication the workers own the shared state, and even
+  // this-thread-wrote-it reads back from `s` would need the lock.
+  std::size_t chunk = 0;
+  std::uint64_t publish_ns = 0;
   {
     const MutexLock lock(s.m);
     s.body = &body;
@@ -167,6 +172,8 @@ void ThreadPool::parallel_for(
     s.publish_ns =
         obs::telemetry_enabled() ? obs::TraceRecorder::now_ns() : 0;
     ++s.generation;
+    chunk = s.chunk;
+    publish_ns = s.publish_ns;
   }
   s.job_cv.notify_all();
 
@@ -176,7 +183,7 @@ void ThreadPool::parallel_for(
     const std::uint64_t start_ns =
         traced ? obs::TraceRecorder::now_ns() : 0;
     const DepthGuard guard;
-    const std::size_t hi = std::min(end, begin + s.chunk);
+    const std::size_t hi = std::min(end, begin + chunk);
     try {
       for (std::size_t i = begin; i < hi; ++i) body(i);
     } catch (...) {
@@ -184,7 +191,7 @@ void ThreadPool::parallel_for(
       if (!s.error) s.error = std::current_exception();
     }
     if (traced)
-      record_pool_task(s.publish_ns, start_ns,
+      record_pool_task(publish_ns, start_ns,
                        obs::TraceRecorder::now_ns());
   }
 
