@@ -77,6 +77,30 @@ telemetry options (any command; see docs/OBSERVABILITY.md):
                       bytes
 )";
 
+/// Process exit code for a dpz failure class. Exhaustive over
+/// StatusCode by contract: dpz_analyze (status-exhaustive) flags a new
+/// enumerator that lands here without an explicit row, so the exit-code
+/// surface is decided when the status is born, not discovered by a
+/// caller's shell script. 0 and 3 mirror the non-exception paths below
+/// (success, best-effort decode with lost frames); 2 is reserved for
+/// usage errors (unknown command / bad invocation).
+int exit_code_for(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kPartial:
+      return 3;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFormat:
+    case StatusCode::kInternal:
+    case StatusCode::kIo:
+    case StatusCode::kNumerical:
+    case StatusCode::kChecksum:
+      return 1;
+  }
+  return 1;
+}
+
 unsigned parse_threads(const CliArgs& args) {
   const int threads = args.get_int("threads", 0);
   DPZ_REQUIRE(threads >= 0, "--threads must be >= 0");
@@ -554,7 +578,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     return rc;
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n";
-    return 1;
+    return exit_code_for(e.code());
   }
 }
 

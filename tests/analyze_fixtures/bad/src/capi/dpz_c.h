@@ -1,0 +1,7 @@
+#pragma once
+
+typedef enum dpz_status {
+  DPZ_OK = 0,
+  DPZ_ERR_BOOM = 1,
+  DPZ_ERR_STALE = 9,  // planted: status-exhaustive (no StatusCode with 9; kLost unmirrored)
+} dpz_status;

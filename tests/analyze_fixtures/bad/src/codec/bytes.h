@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+
+#define DPZ_REQUIRE(cond, msg) ((void)0)
+
+namespace dpz {
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::size_t size) : size_(size) {}
+
+  void skip(std::size_t n) {
+    DPZ_REQUIRE(pos_ + n <= size_, "skip past end");  // planted: require-in-reader
+    pos_ += n;
+  }
+
+ private:
+  std::size_t pos_ = 0;
+  std::size_t size_;
+};
+
+}  // namespace dpz

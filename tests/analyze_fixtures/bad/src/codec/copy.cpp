@@ -1,0 +1,9 @@
+#include <cstring>
+
+namespace dpz {
+
+void copy_payload(unsigned char* dst, const unsigned char* src_bytes) {
+  std::memcpy(dst, src_bytes, 16);  // planted: raw-memcpy
+}
+
+}  // namespace dpz

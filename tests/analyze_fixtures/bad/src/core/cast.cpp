@@ -1,0 +1,9 @@
+#include <cstdint>
+
+namespace dpz {
+
+const std::uint32_t* peek_word(const unsigned char* bytes) {
+  return reinterpret_cast<const std::uint32_t*>(bytes);  // planted: reinterpret-cast
+}
+
+}  // namespace dpz

@@ -1,0 +1,13 @@
+#include <cstddef>
+#include <vector>
+
+#include "codec/zlib_codec.h"
+
+namespace dpz {
+
+std::vector<unsigned char> read_section(const unsigned char* bytes,
+                                        std::size_t size) {
+  return zlib_decompress(bytes, size);  // planted: unguarded-inflate
+}
+
+}  // namespace dpz

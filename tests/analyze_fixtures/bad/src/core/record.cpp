@@ -1,0 +1,9 @@
+namespace dpz {
+
+void bump_counter(const char* name, long delta);
+
+void record_input(long bytes) {
+  bump_counter("bytes_in", bytes);  // planted: telemetry-name
+}
+
+}  // namespace dpz

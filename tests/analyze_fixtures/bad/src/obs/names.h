@@ -1,0 +1,23 @@
+#pragma once
+
+namespace dpz::obs {
+
+struct SpanInfo {
+  const char* name;
+  const char* category;
+};
+
+inline constexpr SpanInfo kSpanInfo[] = {
+    {"encode_plan", "stage"},
+    {"encode_plan", "frame"},  // planted: telemetry-dup
+};
+
+inline constexpr const char* kCounterNames[] = {
+    "bytes_in",
+};
+
+inline constexpr const char* kHistNames[] = {
+    "chunk_ms",
+};
+
+}  // namespace dpz::obs

@@ -1,0 +1,13 @@
+#include "util/error.h"
+
+namespace dpz {
+
+int exit_code_for(StatusCode code) {
+  switch (code) {  // planted: status-exhaustive (kBoom has no case)
+    case StatusCode::kOk: return 0;
+    case StatusCode::kLost: return 3;
+  }
+  return 1;
+}
+
+}  // namespace dpz

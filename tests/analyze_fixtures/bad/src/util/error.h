@@ -1,0 +1,19 @@
+#pragma once
+
+namespace dpz {
+
+enum class StatusCode {
+  kOk = 0,
+  kBoom = 1,
+  kLost = 2,  // planted: status-exhaustive (no status_code_name case)
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "status_ok";
+    case StatusCode::kBoom: return "status_boom";
+  }
+  return "status_unknown";
+}
+
+}  // namespace dpz

@@ -1,0 +1,18 @@
+#include <mutex>
+#include <thread>
+
+namespace dpz {
+
+std::mutex g_m;  // planted: naked-mutex
+
+void spawn_logger(void (*fn)()) {
+  std::thread worker(fn);  // planted: raw-thread
+  worker.detach();         // planted: raw-thread (.detach)
+}
+
+void locked_call(void (*fn)()) {
+  const std::lock_guard<std::mutex> lock(g_m);  // planted: naked-mutex (twice)
+  fn();
+}
+
+}  // namespace dpz

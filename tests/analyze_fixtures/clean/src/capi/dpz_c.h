@@ -1,0 +1,8 @@
+// Compliant: the C constants mirror every StatusCode value.
+#pragma once
+
+typedef enum dpz_status {
+  DPZ_OK = 0,
+  DPZ_ERR_BOOM = 1,
+  DPZ_ERR_LOST = 2,
+} dpz_status;

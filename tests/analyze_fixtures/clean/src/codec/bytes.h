@@ -1,0 +1,36 @@
+// Boundary: codec/bytes.h owns memcpy (rule 2); ByteReader throws
+// FormatError (rule 3). DPZ_REQUIRE outside the reader class is fine.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+
+#define DPZ_REQUIRE(cond, msg) ((void)0)
+
+namespace dpz {
+
+struct FormatError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::size_t size) : size_(size) {}
+
+  void skip(std::size_t n) {
+    if (pos_ + n > size_) throw FormatError("skip past end");
+    pos_ += n;
+  }
+
+ private:
+  std::size_t pos_ = 0;
+  std::size_t size_;
+};
+
+inline void copy_bytes(void* dst, const void* src_bytes, std::size_t n) {
+  DPZ_REQUIRE(dst != nullptr, "null destination");
+  std::memcpy(dst, src_bytes, n);
+}
+
+}  // namespace dpz

@@ -1,0 +1,14 @@
+// Boundary: codec/zlib_codec.cpp is the one reinterpret_cast
+// allowlist entry (rule 1), and zlib_decompress is defined here.
+#include <cstddef>
+#include <vector>
+
+namespace dpz {
+
+std::vector<unsigned char> zlib_decompress(const unsigned char* bytes,
+                                           std::size_t size) {
+  const char* raw = reinterpret_cast<const char*>(bytes);
+  return std::vector<unsigned char>(raw, raw + size);
+}
+
+}  // namespace dpz

@@ -1,0 +1,13 @@
+// Compliant: assembles the word from bytes, no reinterpret_cast.
+#include <cstdint>
+
+namespace dpz {
+
+std::uint32_t peek_word(const unsigned char* bytes) {
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+}  // namespace dpz

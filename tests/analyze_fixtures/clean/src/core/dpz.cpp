@@ -1,0 +1,16 @@
+// Boundary: src/core/dpz.cpp is the one caller of zlib_decompress in
+// src/core (rule 5); the checksum gate lives here.
+#include <cstddef>
+#include <vector>
+
+namespace dpz {
+
+std::vector<unsigned char> zlib_decompress(const unsigned char*,
+                                           std::size_t);
+
+std::vector<unsigned char> get_section(const unsigned char* bytes,
+                                       std::size_t size) {
+  return zlib_decompress(bytes, size);
+}
+
+}  // namespace dpz

@@ -1,0 +1,13 @@
+// Compliant: records through the interned enum, no name literals.
+
+namespace dpz {
+
+enum class Counter { kBytesIn };
+
+void bump_counter(Counter counter, long delta);
+
+void record_input(long bytes) {
+  bump_counter(Counter::kBytesIn, bytes);
+}
+
+}  // namespace dpz

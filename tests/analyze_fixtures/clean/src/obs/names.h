@@ -1,0 +1,25 @@
+// Compliant registry: display names are unique; the repeated "stage"
+// category is legal (categories are a separate namespace).
+#pragma once
+
+namespace dpz::obs {
+
+struct SpanInfo {
+  const char* name;
+  const char* category;
+};
+
+inline constexpr SpanInfo kSpanInfo[] = {
+    {"encode_plan", "stage"},
+    {"decode_plan", "stage"},
+};
+
+inline constexpr const char* kCounterNames[] = {
+    "bytes_in",
+};
+
+inline constexpr const char* kHistNames[] = {
+    "chunk_ms",
+};
+
+}  // namespace dpz::obs

@@ -1,0 +1,15 @@
+// Compliant: exit_code_for is exhaustive over StatusCode.
+#include "util/error.h"
+
+namespace dpz {
+
+int exit_code_for(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kBoom: return 1;
+    case StatusCode::kLost: return 3;
+  }
+  return 1;
+}
+
+}  // namespace dpz

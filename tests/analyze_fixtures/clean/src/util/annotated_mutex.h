@@ -1,0 +1,41 @@
+// Boundary: util/annotated_mutex.h is the one home of the std
+// concurrency primitives (naked-mutex); everything else wraps them.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace dpz {
+
+class Mutex {
+ public:
+  void lock() { m_.lock(); }
+  void unlock() { m_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(m) { m_.lock(); }
+  ~MutexLock() { m_.unlock(); }
+
+ private:
+  Mutex& m_;
+};
+
+class CondVar {
+ public:
+  void wait(Mutex& m) {
+    std::unique_lock<std::mutex> lock(m.m_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dpz

@@ -1,0 +1,21 @@
+// Compliant: every StatusCode enumerator is named and mirrored.
+#pragma once
+
+namespace dpz {
+
+enum class StatusCode {
+  kOk = 0,
+  kBoom = 1,
+  kLost = 2,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "status_ok";
+    case StatusCode::kBoom: return "status_boom";
+    case StatusCode::kLost: return "status_lost";
+  }
+  return "status_unknown";
+}
+
+}  // namespace dpz

@@ -1,0 +1,14 @@
+// Boundary: util/thread_pool.cpp is the one home of std::thread
+// (raw-thread); workers are joined, never detached.
+#include <thread>
+#include <vector>
+
+namespace dpz {
+
+void run_joined(void (*fn)(), int n) {
+  std::vector<std::thread> workers;
+  for (int i = 0; i < n; ++i) workers.emplace_back(fn);
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace dpz

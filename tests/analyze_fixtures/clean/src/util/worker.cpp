@@ -1,0 +1,13 @@
+// Compliant: concurrency through the annotated wrappers.
+#include "util/annotated_mutex.h"
+
+namespace dpz {
+
+Mutex g_m;
+
+void locked_call(void (*fn)()) {
+  const MutexLock lock(g_m);
+  fn();
+}
+
+}  // namespace dpz

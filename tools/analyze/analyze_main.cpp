@@ -1,0 +1,108 @@
+// dpz_analyze — the repo-specific static checker (docs/STATIC_ANALYSIS.md).
+//
+// Enforces DPZ's archive-parse-boundary, concurrency-primitive, and
+// enum-exhaustiveness contracts over src/, with file:line diagnostics
+// and a machine-readable --json report. tools/lint.sh is a thin wrapper
+// around this binary; CI gates on it.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or environment error.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/checks.h"
+
+namespace {
+
+const char* kUsage = R"(usage: dpz_analyze [options]
+  --root=DIR     repo root to analyze (default: current directory)
+  --json         emit findings as one JSON object on stdout
+  --no-golden    skip the git-backed golden-tracked check (rule 4)
+  --list-checks  print every check name and contract, then exit 0
+)";
+
+void json_escape(const std::string& s, std::ostream& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void print_json(const std::vector<dpz::analyze::Finding>& findings,
+                std::ostream& out) {
+  out << "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const dpz::analyze::Finding& f = findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"check\": \"" << f.check
+        << "\", \"file\": \"";
+    json_escape(f.file, out);
+    out << "\", \"line\": " << f.line << ", \"message\": \"";
+    json_escape(f.message, out);
+    out << "\"}";
+  }
+  out << "\n  ],\n  \"count\": " << findings.size() << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dpz::analyze::Options options;
+  options.root = ".";
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(std::strlen("--root="));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-golden") {
+      options.golden_check = false;
+    } else if (arg == "--list-checks") {
+      for (const dpz::analyze::CheckInfo& check : dpz::analyze::kChecks)
+        std::cout << check.name << ": " << check.description << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "dpz_analyze: unknown argument '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  std::string fatal;
+  const std::vector<dpz::analyze::Finding> findings =
+      dpz::analyze::run_checks(options, &fatal);
+  if (!fatal.empty()) {
+    std::cerr << "dpz_analyze: " << fatal << "\n";
+    return 2;
+  }
+
+  if (json) {
+    print_json(findings, std::cout);
+  } else {
+    for (const dpz::analyze::Finding& f : findings)
+      std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+                << f.message << "\n";
+    if (findings.empty())
+      std::cout << "dpz_analyze: OK\n";
+    else
+      std::cout << "dpz_analyze: " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// dpz_analyze check registry and driver (docs/STATIC_ANALYSIS.md).
+//
+// Each check enforces one repo contract that generic tooling cannot
+// express; tools/lint.sh rules 1-6 live here as structured checks, plus
+// the concurrency- and enum-exhaustiveness contracts added with the
+// thread-safety work. Checks are pure functions over the lexed tree —
+// adding one means writing a function in checks.cpp, registering its
+// name/description in kChecks, and planting a bad + clean fixture pair
+// under tests/analyze_fixtures/.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpz::analyze {
+
+/// One diagnostic: `file:line: [check] message`.
+struct Finding {
+  std::string check;    // stable check name, e.g. "raw-memcpy"
+  std::string file;     // root-relative path
+  int line = 0;         // 1-based; 1 when the whole file is at fault
+  std::string message;
+};
+
+struct CheckInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Stable name + one-line contract of every check, for --list-checks
+/// and the docs.
+extern const std::vector<CheckInfo> kChecks;
+
+struct Options {
+  /// Repo root; checks scan <root>/src and (when present) consult
+  /// git for <root>/tests/golden.
+  std::string root;
+  /// Disables the git-backed golden-tracked check (rule 4), e.g. for
+  /// fixture trees that are not repositories of their own.
+  bool golden_check = true;
+};
+
+/// Runs every check over <root>/src. Findings come back sorted by
+/// (file, line, check). On an environment failure (unreadable root)
+/// `fatal` is set and the findings are meaningless.
+std::vector<Finding> run_checks(const Options& options,
+                                std::string* fatal);
+
+}  // namespace dpz::analyze

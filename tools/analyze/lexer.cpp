@@ -1,0 +1,268 @@
+#include "analyze/lexer.h"
+
+#include <algorithm>
+
+namespace dpz::analyze {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+bool is_ident_char(char c) { return is_ident_start(c) || is_digit(c); }
+
+bool is_raw_string_prefix(const std::string& word) {
+  return word == "R" || word == "LR" || word == "uR" || word == "UR" ||
+         word == "u8R";
+}
+
+}  // namespace
+
+SourceFile lex(std::string path, const std::string& text) {
+  SourceFile out;
+  out.path = std::move(path);
+  std::vector<Token>& toks = out.tokens;
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool preproc = false;         // inside a # directive (may continue)
+  bool line_has_code = false;   // non-whitespace seen on this line
+
+  const auto push = [&](TokKind kind, std::string t, int ln) {
+    toks.push_back(Token{kind, std::move(t), ln, preproc});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      // A directive survives the newline only via backslash
+      // continuation (the backslash is the last character).
+      preproc = preproc && i > 0 && text[i - 1] == '\\';
+      ++line;
+      ++i;
+      line_has_code = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (c == '#' && !line_has_code) {
+      preproc = true;
+      line_has_code = true;
+      ++i;
+      continue;
+    }
+    line_has_code = true;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+
+    // Identifiers (and raw-string prefixes).
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(text[i])) ++i;
+      std::string word = text.substr(start, i - start);
+      if (i < n && text[i] == '"' && is_raw_string_prefix(word)) {
+        ++i;  // opening quote
+        const std::size_t delim_start = i;
+        while (i < n && text[i] != '(') ++i;
+        const std::string closer =
+            ")" + text.substr(delim_start, i - delim_start) + "\"";
+        if (i < n) ++i;  // opening paren
+        const std::size_t body_start = i;
+        std::size_t end = text.find(closer, i);
+        if (end == std::string::npos) end = n;
+        const int start_line = line;
+        for (std::size_t j = body_start; j < end; ++j)
+          if (text[j] == '\n') ++line;
+        push(TokKind::kString, text.substr(body_start, end - body_start),
+             start_line);
+        i = end == n ? n : end + closer.size();
+        continue;
+      }
+      push(TokKind::kIdent, std::move(word), line);
+      continue;
+    }
+
+    // Numbers (pp-number shape, swallowing suffixes, digit separators,
+    // and exponent signs).
+    if (is_digit(c) ||
+        (c == '.' && i + 1 < n && is_digit(text[i + 1]))) {
+      const std::size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = text[i];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+          continue;
+        }
+        const char prev = text[i - 1];
+        if ((d == '+' || d == '-') &&
+            (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, text.substr(start, i - start), line);
+      continue;
+    }
+
+    // Ordinary string literal; contents kept with escapes intact.
+    if (c == '"') {
+      ++i;
+      const int start_line = line;
+      std::string value;
+      while (i < n && text[i] != '"') {
+        if (text[i] == '\\' && i + 1 < n) {
+          value += text[i];
+          value += text[i + 1];
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') ++line;  // unterminated: tolerate
+        value += text[i];
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      push(TokKind::kString, std::move(value), start_line);
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      ++i;
+      const std::size_t start = i;
+      const int start_line = line;
+      while (i < n && text[i] != '\'' && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      push(TokKind::kChar, text.substr(start, i - start), start_line);
+      if (i < n && text[i] == '\'') ++i;
+      continue;
+    }
+
+    // Punctuators: "::" fused (scope resolution is what the checks
+    // match on), everything else one character.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      push(TokKind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}" && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::optional<TokenRange> find_class_body(const std::vector<Token>& toks,
+                                          const std::string& name) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != name) continue;
+    const Token& prev = toks[i - 1];
+    if (prev.kind != TokKind::kIdent ||
+        (prev.text != "class" && prev.text != "struct"))
+      continue;
+    // Definition, not a forward declaration: a '{' must come before
+    // any ';'.
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == ";") break;
+      if (toks[j].text == "{") {
+        const std::size_t close = match_brace(toks, j);
+        if (close == std::string::npos) return std::nullopt;
+        return TokenRange{j + 1, close};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TokenRange> find_enum_body(const std::vector<Token>& toks,
+                                         const std::string& name) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != name) continue;
+    // `enum name`, `enum class name`, `enum struct name`.
+    const bool scoped =
+        toks[i - 1].kind == TokKind::kIdent &&
+        (toks[i - 1].text == "class" || toks[i - 1].text == "struct");
+    const std::size_t kw = scoped ? i - 2 : i - 1;
+    if (kw >= toks.size() || toks[kw].kind != TokKind::kIdent ||
+        toks[kw].text != "enum")
+      continue;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == ";") break;
+      if (toks[j].text == "{") {
+        const std::size_t close = match_brace(toks, j);
+        if (close == std::string::npos) return std::nullopt;
+        return TokenRange{j + 1, close};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TokenRange> find_function_body(
+    const std::vector<Token>& toks, const std::string& name) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != name) continue;
+    if (toks[i + 1].kind != TokKind::kPunct || toks[i + 1].text != "(")
+      continue;
+    // Skip the parameter list.
+    int parens = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == "(") ++parens;
+      if (toks[j].text == ")" && --parens == 0) break;
+    }
+    if (j >= toks.size()) return std::nullopt;
+    // Between ')' and '{' sit qualifiers (const, noexcept, trailing
+    // return types); a ';' first means declaration or call — keep
+    // scanning for a later definition.
+    bool declaration = false;
+    for (++j; j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kPunct) continue;
+      if (toks[j].text == ";") {
+        declaration = true;
+        break;
+      }
+      if (toks[j].text == "{") {
+        const std::size_t close = match_brace(toks, j);
+        if (close == std::string::npos) return std::nullopt;
+        return TokenRange{j + 1, close};
+      }
+    }
+    if (declaration) continue;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dpz::analyze

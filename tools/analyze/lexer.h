@@ -1,0 +1,74 @@
+// A lightweight C++ lexer for dpz_analyze (docs/STATIC_ANALYSIS.md).
+//
+// This is not a compiler front end: it understands exactly enough C++
+// to make the repo's contract checks sound where line-oriented regexes
+// are not — comments and string literals never produce identifier
+// tokens (so `memcpy` in a doc comment is not a violation), string
+// contents are decoded into their own tokens (so telemetry-name strays
+// are matched on the literal value), preprocessor lines are flagged,
+// and brace matching recovers class/enum/function bodies (so "inside
+// ByteReader" means the actual class body, not "until the next line
+// starting with };").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpz::analyze {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-number: includes suffixes)
+  kString,  // string literal — text holds the *contents*, unquoted
+  kChar,    // character literal — text holds the contents
+  kPunct,   // one punctuator; "::" is fused, everything else single-char
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;         // 1-based physical line of the token's start
+  bool preproc = false; // token sits on a preprocessor directive line
+};
+
+struct SourceFile {
+  std::string path;  // root-relative, '/'-separated
+  std::vector<Token> tokens;
+};
+
+/// Lexes `text` (the contents of `path`). Never fails: malformed input
+/// (unterminated literals/comments) is tolerated with best-effort
+/// tokens, since the checks must degrade gracefully on code the real
+/// compiler would reject anyway.
+SourceFile lex(std::string path, const std::string& text);
+
+/// Index of the '}' matching the '{' at token index `open`; npos when
+/// unbalanced.
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open);
+
+/// Half-open token-index range [begin, end) of a brace-delimited body
+/// (excludes the braces themselves).
+struct TokenRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Body of `class <name> { ... }` (or struct). The name token must
+/// directly follow the class/struct keyword — good enough for this
+/// tree's declarations, where attributes sit after the name.
+std::optional<TokenRange> find_class_body(const std::vector<Token>& toks,
+                                          const std::string& name);
+
+/// Body of `enum [class|struct] <name> [: base] { ... }`.
+std::optional<TokenRange> find_enum_body(const std::vector<Token>& toks,
+                                         const std::string& name);
+
+/// Body of the first function definition named `name`: an identifier
+/// token followed by a parameter list and eventually '{' (declarations
+/// ending in ';' are skipped).
+std::optional<TokenRange> find_function_body(
+    const std::vector<Token>& toks, const std::string& name);
+
+}  // namespace dpz::analyze

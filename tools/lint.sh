@@ -1,129 +1,91 @@
 #!/usr/bin/env bash
-# Repository-specific lint rules for the decode fault boundary.
+# Repository-specific lint rules for the decode fault boundary — now a
+# thin wrapper around the dpz_analyze binary (tools/analyze/), which
+# implements every rule below as a structured check with file:line
+# diagnostics and a --json report. See docs/STATIC_ANALYSIS.md.
 #
 # clang-tidy (.clang-tidy) covers generic C++ hygiene; the rules here
 # encode DPZ's archive-parsing policy, which no generic check expresses:
 #
-#   1. reinterpret_cast is banned in src/ outside an explicit allowlist.
-#      Archive bytes must be read through ByteReader/BitReader accessors,
-#      which bounds-check and byte-assemble; type-punning a byte span is
-#      how unaligned/out-of-bounds reads enter a decoder.
+#   1. reinterpret_cast is banned in src/ outside an explicit allowlist
+#      (codec/zlib_codec.cpp). Archive bytes must be read through
+#      ByteReader/BitReader accessors, which bounds-check and
+#      byte-assemble; type-punning a byte span is how unaligned and
+#      out-of-bounds reads enter a decoder.          [reinterpret-cast]
 #   2. memcpy is banned in src/core and src/codec outside codec/bytes.h.
-#      Same rationale: bulk copies out of an archive must flow through the
-#      checked get_bytes/get_blob paths so a forged length cannot read
-#      past the buffer.
-#   3. DPZ_REQUIRE is banned inside the ByteReader and BitReader classes.
-#      DPZ_REQUIRE states a *caller* contract and must never guard values
-#      derived from archive bytes — readers throw FormatError so that
-#      malformed input stays a recoverable status (docs/FORMAT.md,
-#      "Validation and error behavior").
+#      Same rationale: bulk copies out of an archive must flow through
+#      the checked get_bytes/get_blob paths so a forged length cannot
+#      read past the buffer.                              [raw-memcpy]
+#   3. DPZ_REQUIRE is banned inside the ByteReader and BitReader
+#      classes. DPZ_REQUIRE states a *caller* contract and must never
+#      guard values derived from archive bytes — readers throw
+#      FormatError so that malformed input stays a recoverable status
+#      (docs/FORMAT.md, "Validation and error behavior").
+#                                                   [require-in-reader]
+#   4. Every file under tests/golden/ must be tracked by git. The
+#      format-stability suite reads those archives from a fresh clone,
+#      and the repo-wide *.dpz ignore rule can silently swallow a new
+#      fixture: it passes every local run, then fails in CI (or for the
+#      next clone) with a missing-file error that looks like a format
+#      regression. Any file present on disk but unknown to git —
+#      untracked OR ignored — is an error here; `git add -f` the
+#      fixture or extend the .gitignore negation.     [golden-tracked]
 #   5. zlib_decompress is banned in src/core outside dpz.cpp. The v2
 #      integrity contract is verify-before-inflate: every section blob
 #      flows through detail::get_section (dpz.cpp), which checks the
 #      CRC32C seal before sizing the inflation buffer. A second inflate
-#      call site in core would be a path where corrupted bytes reach the
-#      allocator unchecked.
+#      call site in core would be a path where corrupted bytes reach
+#      the allocator unchecked.                     [unguarded-inflate]
 #   6. Telemetry span/metric names are declared once, in the
 #      src/obs/names.h tables; production code records through the
 #      interned enums. A quoted telemetry name anywhere else in src/ is
-#      a stray literal that can drift from the registry.
+#      a stray literal that can drift from the registry, and duplicate
+#      display names inside the registry would merge silently in every
+#      JSON artifact.              [telemetry-name] [telemetry-dup]
 #
-# Exit status: 0 clean, 1 violations found. Run from anywhere.
+# dpz_analyze adds checks with no lint.sh ancestry (status-exhaustive,
+# naked-mutex, raw-thread); this wrapper runs all of them.
+#
+# Usage: tools/lint.sh [--json] [extra dpz_analyze args]
+#   --json is forwarded, so CI can consume structured findings.
+#   DPZ_ANALYZE=/path/to/dpz_analyze overrides binary discovery.
+#
+# Exit status: 0 clean, 1 violations found, 2 environment error.
 set -u
 
 cd "$(dirname "$0")/.."
-status=0
 
-fail() {
-  echo "lint: $1" >&2
-  echo "$2" | sed 's/^/    /' >&2
-  status=1
-}
-
-# --- Rule 1: reinterpret_cast allowlist ---------------------------------
-# zlib_codec.cpp interfaces with zlib's Bytef API and is the only place
-# allowed to type-pun, on buffers it allocated itself.
-allowlist_re='^src/codec/zlib_codec\.cpp$'
-casts=$(grep -rn "reinterpret_cast" src --include='*.h' --include='*.cpp' |
-  awk -F: -v allow="$allowlist_re" '$1 !~ allow')
-if [ -n "$casts" ]; then
-  fail "reinterpret_cast outside the allowlist (read archive bytes through ByteReader/BitReader instead):" "$casts"
+# Locate (or build) the analyzer: an explicit override, any configured
+# build tree, else a direct compile — the tool has no dependencies
+# beyond a C++20 compiler, so lint works before the first cmake run.
+analyze="${DPZ_ANALYZE:-}"
+if [ -z "$analyze" ]; then
+  for candidate in build*/tools/analyze/dpz_analyze; do
+    if [ -x "$candidate" ]; then
+      analyze="$candidate"
+      break
+    fi
+  done
 fi
-
-# --- Rule 2: raw memcpy near the decode path ----------------------------
-copies=$(grep -rn "memcpy" src/core src/codec --include='*.h' --include='*.cpp' |
-  awk -F: '$1 != "src/codec/bytes.h"')
-if [ -n "$copies" ]; then
-  fail "memcpy in src/core or src/codec outside codec/bytes.h (use the checked ByteReader accessors):" "$copies"
-fi
-
-# --- Rule 3: DPZ_REQUIRE inside reader classes --------------------------
-# Extract each reader class body (from its "class X {" line to the first
-# column-zero "};") and reject DPZ_REQUIRE inside it.
-check_reader() {
-  local file="$1" klass="$2"
-  local hits
-  hits=$(awk -v k="class $klass" '
-    index($0, k) { inside = 1 }
-    inside && /DPZ_REQUIRE/ { printf "%s:%d:%s\n", FILENAME, FNR, $0 }
-    inside && /^};/ { inside = 0 }
-  ' "$file")
-  if [ -n "$hits" ]; then
-    fail "DPZ_REQUIRE inside $klass ($file): readers must throw FormatError for malformed input, DPZ_REQUIRE is for caller contracts only:" "$hits"
-  fi
-}
-check_reader src/codec/bytes.h ByteReader
-check_reader src/codec/bitstream.h BitReader
-
-# --- Rule 4: golden fixtures must be tracked ----------------------------
-# tests/golden/ holds the format-stability archives the test suite reads
-# from a fresh clone. The repo-wide *.dpz ignore rule can silently swallow
-# a new fixture, so any file present on disk but unknown to git (untracked
-# OR ignored) is an error here.
-untracked=$(git ls-files --others tests/golden)
-if [ -n "$untracked" ]; then
-  fail "untracked file in tests/golden/ (git add -f it, or extend the .gitignore negation — the format-stability tests read fixtures from a fresh clone):" "$untracked"
-fi
-
-# --- Rule 5: inflate only behind the checksum gate ----------------------
-# detail::get_section in dpz.cpp verifies the section CRC32C before
-# inflating; every other core file must obtain decompressed bytes through
-# it so no forged blob reaches zlib (or the allocator) unverified.
-inflates=$(grep -rn "zlib_decompress" src/core --include='*.h' --include='*.cpp' |
-  awk -F: '$1 != "src/core/dpz.cpp"')
-if [ -n "$inflates" ]; then
-  fail "zlib_decompress in src/core outside dpz.cpp (route section reads through detail::get_section so the CRC is verified before inflation):" "$inflates"
-fi
-
-# --- Rule 6: telemetry names live only in src/obs/names.h ---------------
-# The name list is extracted from the registry tables themselves, so the
-# rule tracks additions automatically. Tests and bench harnesses may
-# reference names as consumers of the emitted artifacts; src/ may not.
-# Duplicate names inside the registry are rejected too — two ids sharing
-# a display name would merge silently in every JSON artifact.
-obs_names=$(awk '
-  /kSpanInfo\[|kCounterNames\[|kHistNames\[/ { inside = 1 }
-  inside && match($0, /"[a-z0-9_]+"/) {
-    print substr($0, RSTART + 1, RLENGTH - 2)
-  }
-  inside && /^};/ { inside = 0 }
-' src/obs/names.h)
-if [ -z "$obs_names" ]; then
-  fail "could not extract telemetry names from src/obs/names.h (table markers renamed?):" ""
-else
-  dupes=$(printf '%s\n' "$obs_names" | sort | uniq -d)
-  if [ -n "$dupes" ]; then
-    fail "duplicate telemetry name in src/obs/names.h (every span/metric needs a distinct display name):" "$dupes"
-  fi
-  obs_re=$(printf '%s\n' "$obs_names" | paste -sd'|' -)
-  strays=$(grep -rnE "\"(${obs_re})\"" src --include='*.h' --include='*.cpp' |
-    awk -F: '$1 != "src/obs/names.h"')
-  if [ -n "$strays" ]; then
-    fail "telemetry name literal outside src/obs/names.h (record through the obs enums; names are declared once in the registry):" "$strays"
+if [ -z "$analyze" ]; then
+  analyze="$(mktemp -d)/dpz_analyze"
+  echo "lint: no built dpz_analyze found; compiling one" >&2
+  if ! "${CXX:-c++}" -std=c++20 -O1 -I tools \
+      tools/analyze/analyze_main.cpp tools/analyze/checks.cpp \
+      tools/analyze/lexer.cpp -o "$analyze"; then
+    echo "lint: failed to build dpz_analyze" >&2
+    exit 2
   fi
 fi
 
-if [ "$status" -eq 0 ]; then
-  echo "lint: OK"
+# Preserve the historical "lint: OK" success line (but never inside a
+# --json stream, which must stay pure JSON on stdout).
+"$analyze" --root=. "$@"
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  case " $* " in
+    *" --json "*) ;;
+    *) echo "lint: OK" ;;
+  esac
 fi
-exit "$status"
+exit "$rc"
