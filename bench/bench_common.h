@@ -46,15 +46,19 @@ struct BenchOptions {
   bool baseline_explicit = false;
   double max_regression = 0.25;
   int repeats = 3;
+  /// Rewrite the baseline file from this run instead of gating against
+  /// it (bench_regression only; see bench/README.md).
+  bool rebaseline = false;
 };
 
 inline BenchOptions parse_options(int argc, const char* const* argv) {
   const CliArgs args(argc, argv,
                      {"scale", "seed", "csv", "outdir", "baseline",
-                      "max-regression", "repeats", "help"});
+                      "max-regression", "repeats", "rebaseline", "help"});
   if (args.has("help")) {
     std::cout << "flags: --scale=<f> --seed=<n> --csv --outdir=<dir> "
-                 "--baseline=<json> --max-regression=<f> --repeats=<n>\n";
+                 "--baseline=<json> --max-regression=<f> --repeats=<n> "
+                 "--rebaseline\n";
     std::exit(0);
   }
   BenchOptions opt;
@@ -69,6 +73,7 @@ inline BenchOptions parse_options(int argc, const char* const* argv) {
   opt.max_regression = args.get_double("max-regression", opt.max_regression);
   opt.repeats = static_cast<int>(
       std::max<std::int64_t>(1, args.get_int("repeats", opt.repeats)));
+  opt.rebaseline = args.get_bool("rebaseline", false);
   return opt;
 }
 

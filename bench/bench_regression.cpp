@@ -383,6 +383,31 @@ int main(int argc, char** argv) {
   else
     std::cout << "WARNING: cannot write " << trace_path << "\n";
 
+  // --rebaseline replaces the gate: this run becomes the new baseline,
+  // calibration metadata included, so future gates normalize against
+  // the machine that recorded it. Only a deterministic run may be
+  // enshrined — a nondeterministic one would bake mismatched hashes
+  // into every later comparison.
+  if (opt.rebaseline) {
+    if (!deterministic) {
+      std::cout << "REBASELINE FAILURE: refusing to record a "
+                   "nondeterministic run\n";
+      return 1;
+    }
+    std::ofstream base_out(opt.baseline);
+    if (!base_out) {
+      std::cout << "REBASELINE FAILURE: cannot write " << opt.baseline
+                << "\n";
+      return 1;
+    }
+    write_json(base_out, cells, opt, hw, calib, deterministic,
+               metrics_json);
+    std::cout << "rebaselined: wrote " << opt.baseline << " (calibration "
+              << fixed(calib, 1) << " MB/s, scale " << fixed(opt.scale, 3)
+              << ", " << cells.size() << " cells)\n";
+    return 0;
+  }
+
   // Throughput gate against the committed baseline. A missing default
   // baseline only skips the gate; an explicitly requested one must
   // exist.

@@ -2,11 +2,15 @@
 // the compressor actually uses (block sizes from the divisor-pair layout).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 #include "dsp/dct.h"
 #include "dsp/fft.h"
+#include "simd/simd.h"
 #include "util/rng.h"
 
 namespace {
@@ -71,6 +75,89 @@ void BM_DctRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DctRoundTrip)->Arg(2048);
+
+// ---- per-kernel, per-ISA rows ------------------------------------------
+// The complex kernels the FFT/DCT plans dispatch through, one row per
+// ISA tier, so a dispatch regression pins to a specific kernel instead
+// of showing up as a diffuse plan slowdown. Unavailable ISAs skip.
+
+bool isa_ready(benchmark::State& state, simd::Isa isa) {
+  const std::vector<simd::Isa> avail = simd::available_isas();
+  if (std::find(avail.begin(), avail.end(), isa) != avail.end())
+    return true;
+  state.SkipWithError("ISA unavailable on this host");
+  return false;
+}
+
+void BM_KernelCmul(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!isa_ready(state, isa)) return;
+  const std::size_t n = 2048;  // complex values; 2n doubles
+  Rng rng(6);
+  std::vector<double> a(2 * n), b(2 * n), out(2 * n);
+  for (double& v : a) v = rng.normal();
+  for (double& v : b) v = rng.normal();
+  const simd::KernelTable& ops = simd::kernel_table(isa);
+  for (auto _ : state) {
+    ops.cmul(a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelCmul)
+    ->Arg(static_cast<int>(simd::Isa::kScalar))
+    ->Arg(static_cast<int>(simd::Isa::kAvx2))
+    ->Arg(static_cast<int>(simd::Isa::kNeon));
+
+void BM_KernelRadix2Stage(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!isa_ready(state, isa)) return;
+  const std::size_t n = 2048;   // complex values
+  const std::size_t len = 512;  // one mid-tree butterfly stage
+  Rng rng(7);
+  std::vector<double> a(2 * n), w(len);  // len/2 twiddles, interleaved
+  for (double& v : a) v = rng.normal();
+  for (std::size_t k = 0; k < len / 2; ++k) {
+    w[2 * k] = std::cos(k * 0.01);
+    w[2 * k + 1] = std::sin(k * 0.01);
+  }
+  const simd::KernelTable& ops = simd::kernel_table(isa);
+  for (auto _ : state) {
+    ops.radix2_stage(a.data(), n, len, w.data(), false);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelRadix2Stage)
+    ->Arg(static_cast<int>(simd::Isa::kScalar))
+    ->Arg(static_cast<int>(simd::Isa::kAvx2))
+    ->Arg(static_cast<int>(simd::Isa::kNeon));
+
+void BM_KernelCmulRealScale(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!isa_ready(state, isa)) return;
+  const std::size_t n = 2048;
+  Rng rng(8);
+  std::vector<double> w(2 * n), v(2 * n), out(n);
+  for (double& x : w) x = rng.normal();
+  for (double& x : v) x = rng.normal();
+  const simd::KernelTable& ops = simd::kernel_table(isa);
+  for (auto _ : state) {
+    ops.cmul_real_scale(w.data(), v.data(), 0.5, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelCmulRealScale)
+    ->Arg(static_cast<int>(simd::Isa::kScalar))
+    ->Arg(static_cast<int>(simd::Isa::kAvx2))
+    ->Arg(static_cast<int>(simd::Isa::kNeon));
 
 void BM_DctNaive(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

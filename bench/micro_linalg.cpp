@@ -3,9 +3,14 @@
 // and PCA transform throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "linalg/eigen_sym.h"
 #include "linalg/pca.h"
 #include "linalg/subspace_iteration.h"
+#include "simd/simd.h"
 #include "util/rng.h"
 
 namespace {
@@ -66,6 +71,84 @@ void BM_PcaTransform(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PcaTransform)->Arg(256);
+
+// ---- per-kernel, per-ISA rows ------------------------------------------
+// One row per (kernel, ISA) so a dispatch regression shows up as a
+// specific slow row rather than a diffuse pipeline slowdown. ISAs the
+// host cannot execute are skipped, not failed, so the same binary
+// reports sensibly everywhere.
+
+bool isa_ready(benchmark::State& state, simd::Isa isa) {
+  const std::vector<simd::Isa> avail = simd::available_isas();
+  if (std::find(avail.begin(), avail.end(), isa) != avail.end())
+    return true;
+  state.SkipWithError("ISA unavailable on this host");
+  return false;
+}
+
+void BM_KernelDot(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!isa_ready(state, isa)) return;
+  const std::size_t n = 4096;
+  std::vector<double> x(n), y(n);
+  Rng rng(11);
+  for (double& v : x) v = rng.normal();
+  for (double& v : y) v = rng.normal();
+  const simd::KernelTable& ops = simd::kernel_table(isa);
+  for (auto _ : state) {
+    double d = ops.dot(x.data(), y.data(), n);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * sizeof(double)));
+}
+BENCHMARK(BM_KernelDot)
+    ->Arg(static_cast<int>(simd::Isa::kScalar))
+    ->Arg(static_cast<int>(simd::Isa::kAvx2))
+    ->Arg(static_cast<int>(simd::Isa::kNeon));
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!isa_ready(state, isa)) return;
+  const std::size_t n = 4096;
+  std::vector<double> x(n), y(n, 0.0);
+  Rng rng(13);
+  for (double& v : x) v = rng.normal();
+  const simd::KernelTable& ops = simd::kernel_table(isa);
+  for (auto _ : state) {
+    ops.axpy(1.0009765625, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * n * sizeof(double)));
+}
+BENCHMARK(BM_KernelAxpy)
+    ->Arg(static_cast<int>(simd::Isa::kScalar))
+    ->Arg(static_cast<int>(simd::Isa::kAvx2))
+    ->Arg(static_cast<int>(simd::Isa::kNeon));
+
+void BM_KernelAccumCentered(benchmark::State& state) {
+  const auto isa = static_cast<simd::Isa>(state.range(0));
+  if (!isa_ready(state, isa)) return;
+  const std::size_t n = 4096;
+  std::vector<double> x(n), out(n, 0.0);
+  Rng rng(17);
+  for (double& v : x) v = rng.normal();
+  const simd::KernelTable& ops = simd::kernel_table(isa);
+  for (auto _ : state) {
+    ops.accum_centered(0.75, x.data(), 0.125, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(simd::isa_name(isa));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(3 * n * sizeof(double)));
+}
+BENCHMARK(BM_KernelAccumCentered)
+    ->Arg(static_cast<int>(simd::Isa::kScalar))
+    ->Arg(static_cast<int>(simd::Isa::kAvx2))
+    ->Arg(static_cast<int>(simd::Isa::kNeon));
 
 void BM_JacobiReference(benchmark::State& state) {
   const auto m = static_cast<std::size_t>(state.range(0));

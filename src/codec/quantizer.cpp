@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
@@ -50,26 +51,19 @@ QuantizedStream quantize(std::span<const double> values,
   // which reproduces the serial (stream-order) outlier list exactly.
   const std::size_t strips = strip_count(values.size());
   std::vector<std::vector<double>> strip_outliers(strips);
+  const simd::KernelTable& ops = simd::kernels();
   parallel_for(0, strips, [&](std::size_t s) {
     const std::size_t lo = s * kStripValues;
     const std::size_t hi = std::min(values.size(), lo + kStripValues);
+    // Vectorized code pass (out-of-range values, NaN included, get the
+    // escape code == bins), then a scalar sweep over the fresh codes to
+    // collect the outlier values in stream order.
+    ops.quantize_codes(values.data() + lo, hi - lo, half, p, bins, wide,
+                       out.codes.data() + lo * stride);
     std::vector<double>& outliers = strip_outliers[s];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const double v = values[i];
-      std::uint32_t code;
-      if (!(v >= -half && v <= half)) {  // NaN routes to the escape too
-        code = escape;
-        outliers.push_back(v);
-      } else {
-        auto bin = static_cast<std::uint32_t>((v + half) / (2.0 * p));
-        if (bin >= bins) bin = bins - 1;  // v == +half lands past the end
-        code = bin;
-      }
-      out.codes[i * stride] = static_cast<std::uint8_t>(code & 0xFFU);
-      if (wide)
-        out.codes[i * stride + 1] =
-            static_cast<std::uint8_t>((code >> 8) & 0xFFU);
-    }
+    for (std::size_t i = lo; i < hi; ++i)
+      if (read_code(out.codes.data(), i, wide) == escape)
+        outliers.push_back(values[i]);
   });
 
   std::size_t total = 0;
@@ -118,20 +112,21 @@ void dequantize(const QuantizedStream& stream, const QuantizerConfig& config,
 
   // Pass 2: decode. Codes are biased bins below the escape by
   // construction (the escape is the largest representable code), so the
-  // serial version's invalid-code path cannot trigger here.
+  // serial version's invalid-code path cannot trigger here. The kernel
+  // writes a bin center (-half + P * (2*code + 1)) for EVERY code,
+  // escapes included; the scalar sweep then patches the escape slots
+  // from the stream-ordered outlier list.
+  const simd::KernelTable& ops = simd::kernels();
+  const std::size_t stride = config.code_bytes();
   parallel_for(0, strips, [&](std::size_t s) {
     const std::size_t lo = s * kStripValues;
     const std::size_t hi = std::min(stream.count, lo + kStripValues);
+    ops.dequantize_codes(stream.codes.data() + lo * stride, hi - lo, p,
+                         half, wide, out.data() + lo);
     std::size_t outlier_pos = offsets[s];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const std::uint32_t code = read_code(stream.codes.data(), i, wide);
-      if (code == escape) {
+    for (std::size_t i = lo; i < hi; ++i)
+      if (read_code(stream.codes.data(), i, wide) == escape)
         out[i] = stream.outliers[outlier_pos++];
-      } else {
-        // Bin center: -half + P * (2*code + 1).
-        out[i] = -half + p * (2.0 * static_cast<double>(code) + 1.0);
-      }
-    }
   });
 }
 

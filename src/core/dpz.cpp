@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/stage_clock.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 #include "stats/descriptive.h"
 #include "stats/vif.h"
 #include "util/crc32c.h"
@@ -337,14 +338,19 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
               : report.full_k;
       model = fit_pca_topk(blocks, k, standardized);
     } else {
-      model = fit_pca(blocks, standardized);
+      // Two-phase fit: the values-only spectrum is enough for every
+      // k-selection method (they all read the TVE curve), so the dense
+      // eigenvector solve is deferred and replaced by a top-k solve on
+      // the cached covariance once k is known.
+      PcaSpectrum spec = fit_pca_spectrum(blocks, standardized);
       if (config.fixed_k != 0) {
         k = std::clamp<std::size_t>(config.fixed_k, 1, layout.m);
       } else if (config.selection == KSelectionMethod::kKneePoint) {
-        k = detect_knee(model.tve_curve(), config.knee_fit).k;
+        k = detect_knee(spec.model.tve_curve(), config.knee_fit).k;
       } else {
-        k = model.k_for_tve(config.tve);
+        k = spec.model.k_for_tve(config.tve);
       }
+      model = attach_top_components(std::move(spec), k);
     }
   }
   st.k = k;
@@ -366,7 +372,8 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
     side.score_scale = detail::component_scale(scores.row(0));
     const double inv = 1.0 / side.score_scale;
     parallel_for(0, scores.rows(), [&](std::size_t j) {
-      for (double& v : scores.row(j)) v *= inv;
+      auto row = scores.row(j);
+      simd::kernels().scale(inv, row.data(), row.size());
     });
     qs = quantize(scores.flat(), qcfg);
   }

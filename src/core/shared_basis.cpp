@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/stage_clock.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 #include "stats/knee.h"
 #include "util/thread_pool.h"
 
@@ -29,9 +30,9 @@ std::uint8_t read_shared_version(ByteReader& r, std::uint32_t magic,
 }
 
 // Stage 1 helper shared by train/compress.
-Matrix dct_blocks_of(const FloatArray& data, const BlockLayout& layout) {
+Matrix dct_blocks_of(const FloatArray& data, const BlockLayout& layout,
+                     const DctPlan& plan) {
   Matrix blocks = to_blocks(data.flat(), layout);
-  const DctPlan plan(layout.n);
   parallel_for(0, layout.m, [&](std::size_t i) {
     auto row = blocks.row(i);
     plan.forward(row, row);
@@ -64,14 +65,19 @@ SharedBasisCodec SharedBasisCodec::train(const FloatArray& reference,
   codec.qcfg_.wide_codes = config.effective_wide_codes();
   codec.zlib_level_ = config.zlib_level;
 
-  const Matrix blocks = dct_blocks_of(reference, codec.layout_);
-  const PcaModel model = fit_pca(blocks, config.standardize > 0);
+  codec.plan_.emplace(codec.layout_.n);
+  const Matrix blocks = dct_blocks_of(reference, codec.layout_, *codec.plan_);
+  // Spectrum-first fit: the full eigenvalue curve drives k selection, and
+  // only the k leading eigenvectors are ever solved for (the trailing
+  // M - k columns a dense solve would produce are discarded anyway).
+  PcaSpectrum spec = fit_pca_spectrum(blocks, config.standardize > 0);
   std::size_t k;
   if (config.selection == KSelectionMethod::kKneePoint) {
-    k = detect_knee(model.tve_curve(), config.knee_fit).k;
+    k = detect_knee(spec.model.tve_curve(), config.knee_fit).k;
   } else {
-    k = model.k_for_tve(config.tve);
+    k = spec.model.k_for_tve(config.tve);
   }
+  const PcaModel model = attach_top_components(std::move(spec), k);
 
   // Campaign drift guard: a global offset in a later snapshot lands in
   // the DC coefficient of every block, i.e. along the all-ones feature
@@ -191,6 +197,7 @@ SharedBasisCodec SharedBasisCodec::deserialize(
   for (std::size_t i = 0; i < codec.layout_.m; ++i)
     for (std::size_t j = 0; j < k; ++j)
       codec.basis_(i, j) = static_cast<double>(basis_reader.get_f32());
+  codec.plan_.emplace(codec.layout_.n);
   return codec;
 }
 
@@ -213,22 +220,20 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
 
   std::optional<obs::StageSpan> stage;
   stage.emplace(acc, obs::Span::kStage1Dct);
-  const Matrix blocks = dct_blocks_of(snapshot, layout_);
+  const Matrix blocks = dct_blocks_of(snapshot, layout_, *plan_);
   const std::vector<double> mean = row_means(blocks);
 
   // Scores against the frozen basis: Y = D_k^T (Z - mean).
   stage.emplace(acc, obs::Span::kStage2Pca);
   const std::size_t k = basis_.cols();
+  const simd::KernelTable& ops = simd::kernels();
   Matrix scores(k, layout_.n);
   parallel_for(0, k, [&](std::size_t j) {
     double* out = scores.row(j).data();
     for (std::size_t i = 0; i < layout_.m; ++i) {
       const double d = basis_(i, j);
       if (d == 0.0) continue;
-      const double* zi = blocks.row(i).data();
-      const double mu = mean[i];
-      for (std::size_t c = 0; c < layout_.n; ++c)
-        out[c] += d * (zi[c] - mu);
+      ops.accum_centered(d, blocks.row(i).data(), mean[i], out, layout_.n);
     }
   });
 
@@ -339,10 +344,9 @@ FloatArray SharedBasisCodec::decompress(
   });
 
   span.emplace(obs::Span::kDecodeIdct);
-  const DctPlan plan(layout_.n);
   parallel_for(0, layout_.m, [&](std::size_t i) {
     auto row = blocks.row(i);
-    plan.inverse(row, row);
+    plan_->inverse(row, row);
   });
 
   FloatArray out(shape_);

@@ -22,12 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "codec/quantizer.h"
 #include "core/blocking.h"
 #include "core/dpz.h"
+#include "dsp/dct.h"
 #include "linalg/pca.h"
 
 namespace dpz {
@@ -77,6 +79,9 @@ class SharedBasisCodec {
   int zlib_level_ = 6;
   unsigned threads_ = 0;
   Matrix basis_;  // M x k
+  // Stage-1 plan, built once per codec: snapshots share the layout, so
+  // rebuilding the twiddle/chirp tables per compress() call is pure waste.
+  std::optional<DctPlan> plan_;
 };
 
 }  // namespace dpz

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace dpz {
@@ -10,6 +11,7 @@ namespace dpz {
 DctPlan::DctPlan(std::size_t n)
     : n_(n),
       fft_(n),
+      half_fft_(n % 2 == 0 && n >= 2 ? n / 2 : 1),
       scale0_(std::sqrt(1.0 / static_cast<double>(n))),
       scale_(std::sqrt(2.0 / static_cast<double>(n))) {
   DPZ_REQUIRE(n >= 1, "DCT length must be >= 1");
@@ -18,6 +20,15 @@ DctPlan::DctPlan(std::size_t n)
     const double angle = -std::numbers::pi * static_cast<double>(k) /
                          (2.0 * static_cast<double>(n_));
     shift_[k] = {std::cos(angle), std::sin(angle)};
+  }
+  if (n_ % 2 == 0) {
+    rt_.resize(n_ / 2 + 1);
+    for (std::size_t k = 0; k <= n_ / 2; ++k) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k) /
+                           static_cast<double>(n_);
+      rt_[k] = {std::cos(angle), std::sin(angle)};
+    }
   }
 }
 
@@ -30,18 +41,51 @@ void DctPlan::forward(std::span<const double> in,
     return;
   }
 
-  // Makhoul reordering: v = [x0, x2, x4, ..., x5, x3, x1].
-  std::vector<std::complex<double>> v(n_);
+  // Makhoul reordering: v = [x0, x2, x4, ..., x5, x3, x1]. The loops
+  // below fill every slot, so the per-thread scratch needs no zeroing.
+  thread_local std::vector<std::complex<double>> v;
+  v.resize(n_);
   const std::size_t half = (n_ + 1) / 2;
-  for (std::size_t i = 0; i < half; ++i) v[i] = in[2 * i];
-  for (std::size_t i = 0; i < n_ / 2; ++i) v[n_ - 1 - i] = in[2 * i + 1];
+  if (n_ % 2 == 0) {
+    // Real-input shortcut: pack adjacent reordered samples into n/2
+    // complexes, transform once at half length, then untangle. With
+    // E/O the DFTs of the even/odd-position subsequences of the packed
+    // stream, V[k] = E[k] + w^k O[k] and V[n-k] = conj(V[k]).
+    const std::size_t h = n_ / 2;
+    auto reordered = [&](std::size_t p) {
+      return p < half ? in[2 * p] : in[2 * (n_ - 1 - p) + 1];
+    };
+    thread_local std::vector<std::complex<double>> z;
+    z.resize(h);
+    for (std::size_t j = 0; j < h; ++j)
+      z[j] = {reordered(2 * j), reordered(2 * j + 1)};
+    half_fft_.execute(z, /*inverse=*/false);
+    const std::complex<double> minus_half_i(0.0, -0.5);
+    for (std::size_t k = 0; k <= h; ++k) {
+      const std::complex<double> zk = z[k % h];
+      const std::complex<double> znk = std::conj(z[(h - k) % h]);
+      const std::complex<double> even = 0.5 * (zk + znk);
+      const std::complex<double> odd = minus_half_i * (zk - znk);
+      const std::complex<double> val = even + rt_[k] * odd;
+      v[k] = val;
+      if (k != 0 && k != h) v[n_ - k] = std::conj(val);
+    }
+  } else {
+    for (std::size_t i = 0; i < half; ++i) v[i] = in[2 * i];
+    for (std::size_t i = 0; i < n_ / 2; ++i) v[n_ - 1 - i] = in[2 * i + 1];
 
-  fft_.execute(v, /*inverse=*/false);
+    fft_.execute(v, /*inverse=*/false);
+  }
 
   // Unnormalized DCT-II coefficient: C[k] = Re(exp(-i*pi*k/2n) * V[k]).
+  // The kernel computes the real part of the product directly with the
+  // same per-part rounding as the std::complex formula. The casts ride
+  // on std::complex's array-oriented access guarantee (see fft.cpp).
   out[0] = v[0].real() * scale0_;
-  for (std::size_t k = 1; k < n_; ++k)
-    out[k] = (shift_[k] * v[k]).real() * scale_;
+  simd::kernels().cmul_real_scale(
+      reinterpret_cast<const double*>(shift_.data() + 1),
+      reinterpret_cast<const double*>(v.data() + 1), scale_, out.data() + 1,
+      n_ - 1);
 }
 
 void DctPlan::inverse(std::span<const double> in,

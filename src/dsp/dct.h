@@ -41,7 +41,14 @@ class DctPlan {
  private:
   std::size_t n_;
   FftPlan fft_;
+  /// Even n only: the Makhoul-reordered sequence is REAL, so its length-n
+  /// DFT falls out of the length-n/2 complex DFT of adjacent sample pairs
+  /// plus an O(n) untangling pass — roughly half the butterfly work of
+  /// the full-length transform. Odd n (and the inverse, whose spectrum
+  /// input is complex) keep using `fft_`.
+  FftPlan half_fft_;
   std::vector<std::complex<double>> shift_;  // exp(-i*pi*k/(2n))
+  std::vector<std::complex<double>> rt_;     // exp(-2*pi*i*k/n), k in [0, n/2]
   double scale0_;                            // sqrt(1/n)
   double scale_;                             // sqrt(2/n)
 };

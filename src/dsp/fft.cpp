@@ -1,11 +1,29 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "simd/simd.h"
 #include "util/error.h"
 
 namespace dpz {
+
+namespace {
+
+// std::complex guarantees array-oriented access ([complex.numbers.general]:
+// reinterpret_cast<double(&)[2]>(z) is valid), so an interleaved
+// complex<double> buffer can be handed to the double-pair simd kernels
+// without a copy. These two helpers are the only sanctioned casts in dsp
+// (tools/analyze "reinterpret-cast" allowlist).
+double* as_doubles(std::complex<double>* p) {
+  return reinterpret_cast<double*>(p);
+}
+const double* as_doubles(const std::complex<double>* p) {
+  return reinterpret_cast<const double*>(p);
+}
+
+}  // namespace
 
 namespace {
 
@@ -45,26 +63,15 @@ void fft_pow2_kernel(std::complex<double>* a, std::size_t n,
   for (std::size_t i = 0; i < n; ++i)
     if (i < rev[i]) std::swap(a[i], a[rev[i]]);
 
+  const simd::KernelTable& ops = simd::kernels();
+  double* ad = as_doubles(a);
   std::size_t tw_base = 0;
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    for (std::size_t start = 0; start < n; start += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        std::complex<double> w = tw[tw_base + k];
-        if (inverse) w = std::conj(w);
-        const std::complex<double> u = a[start + k];
-        const std::complex<double> v = a[start + k + half] * w;
-        a[start + k] = u + v;
-        a[start + k + half] = u - v;
-      }
-    }
-    tw_base += half;
+    ops.radix2_stage(ad, n, len, as_doubles(tw.data() + tw_base), inverse);
+    tw_base += len / 2;
   }
 
-  if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) a[i] *= scale;
-  }
+  if (inverse) ops.scale(1.0 / static_cast<double>(n), ad, 2 * n);
 }
 
 }  // namespace
@@ -137,14 +144,26 @@ void FftPlan::execute_bluestein(std::vector<std::complex<double>>& data,
   if (inverse)
     for (auto& v : data) v = std::conj(v);
 
-  std::vector<std::complex<double>> a(conv_n_, {0.0, 0.0});
-  for (std::size_t k = 0; k < n_; ++k) a[k] = data[k] * chirp_[k];
+  const simd::KernelTable& ops = simd::kernels();
+  // Per-thread scratch: a block matrix runs thousands of same-length
+  // transforms, so reuse the convolution buffer instead of allocating
+  // and zero-filling conv_n_ complexes per call. Only the zero padding
+  // beyond n_ needs refreshing — the cmul below overwrites [0, n_).
+  thread_local std::vector<std::complex<double>> scratch;
+  scratch.resize(conv_n_);
+  std::vector<std::complex<double>>& a = scratch;
+  std::fill(a.begin() + static_cast<std::ptrdiff_t>(n_), a.end(),
+            std::complex<double>{0.0, 0.0});
+  ops.cmul(as_doubles(data.data()), as_doubles(chirp_.data()),
+           as_doubles(a.data()), n_);
 
   fft_pow2_kernel(a.data(), conv_n_, bitrev_, twiddles_, /*inverse=*/false);
-  for (std::size_t k = 0; k < conv_n_; ++k) a[k] *= chirp_fft_[k];
+  ops.cmul(as_doubles(a.data()), as_doubles(chirp_fft_.data()),
+           as_doubles(a.data()), conv_n_);
   fft_pow2_kernel(a.data(), conv_n_, bitrev_, twiddles_, /*inverse=*/true);
 
-  for (std::size_t k = 0; k < n_; ++k) data[k] = a[k] * chirp_[k];
+  ops.cmul(as_doubles(a.data()), as_doubles(chirp_.data()),
+           as_doubles(data.data()), n_);
 
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(n_);

@@ -25,10 +25,56 @@ struct SymmetricEigen {
   Matrix vectors;
 };
 
+/// The Householder reduction of a symmetric matrix to tridiagonal form.
+/// This is the O(n^3) half of both eigensolves; keeping it around lets a
+/// caller pay for it once, read the eigenvalues (cheap QL recurrence on
+/// diag/subdiag), and only later decide whether the eigenvectors are
+/// worth accumulating — exactly the shape of Stage 2's k-selection.
+struct TridiagonalReduction {
+  Matrix reflectors;            ///< rows = scaled Householder vectors
+  std::vector<double> diag;     ///< tridiagonal diagonal
+  std::vector<double> subdiag;  ///< subdiagonal; subdiag[0] == 0
+  std::vector<double> norm2;    ///< squared reflector norms (0 = skipped)
+};
+
+/// Householder reduction of `a` (symmetric; only the lower triangle is
+/// read) to tridiagonal form.
+TridiagonalReduction tridiagonalize(const Matrix& a);
+
+/// Eigenvalues of a reduced matrix, sorted descending (values-only QL
+/// recurrence — no orthogonal-transform accumulation).
+std::vector<double> eigen_values_from(const TridiagonalReduction& r);
+
+/// Full eigenpairs of a reduced matrix: accumulates the Householder
+/// transform, runs QL with rotations, sorts descending. Together with
+/// tridiagonalize this IS eigen_sym, split so the reduction can be
+/// shared with a preceding eigen_values_from call.
+SymmetricEigen eigen_sym_from(const TridiagonalReduction& r);
+
+/// The k leading eigenpairs of a reduced matrix: values from the QL
+/// recurrence, vectors by inverse iteration on the tridiagonal (each a
+/// handful of O(M) band solves) followed by one Householder
+/// back-transform per vector. Deterministic — fixed start vectors,
+/// fixed iteration counts — and O(M^2 k) total, which beats both the
+/// dense accumulation (O(M^3)) and subspace iteration on the original
+/// matrix (O(M^2 b) PER SWEEP) whenever the reduction is already paid
+/// for. Vectors are re-orthonormalized, so clustered eigenvalues yield
+/// an orthonormal basis of the cluster's eigenspace rather than k
+/// copies of one direction.
+SymmetricEigen eigen_topk_from(const TridiagonalReduction& r,
+                               std::size_t k);
+
 /// Householder + implicit-shift QL. `a` must be symmetric (only the lower
 /// triangle is read). Throws NumericalError if the QL sweep fails to
 /// converge (pathological only; the iteration cap is generous).
 SymmetricEigen eigen_sym(const Matrix& a);
+
+/// Eigenvalues only, sorted descending: Householder reduction without
+/// orthogonal-transform accumulation followed by the values-only QL
+/// recurrence. Roughly 3x cheaper than eigen_sym — the fast path for
+/// k-selection over the full TVE curve before solving for just the top-k
+/// eigenvectors (eigen_sym_topk).
+std::vector<double> eigen_sym_values(const Matrix& a);
 
 /// Cyclic Jacobi reference solver (O(n^3) per sweep, ~6-10 sweeps).
 SymmetricEigen eigen_sym_jacobi(const Matrix& a);

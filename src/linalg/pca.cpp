@@ -4,6 +4,7 @@
 
 #include "linalg/eigen_sym.h"
 #include "linalg/subspace_iteration.h"
+#include "simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
@@ -37,18 +38,26 @@ Matrix PcaModel::transform(const Matrix& x, std::size_t k) const {
   DPZ_REQUIRE(x.rows() == m, "PCA transform feature-count mismatch");
   DPZ_REQUIRE(k >= 1 && k <= m, "k must be in [1, M]");
   const std::size_t n = x.cols();
+  const simd::KernelTable& ops = simd::kernels();
 
+  // Row tiles keep a slab of x cache-resident while every component
+  // accumulates from it; untiled, each of the k components re-streams
+  // the whole M x N matrix from memory. Each component still sums its
+  // rows in ascending-i order, so the scores are bit-identical to the
+  // untiled loop and independent of the thread count.
   Matrix scores(k, n);
-  parallel_for(0, k, [&](std::size_t j) {
-    double* out = scores.row(j).data();
-    for (std::size_t i = 0; i < m; ++i) {
-      const double d = components(i, j) / scale[i];
-      if (d == 0.0) continue;
-      const double* xi = x.row(i).data();
-      const double mu = mean[i];
-      for (std::size_t c = 0; c < n; ++c) out[c] += d * (xi[c] - mu);
-    }
-  });
+  constexpr std::size_t kTileRows = 64;
+  for (std::size_t i0 = 0; i0 < m; i0 += kTileRows) {
+    const std::size_t i1 = std::min(m, i0 + kTileRows);
+    parallel_for(0, k, [&](std::size_t j) {
+      double* out = scores.row(j).data();
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double d = components(i, j) / scale[i];
+        if (d == 0.0) continue;
+        ops.accum_centered(d, x.row(i).data(), mean[i], out, n);
+      }
+    });
+  }
   return scores;
 }
 
@@ -57,6 +66,7 @@ Matrix PcaModel::inverse_transform(const Matrix& scores) const {
   const std::size_t k = scores.rows();
   DPZ_REQUIRE(k >= 1 && k <= m, "score rank must be in [1, M]");
   const std::size_t n = scores.cols();
+  const simd::KernelTable& ops = simd::kernels();
 
   Matrix x(m, n);
   parallel_for(0, m, [&](std::size_t i) {
@@ -64,12 +74,9 @@ Matrix PcaModel::inverse_transform(const Matrix& scores) const {
     for (std::size_t j = 0; j < k; ++j) {
       const double d = components(i, j);
       if (d == 0.0) continue;
-      const double* y = scores.row(j).data();
-      for (std::size_t c = 0; c < n; ++c) out[c] += d * y[c];
+      ops.axpy(d, scores.row(j).data(), out, n);
     }
-    const double s = scale[i];
-    const double mu = mean[i];
-    for (std::size_t c = 0; c < n; ++c) out[c] = out[c] * s + mu;
+    ops.scale_shift(scale[i], mean[i], out, n);
   });
   return x;
 }
@@ -78,6 +85,7 @@ Matrix covariance(const Matrix& x) {
   const std::size_t m = x.rows();
   const std::size_t n = x.cols();
   DPZ_REQUIRE(n >= 1, "covariance needs at least one sample");
+  const simd::KernelTable& ops = simd::kernels();
 
   std::vector<double> mean(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
@@ -87,17 +95,31 @@ Matrix covariance(const Matrix& x) {
     mean[i] = sum / static_cast<double>(n);
   }
 
-  Matrix cov(m, m);
+  // Center once up front so the O(m^2 n) pair loop runs plain dots
+  // instead of re-subtracting the means per element. (x - mu) * 1.0 is
+  // exact for every double, and dot and dot_centered share the same
+  // sixteen-lane reduction tree, so this is bit-identical to the fused
+  // form.
+  Matrix centered(m, n);
   parallel_for(0, m, [&](std::size_t i) {
-    const double* xi = x.row(i).data();
-    const double mi = mean[i];
-    for (std::size_t j = i; j < m; ++j) {
-      const double* xj = x.row(j).data();
-      const double mj = mean[j];
-      double sum = 0.0;
-      for (std::size_t c = 0; c < n; ++c)
-        sum += (xi[c] - mi) * (xj[c] - mj);
-      cov(i, j) = sum / static_cast<double>(n);
+    ops.center_scale(x.row(i).data(), mean[i], 1.0, centered.row(i).data(),
+                     n);
+  });
+
+  // Blocks of four i-rows share each streamed j-row: the first dot pulls
+  // it out of L2, the next three hit L1. Every (i, j) dot is the same
+  // call in either order, so the entries are bit-identical to the
+  // row-at-a-time loop.
+  constexpr std::size_t kRowBlock = 4;
+  Matrix cov(m, m);
+  parallel_for(0, (m + kRowBlock - 1) / kRowBlock, [&](std::size_t bi) {
+    const std::size_t i0 = bi * kRowBlock;
+    const std::size_t i1 = std::min(m, i0 + kRowBlock);
+    for (std::size_t j = i0; j < m; ++j) {
+      const double* cj = centered.row(j).data();
+      for (std::size_t i = i0; i < i1 && i <= j; ++i)
+        cov(i, j) = ops.dot(centered.row(i).data(), cj, n) /
+                    static_cast<double>(n);
     }
   });
   // Mirror the upper triangle (disjoint writes above, so safe afterwards).
@@ -114,6 +136,7 @@ Matrix prepare_centered(const Matrix& x, bool standardize, PcaModel& model) {
   const std::size_t m = x.rows();
   const std::size_t n = x.cols();
   DPZ_REQUIRE(n >= 2, "PCA needs at least two samples per feature");
+  const simd::KernelTable& ops = simd::kernels();
 
   model.mean.resize(m);
   model.scale.assign(m, 1.0);
@@ -127,21 +150,16 @@ Matrix prepare_centered(const Matrix& x, bool standardize, PcaModel& model) {
   Matrix centered(m, n);
   if (standardize) {
     for (std::size_t i = 0; i < m; ++i) {
-      const double* row = x.row(i).data();
       const double mu = model.mean[i];
-      double var = 0.0;
-      for (std::size_t c = 0; c < n; ++c)
-        var += (row[c] - mu) * (row[c] - mu);
-      var /= static_cast<double>(n);
+      const double var =
+          ops.dot_centered(x.row(i).data(), mu, x.row(i).data(), mu, n) /
+          static_cast<double>(n);
       if (var > 0.0) model.scale[i] = std::sqrt(var);
     }
   }
   parallel_for(0, m, [&](std::size_t i) {
-    const double* row = x.row(i).data();
-    double* out = centered.row(i).data();
-    const double mu = model.mean[i];
-    const double inv_s = 1.0 / model.scale[i];
-    for (std::size_t c = 0; c < n; ++c) out[c] = (row[c] - mu) * inv_s;
+    ops.center_scale(x.row(i).data(), model.mean[i], 1.0 / model.scale[i],
+                     centered.row(i).data(), n);
   });
   return centered;
 }
@@ -174,6 +192,45 @@ PcaModel fit_pca_topk(const Matrix& x, std::size_t k, bool standardize) {
   for (double& v : eig.values)
     if (v < 0.0) v = 0.0;
   model.eigenvalues = std::move(eig.values);
+  model.components = std::move(eig.vectors);
+  return model;
+}
+
+PcaSpectrum fit_pca_spectrum(const Matrix& x, bool standardize) {
+  PcaSpectrum spec;
+  const Matrix centered = prepare_centered(x, standardize, spec.model);
+  spec.cov = covariance(centered);
+  spec.tridiag = tridiagonalize(spec.cov);
+  spec.model.eigenvalues = eigen_values_from(spec.tridiag);
+  for (double& v : spec.model.eigenvalues)
+    if (v < 0.0) v = 0.0;  // clamp tiny negative rounding residue
+  return spec;
+}
+
+PcaModel attach_top_components(PcaSpectrum&& spec, std::size_t k) {
+  const std::size_t m = spec.cov.rows();
+  DPZ_REQUIRE(k >= 1 && k <= m, "k must be in [1, M]");
+  PcaModel model = std::move(spec.model);
+  // Keep the full values-only spectrum (already clamped): it drove the
+  // TVE-based k choice and stays exact for the whole curve, while the
+  // solve below contributes only the vectors.
+  //
+  // Small or near-full-rank problems take the dense QL accumulation: at
+  // these sizes it costs about the same as k rounds of inverse iteration
+  // and its vectors carry none of the inverse-iteration restart
+  // machinery. Large skinny problems (the Stage-2 hot path) switch to
+  // inverse iteration on the cached tridiagonal: O(M^2 k) with the
+  // reduction already paid for, versus O(M^3) for the dense
+  // accumulation.
+  if (m <= 64 || 2 * k >= m) {
+    SymmetricEigen eig = eigen_sym_from(spec.tridiag);
+    model.components = Matrix(m, k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < k; ++j)
+        model.components(i, j) = eig.vectors(i, j);
+    return model;
+  }
+  SymmetricEigen eig = eigen_topk_from(spec.tridiag, k);
   model.components = std::move(eig.vectors);
   return model;
 }

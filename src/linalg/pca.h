@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/eigen_sym.h"
 #include "linalg/matrix.h"
 
 namespace dpz {
@@ -56,6 +57,31 @@ PcaModel fit_pca(const Matrix& x, bool standardize = false);
 /// is the fast path the sampling strategy unlocks once k_e is known.
 PcaModel fit_pca_topk(const Matrix& x, std::size_t k,
                       bool standardize = false);
+
+/// A spectrum-first fit: mean/scale and the FULL eigenvalue spectrum of
+/// the covariance (via the values-only solver, ~3x cheaper than the
+/// dense eigendecomposition), plus the covariance itself so the leading
+/// eigenvectors can be solved for afterwards without re-streaming X.
+/// This splits Stage 2's k-selection (which needs every eigenvalue for
+/// the TVE curve) from the basis solve (which needs only k columns).
+struct PcaSpectrum {
+  PcaModel model;  ///< mean/scale/eigenvalues filled; components empty
+  Matrix cov;      ///< covariance of the centered working copy
+  /// Cached Householder reduction of `cov` — the O(M^3) half of the
+  /// eigenvalue pass. When attach_top_components takes the dense route
+  /// it accumulates eigenvectors straight from this instead of reducing
+  /// the covariance a second time.
+  TridiagonalReduction tridiag;
+};
+
+/// Phase one: center/standardize, covariance, full eigenvalue spectrum.
+PcaSpectrum fit_pca_spectrum(const Matrix& x, bool standardize = false);
+
+/// Phase two: attaches the k leading eigenvectors (subspace iteration on
+/// the cached covariance; dense fallback for small problems) to the
+/// spectrum's model. The model keeps the full eigenvalue list, so
+/// tve_curve()/k_for_tve() remain exact on the result.
+PcaModel attach_top_components(PcaSpectrum&& spec, std::size_t k);
 
 /// Covariance matrix of X's rows: C = (Xc Xc^T)/N with Xc row-centered
 /// (population normalization, matching the eigenvalue/variance accounting

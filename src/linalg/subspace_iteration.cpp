@@ -2,36 +2,75 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dpz {
 
 namespace {
 
-// Orthonormalizes the columns of q in place (modified Gram-Schmidt).
-// Columns that collapse numerically are replaced by fresh random
-// directions and re-orthogonalized, so the basis never degenerates.
-void orthonormalize_columns(Matrix& q, Rng& rng) {
-  const std::size_t m = q.rows();
-  const std::size_t b = q.cols();
+// The iteration keeps the basis TRANSPOSED — qt is b x M with row j
+// holding basis vector j — so every inner product and update below runs
+// over contiguous memory through the kernel table. The column-major
+// original spent most of its time striding M x b columns.
+
+// Orthonormalizes the rows of qt in place (modified Gram-Schmidt). Rows
+// that collapse numerically are replaced by fresh random directions and
+// re-orthogonalized, so the basis never degenerates.
+void orthonormalize_rows(Matrix& qt, Rng& rng) {
+  const std::size_t b = qt.rows();
+  const std::size_t m = qt.cols();
+  const simd::KernelTable& ops = simd::kernels();
   for (std::size_t j = 0; j < b; ++j) {
+    double* row_j = qt.row(j).data();
     for (int attempt = 0; attempt < 3; ++attempt) {
       for (std::size_t prev = 0; prev < j; ++prev) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < m; ++i) dot += q(i, prev) * q(i, j);
-        for (std::size_t i = 0; i < m; ++i) q(i, j) -= dot * q(i, prev);
+        const double* row_p = qt.row(prev).data();
+        ops.axpy(-ops.dot(row_p, row_j, m), row_p, row_j, m);
       }
-      double norm2 = 0.0;
-      for (std::size_t i = 0; i < m; ++i) norm2 += q(i, j) * q(i, j);
+      const double norm2 = ops.dot(row_j, row_j, m);
       if (norm2 > 1e-24) {
-        const double inv = 1.0 / std::sqrt(norm2);
-        for (std::size_t i = 0; i < m; ++i) q(i, j) *= inv;
+        ops.scale(1.0 / std::sqrt(norm2), row_j, m);
         break;
       }
-      for (std::size_t i = 0; i < m; ++i) q(i, j) = rng.normal();
+      for (std::size_t i = 0; i < m; ++i) row_j[i] = rng.normal();
     }
   }
+}
+
+// zt = qt * A for symmetric A, as long dots against A's rows (row i ==
+// column i). Blocks of four qt rows share each streamed A row out of L1.
+Matrix apply_symmetric(const Matrix& a, const Matrix& qt) {
+  const std::size_t b = qt.rows();
+  const std::size_t m = qt.cols();
+  const simd::KernelTable& ops = simd::kernels();
+  constexpr std::size_t kRowBlock = 4;
+  Matrix zt(b, m);
+  parallel_for(0, (b + kRowBlock - 1) / kRowBlock, [&](std::size_t bj) {
+    const std::size_t j0 = bj * kRowBlock;
+    const std::size_t j1 = std::min(b, j0 + kRowBlock);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ai = a.row(i).data();
+      for (std::size_t j = j0; j < j1; ++j)
+        zt(j, i) = ops.dot(qt.row(j).data(), ai, m);
+    }
+  });
+  return zt;
+}
+
+// Rayleigh quotient small(j, l) = (A q_j) . q_l from the transposed
+// factors (b x b, symmetric up to rounding like the original).
+Matrix rayleigh_quotient(const Matrix& zt, const Matrix& qt) {
+  const std::size_t b = qt.rows();
+  const std::size_t m = qt.cols();
+  const simd::KernelTable& ops = simd::kernels();
+  Matrix small(b, b);
+  for (std::size_t j = 0; j < b; ++j)
+    for (std::size_t l = 0; l < b; ++l)
+      small(j, l) = ops.dot(zt.row(j).data(), qt.row(l).data(), m);
+  return small;
 }
 
 }  // namespace
@@ -58,25 +97,21 @@ SymmetricEigen eigen_sym_topk(const Matrix& a, std::size_t k,
 
   const std::size_t block = std::min(m, k + 8);  // oversampling margin
   Rng rng(seed);
-  Matrix q(m, block);
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t j = 0; j < block; ++j) q(i, j) = rng.normal();
-  orthonormalize_columns(q, rng);
+  Matrix qt(block, m);
+  for (double& v : qt.flat()) v = rng.normal();
+  orthonormalize_rows(qt, rng);
 
   std::vector<double> prev_values(k, 0.0);
-  Matrix ritz_vectors(m, block);
-  std::vector<double> ritz_values(block, 0.0);
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
-    Matrix z = a.multiply(q);                  // M x b
-    Matrix small = q.transpose_multiply(z);    // b x b Rayleigh quotient
-    const SymmetricEigen ritz = eigen_sym(small);
+    const Matrix zt = apply_symmetric(a, qt);          // b x M
+    const SymmetricEigen ritz = eigen_sym(rayleigh_quotient(zt, qt));
 
-    // Rotate the basis onto the Ritz directions and re-orthonormalize.
-    ritz_vectors = z.multiply(ritz.vectors);   // A Q S: power step included
-    q = ritz_vectors;
-    orthonormalize_columns(q, rng);
-    ritz_values = ritz.values;
+    // Rotate the basis onto the Ritz directions (power step included:
+    // rows of S^T zt are Ritz combinations of the A q_j images) and
+    // re-orthonormalize.
+    qt = ritz.vectors.transposed().multiply(zt);
+    orthonormalize_rows(qt, rng);
 
     double delta = 0.0;
     for (std::size_t j = 0; j < k; ++j) {
@@ -89,17 +124,16 @@ SymmetricEigen eigen_sym_topk(const Matrix& a, std::size_t k,
   }
 
   // Final Rayleigh-Ritz on the converged basis for clean eigenpairs.
-  Matrix z = a.multiply(q);
-  Matrix small = q.transpose_multiply(z);
-  const SymmetricEigen ritz = eigen_sym(small);
-  Matrix vectors = q.multiply(ritz.vectors);
+  const Matrix zt = apply_symmetric(a, qt);
+  const SymmetricEigen ritz = eigen_sym(rayleigh_quotient(zt, qt));
+  const Matrix vt = ritz.vectors.transposed().multiply(qt);  // b x M
 
   SymmetricEigen out;
   out.values.assign(ritz.values.begin(),
                     ritz.values.begin() + static_cast<std::ptrdiff_t>(k));
   out.vectors = Matrix(m, k);
   for (std::size_t j = 0; j < k; ++j)
-    for (std::size_t i = 0; i < m; ++i) out.vectors(i, j) = vectors(i, j);
+    for (std::size_t i = 0; i < m; ++i) out.vectors(i, j) = vt(j, i);
   return out;
 }
 

@@ -33,6 +33,8 @@ enum class Span : std::uint8_t {
   kFrameDecode,       ///< one chunked frame decoded
   // Integrity (dpz.cpp, chunked.cpp, verify.cpp).
   kCrcCheck,          ///< one CRC32C verification
+  // Kernel dispatch (simd/dispatch.cpp).
+  kSimdDispatch,      ///< one-time CPU detection + ISA selection
   // Thread pool (thread_pool.cpp).
   kPoolTask,          ///< one participant's chunk of a parallel_for
   kSpanCount_,        // sentinel — keep last
@@ -61,6 +63,7 @@ inline constexpr SpanInfo kSpanInfo[kSpanCount] = {
     {"frame_encode", "frame"},
     {"frame_decode", "frame"},
     {"crc_check", "integrity"},
+    {"simd_dispatch", "simd"},
     {"pool_task", "pool"},
 };
 

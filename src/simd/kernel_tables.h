@@ -1,0 +1,22 @@
+// Internal: per-ISA kernel tables assembled by the kernel TUs.
+//
+// Each kernels_<isa>.cpp defines its table; an ISA that cannot be
+// compiled on this target (e.g. NEON on x86) exposes a null pointer and
+// dispatch treats it as unavailable. Only dispatch.cpp and the
+// equivalence tests include this header.
+#pragma once
+
+#include "simd/simd.h"
+
+namespace dpz::simd {
+
+/// Always present.
+const KernelTable& scalar_table();
+
+/// Null when the TU was built without AVX2 support.
+const KernelTable* avx2_table();
+
+/// Null when the TU was built without NEON support.
+const KernelTable* neon_table();
+
+}  // namespace dpz::simd

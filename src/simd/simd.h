@@ -1,0 +1,154 @@
+// Runtime-dispatched SIMD kernels for the Stage-1/Stage-2 hot loops.
+//
+// One dispatch table (KernelTable) holds every vectorizable primitive the
+// pipeline needs: dot-product reductions for covariance/Householder work,
+// elementwise axpy/scale families for PCA projection and back-projection,
+// Givens-pair rotations for the QL sweep, complex butterflies for the FFT
+// behind the DCT, and the 64Ki-value quantize/dequantize strip codecs.
+// The active implementation is chosen once at runtime from CPUID (x86) or
+// AT_HWCAP (aarch64): AVX2, NEON, or the portable scalar reference.
+//
+// Bit-exactness contract (docs/SIMD.md): every implementation of a kernel
+// produces bit-identical output to the scalar reference in this table for
+// the same inputs.
+//  * Elementwise kernels perform the documented operation order per
+//    element (multiply then add, never fused) so lanes round exactly like
+//    the scalar loop; kernel TUs build with -ffp-contract=off.
+//  * Reduction kernels (dot, dot_centered) use a fixed sixteen-lane
+//    decomposition regardless of ISA (wide enough to hide the add
+//    latency of four AVX2 accumulators): lane l in [0, 16) accumulates
+//    terms l, l+16, l+32, ... serially; the lanes fold to four partials
+//    a_l = (s_l + s_{l+8}) + (s_{l+4} + s_{l+12}) for l in [0, 4), those
+//    combine as (a0 + a2) + (a1 + a3), and the remaining tail terms are
+//    folded in serially afterwards. The scalar reference implements this
+//    same tree, so the reduction order is a property of the kernel
+//    contract, not of the CPU the archive was written on.
+//  * Complex kernels use the finite-operand product
+//    (ar*br - ai*bi, ar*bi + ai*br) with one rounding per part; callers
+//    only pass finite data (DCT/FFT intermediates).
+// The kernel-equivalence harness (tests/test_simd_kernels.cpp) enforces
+// the contract for every ISA reachable on the build machine, including
+// unaligned pointers and non-multiple-of-width tails.
+//
+// Forcing a path: the DPZ_FORCE_ISA environment variable (or the CLI's
+// --isa flag, which routes here through set_force_isa) pins dispatch to
+// "scalar", "avx2", or "neon". Forcing an ISA the CPU cannot execute
+// fails with InvalidArgument at dispatch time rather than crashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpz::simd {
+
+enum class Isa : std::uint8_t {
+  kScalar = 0,  ///< portable reference, always available
+  kAvx2,        ///< x86-64 AVX2 (no FMA: the contract forbids fusing)
+  kNeon,        ///< aarch64 Advanced SIMD
+};
+
+/// CPU capability bits, decoupled from detection so selection logic can
+/// be unit-tested with faked features.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool neon = false;
+};
+
+/// Queries the running CPU: CPUID leaf 7 + XGETBV on x86-64 (AVX2 needs
+/// OS-enabled YMM state), getauxval(AT_HWCAP) on aarch64.
+CpuFeatures detect_cpu_features();
+
+/// Pure selection logic: highest available ISA, or `forced` when set.
+/// Throws InvalidArgument when the forced ISA is not executable on
+/// `features` (the "clean error, not crash" contract).
+Isa select_isa(const CpuFeatures& features, std::optional<Isa> forced);
+
+/// "scalar" / "avx2" / "neon".
+const char* isa_name(Isa isa);
+
+/// Parses an ISA name as spelled by isa_name; nullopt for anything else.
+std::optional<Isa> parse_isa(const std::string& name);
+
+/// Every ISA the current CPU can execute (always includes kScalar).
+std::vector<Isa> available_isas();
+
+/// The ISA dispatch currently resolves to (forcing included).
+Isa active_isa();
+
+/// Pins (or, with nullopt, unpins) dispatch to one ISA. Overrides the
+/// DPZ_FORCE_ISA environment variable. Throws InvalidArgument if the
+/// requested ISA is unavailable on this CPU. Not meant for concurrent
+/// use against in-flight kernels; call it between pipeline runs (tests,
+/// CLI startup).
+void set_force_isa(std::optional<Isa> isa);
+
+/// One entry per vectorized primitive. All pointers may be unaligned;
+/// every size argument counts elements (doubles, or complex values where
+/// noted), and n == 0 is a no-op for the void kernels.
+struct KernelTable {
+  // ---- reductions (fixed sixteen-lane tree, see header comment) -------
+  /// sum_i x[i]*y[i]
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  /// sum_i (x[i]-mx)*(y[i]-my) — the covariance inner loop
+  double (*dot_centered)(const double* x, double mx, const double* y,
+                         double my, std::size_t n);
+
+  // ---- elementwise (per-element order identical to the scalar loop) ---
+  /// y[i] += a*x[i]
+  void (*axpy)(double a, const double* x, double* y, std::size_t n);
+  /// row[i] -= f*e[i] + g*w[i] — the Householder rank-2 row update
+  void (*rank2_update)(double f, const double* e, double g, const double* w,
+                       double* row, std::size_t n);
+  /// out[i] += d*(x[i]-mu) — the PCA projection inner loop
+  void (*accum_centered)(double d, const double* x, double mu, double* out,
+                         std::size_t n);
+  /// out[i] = (x[i]-mu)*inv_s — centering/standardization
+  void (*center_scale)(const double* x, double mu, double inv_s,
+                       double* out, std::size_t n);
+  /// x[i] = x[i]*s + mu — PCA back-projection epilogue
+  void (*scale_shift)(double s, double mu, double* x, std::size_t n);
+  /// x[i] *= a
+  void (*scale)(double a, double* x, std::size_t n);
+  /// x[i] /= s (true division: rounding differs from *1/s)
+  void (*divide)(double s, double* x, std::size_t n);
+  /// Givens pair: f=v[i]; v[i]=s*u[i]+c*f; u[i]=c*u[i]-s*f — QL rotation
+  void (*rot2)(double c, double s, double* u, double* v, std::size_t n);
+
+  // ---- complex (interleaved re,im; n counts complex values) -----------
+  /// out[i] = a[i]*b[i] (complex); out may alias a
+  void (*cmul)(const double* a, const double* b, double* out,
+               std::size_t n);
+  /// One radix-2 butterfly stage over a[0..n): for each group of `len`
+  /// and k in [0, len/2): v = a[g+k+len/2] * w[k] (conjugated when
+  /// `conj`), a[g+k] = u+v, a[g+k+len/2] = u-v.
+  void (*radix2_stage)(double* a, std::size_t n, std::size_t len,
+                       const double* w, bool conj);
+  /// out[i] = (w[i]*v[i]).real() * s — the DCT-II twiddle epilogue
+  void (*cmul_real_scale)(const double* w, const double* v, double s,
+                          double* out, std::size_t n);
+
+  // ---- quantizer strips (64Ki-value units; see codec/quantizer.cpp) ---
+  /// Writes n codes at stride (wide ? 2 : 1) bytes, little-endian:
+  /// in-range values get min((v+half)/(2p), bins-1), anything else
+  /// (including NaN) gets the escape code == bins.
+  void (*quantize_codes)(const double* v, std::size_t n, double half,
+                         double p, std::uint32_t bins, bool wide,
+                         std::uint8_t* codes);
+  /// out[i] = -half + p*(2*code[i]+1) for every code, escapes included
+  /// (the caller overwrites escape slots from the outlier list).
+  void (*dequantize_codes)(const std::uint8_t* codes, std::size_t n,
+                           double p, double half, bool wide, double* out);
+};
+
+/// The dispatched table (detection + DPZ_FORCE_ISA resolved on first
+/// use). Hot loops grab this once per call site and invoke members.
+const KernelTable& kernels();
+
+/// Direct access to one ISA's table for tests and microbenches. Throws
+/// InvalidArgument when `isa` cannot execute on this CPU.
+const KernelTable& kernel_table(Isa isa);
+
+}  // namespace dpz::simd

@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 #include "stats/vif.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -66,6 +67,9 @@ compress options:
                       (memory-bounded; f32 only)
   --threads=N         worker threads for the hot loops (0 = all cores);
                       output bytes are identical for every N
+  --isa=NAME          pin the SIMD kernel dispatch (scalar, avx2, neon);
+                      output bytes are identical for every choice — see
+                      docs/SIMD.md. Overrides DPZ_FORCE_ISA
   --verify            decompress after compressing and report PSNR
 
 telemetry options (any command; see docs/OBSERVABILITY.md):
@@ -525,11 +529,23 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                         "error-bound", "dct-keep", "dtype", "verify",
                         "components", "scale", "names", "seed",
                         "target-cr", "target-psnr", "chunk", "threads",
-                        "best-effort", "fill", "trace", "metrics",
+                        "isa", "best-effort", "fill", "trace", "metrics",
                         "help"});
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.has("help") ? 0 : 2;
+    }
+
+    // Pin the kernel dispatch before any command touches data. Dispatch
+    // is otherwise resolved from the CPU (and DPZ_FORCE_ISA) on first
+    // use; an unknown or unexecutable name is a clean usage error.
+    const std::string isa_text = args.get_string("isa", "");
+    if (!isa_text.empty()) {
+      const std::optional<simd::Isa> isa = simd::parse_isa(isa_text);
+      if (!isa)
+        throw InvalidArgument("unknown --isa '" + isa_text +
+                              "' (use scalar, avx2, or neon)");
+      simd::set_force_isa(isa);
     }
 
     // Telemetry flags apply to every command: enable recording before the

@@ -1,0 +1,12 @@
+#include <immintrin.h>  // planted: simd-isolated
+
+namespace dpz {
+
+double lane_sum(const double* x) {
+  const __m256d v = _mm256_loadu_pd(x);  // planted: simd-isolated (x2)
+  double lanes[4];
+  _mm256_storeu_pd(lanes, v);  // planted: simd-isolated
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace dpz

@@ -1,0 +1,13 @@
+// Compliant: the hot loop calls through the dispatched kernel table
+// instead of spelling intrinsics at the call site.
+#include <cstddef>
+
+namespace dpz {
+
+double kernel_dot(const double* x, const double* y, std::size_t n);
+
+double lane_sum(const double* x, const double* ones, std::size_t n) {
+  return kernel_dot(x, ones, n);
+}
+
+}  // namespace dpz

@@ -1,0 +1,12 @@
+// Compliant: dsp/fft.cpp is on the reinterpret-cast allowlist for the
+// std::complex<double> <-> interleaved-double reinterpretation, which
+// rides on the standard's array-oriented access guarantee.
+#include <complex>
+
+namespace dpz {
+
+double* as_doubles(std::complex<double>* p) {
+  return reinterpret_cast<double*>(p);
+}
+
+}  // namespace dpz

@@ -1,0 +1,14 @@
+// Compliant: intrinsics are legal here — src/simd/ is the one place the
+// simd-isolated check exempts.
+#include <immintrin.h>
+
+namespace dpz::simd {
+
+double lane_sum(const double* x) {
+  const __m256d v = _mm256_loadu_pd(x);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace dpz::simd

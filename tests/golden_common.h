@@ -104,4 +104,34 @@ inline FloatArray golden_snapshot(const GoldenCase& c) {
   return golden_f32(shifted);
 }
 
+/// FNV-1a over raw bytes — the same digest bench_regression records for
+/// decode outputs, reproduced here so the tests stay dependency-free.
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Committed digests of the reconstructions the FROZEN v1 fixtures decode
+/// to. This pins the READER bit-exactly: the decode path is elementwise
+/// (dequantize, inverse transform, inverse DCT), so these bytes must never
+/// move unless the decoder itself deliberately changes. The digests are
+/// tied to the CI platform's libm (the inverse DCT's twiddle factors),
+/// exactly like the re-encode byte comparison above them; after a
+/// deliberate decoder change, tests/make_golden prints the fresh values
+/// to paste here.
+inline std::uint64_t v1_reconstruction_fnv1a(const std::string& name) {
+  if (name == "dpz_1d_f32_loose") return 12702031586422114287ULL;
+  if (name == "dpz_2d_f32_strict") return 17925043515637843999ULL;
+  if (name == "dpz_3d_f32_strict") return 10252479896664810560ULL;
+  if (name == "dpz_2d_f64_strict") return 2712614664726065383ULL;
+  if (name == "chunked_2d_f32_strict") return 11548042134086490847ULL;
+  if (name == "shared_basis_2d_f32_strict") return 18244997559596584113ULL;
+  return 0ULL;
+}
+
 }  // namespace dpz::golden

@@ -11,7 +11,10 @@
 // FROZEN v1 fixtures from before checksums existed — the current encoder
 // cannot reproduce them, and they must never be regenerated or deleted:
 // they are the backward-compatibility evidence that v1 archives keep
-// decoding byte-exactly.
+// decoding byte-exactly. After writing, the tool decodes each frozen v1
+// fixture and prints its reconstruction digest; those must match the
+// table in golden_common.h (v1_reconstruction_fnv1a) and only ever
+// change with a deliberate DECODER change.
 #include <iostream>
 
 #include "golden_common.h"
@@ -50,6 +53,43 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << "wrote " << dir << "/" << c.name << "\n";
+  }
+
+  // Reader-side digests of the frozen v1 fixtures, for cross-checking
+  // (and, after a deliberate decoder change, updating) the table in
+  // golden_common.h.
+  for (const GoldenCase& c : golden_cases()) {
+    const std::string v1_path = dir + "/" + c.name + ".dpz";
+    std::uint64_t digest = 0;
+    switch (c.kind) {
+      case Kind::kDpzF32: {
+        const FloatArray a = dpz_decompress(read_bytes(v1_path));
+        digest = fnv1a_bytes(a.flat().data(), a.size() * sizeof(float));
+        break;
+      }
+      case Kind::kDpzF64: {
+        const DoubleArray a = dpz_decompress_f64(read_bytes(v1_path));
+        digest = fnv1a_bytes(a.flat().data(), a.size() * sizeof(double));
+        break;
+      }
+      case Kind::kChunked: {
+        const FloatArray a = chunked_decompress(read_bytes(v1_path));
+        digest = fnv1a_bytes(a.flat().data(), a.size() * sizeof(float));
+        break;
+      }
+      case Kind::kSharedBasis: {
+        const SharedBasisCodec legacy = SharedBasisCodec::deserialize(
+            read_bytes(dir + "/" + c.name + ".blob"));
+        const FloatArray a = legacy.decompress(read_bytes(v1_path));
+        digest = fnv1a_bytes(a.flat().data(), a.size() * sizeof(float));
+        break;
+      }
+    }
+    const bool match = digest == v1_reconstruction_fnv1a(c.name);
+    std::cout << "v1 digest " << c.name << " = " << digest << "ULL"
+              << (match ? " (matches golden_common.h)"
+                        : " (MISMATCH vs golden_common.h)")
+              << "\n";
   }
   return 0;
 }

@@ -57,6 +57,10 @@ TEST(Analyze, BadTreeEveryPlantedViolationFlagged) {
       {"reinterpret-cast", "src/core/cast.cpp", 6, "reinterpret_cast"},
       {"unguarded-inflate", "src/core/inflate.cpp", 10, "zlib_decompress"},
       {"telemetry-name", "src/core/record.cpp", 6, "\"bytes_in\""},
+      {"simd-isolated", "src/core/vector.cpp", 1, "immintrin"},
+      {"simd-isolated", "src/core/vector.cpp", 6, "__m256d"},
+      {"simd-isolated", "src/core/vector.cpp", 6, "_mm256_loadu_pd"},
+      {"simd-isolated", "src/core/vector.cpp", 8, "_mm256_storeu_pd"},
       {"telemetry-dup", "src/obs/names.h", 12, "\"encode_plan\""},
       {"status-exhaustive", "src/tools/cli_app.cpp", 6,
        "StatusCode::kBoom"},

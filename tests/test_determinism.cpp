@@ -21,6 +21,7 @@
 #include "core/shared_basis.h"
 #include "data/datasets.h"
 #include "obs/telemetry.h"
+#include "simd/simd.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -198,6 +199,52 @@ TEST(Determinism, BaselineUnderScopedPoolIsThreadCountInvariant) {
           << "archive differs at threads=" << threads;
       EXPECT_EQ(decode, ref_decode)
           << "decode differs at threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, ArchiveBytesAreIsaAndThreadCountInvariant) {
+  // The sixteen-lane reduction contract (src/simd/simd.h) promises that
+  // every ISA's kernels produce bit-identical doubles; this is where that
+  // promise meets the format-level one. Sweep every executable ISA
+  // crossed with the threads knob — the same sweep the forced-scalar CI
+  // job runs via DPZ_FORCE_ISA — and require byte-identical archives and
+  // reconstructions everywhere.
+  struct ForceGuard {
+    ~ForceGuard() { simd::set_force_isa(std::nullopt); }
+  } guard;
+
+  const FloatArray dense = synthetic_2d(96, 80, 67);
+  const FloatArray frames = synthetic_2d(128, 96, 68);
+  DpzConfig config = DpzConfig::strict();
+  ChunkedConfig chunked;
+  chunked.dpz = DpzConfig::strict();
+  chunked.chunk_values = 2048;
+
+  simd::set_force_isa(simd::Isa::kScalar);
+  config.threads = 1;
+  chunked.threads = 1;
+  const std::vector<std::uint8_t> ref_archive = dpz_compress(dense, config);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(dpz_decompress(ref_archive, 0, 1));
+  const std::vector<std::uint8_t> ref_container =
+      chunked_compress(frames, chunked);
+
+  for (const simd::Isa isa : simd::available_isas()) {
+    simd::set_force_isa(isa);
+    for (const unsigned threads : kThreadCounts) {
+      config.threads = threads;
+      chunked.threads = threads;
+      EXPECT_EQ(dpz_compress(dense, config), ref_archive)
+          << "archive differs at isa=" << simd::isa_name(isa)
+          << " threads=" << threads;
+      EXPECT_EQ(float_bytes(dpz_decompress(ref_archive, 0, threads)),
+                ref_decode)
+          << "decode differs at isa=" << simd::isa_name(isa)
+          << " threads=" << threads;
+      EXPECT_EQ(chunked_compress(frames, chunked), ref_container)
+          << "container differs at isa=" << simd::isa_name(isa)
+          << " threads=" << threads;
     }
   }
 }

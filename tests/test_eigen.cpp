@@ -194,5 +194,71 @@ TEST(EigenTopK, RejectsBadK) {
   EXPECT_THROW(eigen_sym_topk(a, 11), InvalidArgument);
 }
 
+// eigen_topk_from (inverse iteration on a shared tridiagonal reduction,
+// the Stage-2 hot path in fit_pca_spectrum/attach_top_components) gets
+// its own coverage: residuals against the original matrix, agreement
+// with the dense accumulation, and orthonormality on a clustered
+// spectrum where inverse iteration is most fragile.
+
+TEST(EigenTopKFrom, ResidualsSmallAgainstOriginal) {
+  const std::size_t n = 120;
+  const std::size_t k = 11;
+  const Matrix a = random_spd(n, 46);
+  const TridiagonalReduction r = tridiagonalize(a);
+  const SymmetricEigen topk = eigen_topk_from(r, k);
+  ASSERT_EQ(topk.values.size(), k);
+  ASSERT_EQ(topk.vectors.cols(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    // ||A v - lambda v||_inf per eigenpair.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t c = 0; c < n; ++c) av += a(i, c) * topk.vectors(c, j);
+      worst = std::max(worst,
+                       std::abs(av - topk.values[j] * topk.vectors(i, j)));
+    }
+    EXPECT_LT(worst, 1e-8) << "eigenpair " << j;
+  }
+}
+
+TEST(EigenTopKFrom, MatchesDenseAccumulationOnLeadingPairs) {
+  const Matrix a = random_spd(90, 47);
+  const TridiagonalReduction r = tridiagonalize(a);
+  const SymmetricEigen full = eigen_sym_from(r);
+  const SymmetricEigen topk = eigen_topk_from(r, 7);
+  for (std::size_t j = 0; j < 7; ++j) {
+    EXPECT_NEAR(topk.values[j], full.values[j], 1e-9 + 1e-9 * full.values[0]);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      dot += topk.vectors(i, j) * full.vectors(i, j);
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-6) << "eigenvector " << j;
+  }
+}
+
+TEST(EigenTopKFrom, ClusteredSpectrumStaysOrthonormal) {
+  // V D V^T with an exactly repeated leading eigenvalue (V is a true
+  // orthonormal basis, taken from a dense solve of a random symmetric
+  // matrix): inverse iteration must return an orthonormal basis of the
+  // cluster's eigenspace, not three copies of one direction.
+  const std::size_t n = 80;
+  const SymmetricEigen basis = eigen_sym(random_symmetric(n, 48));
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i)
+    d[i] = i < 3 ? 2.0 : 1.0 / static_cast<double>(i + 1);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < n; ++c)
+        sum += basis.vectors(i, c) * d[c] * basis.vectors(j, c);
+      a(i, j) = sum;
+    }
+  const TridiagonalReduction r = tridiagonalize(a);
+  const SymmetricEigen topk = eigen_topk_from(r, 6);
+  ASSERT_NEAR(topk.values[0], 2.0, 1e-9);
+  ASSERT_NEAR(topk.values[2], 2.0, 1e-9);
+  EXPECT_LT(orthonormality_error(topk.vectors), 1e-8);
+}
+
 }  // namespace
 }  // namespace dpz

@@ -102,7 +102,12 @@ std::vector<double> replicate_normalized_scores(const FloatArray& data,
     auto row = blocks.row(i);
     plan.forward(row, row);
   }
-  const PcaModel model = fit_pca(blocks, standardized);
+  // compress_impl's non-sampling branch fits spectrum-first and then
+  // attaches only the k leading eigenvectors; replicate that exactly —
+  // the subspace-iteration basis differs (in bits and, beyond the dense
+  // fallback sizes, in value) from a truncated dense eigen_sym basis.
+  PcaSpectrum spec = fit_pca_spectrum(blocks, standardized);
+  const PcaModel model = attach_top_components(std::move(spec), p.k);
   Matrix scores = model.transform(blocks, p.k);
   EXPECT_DOUBLE_EQ(detail::component_scale(scores.row(0)), p.score_scale);
   const double inv = 1.0 / p.score_scale;

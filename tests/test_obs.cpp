@@ -120,6 +120,10 @@ TEST(ObsTrace, CompressDecodeEmitsValidChromeTraceWithPoolSpans) {
     EXPECT_TRUE(require(e, "cat")->is_string());
     EXPECT_TRUE(require(e, "pid")->is_number());
     EXPECT_TRUE(require(e, "tid")->is_number());
+    // The one-time simd_dispatch span fires at the process's first
+    // kernel use — possibly during dataset synthesis above, outside the
+    // [t0, t1] window — so it is exempt from the window check.
+    if (name->text == "simd_dispatch") continue;
     // Timestamps are µs since the recorder epoch; every span recorded
     // here must fall inside the [t0, t1] recording window.
     EXPECT_GE(ts->number * 1000.0, static_cast<double>(t0) - 1000.0);

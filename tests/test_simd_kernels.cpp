@@ -1,0 +1,415 @@
+// Kernel-equivalence harness for src/simd: every dispatched kernel must
+// be bit-identical to the scalar reference for every ISA available on
+// this machine, across randomized sizes (vector-width tails included),
+// unaligned pointers, and adversarial values (signed zeros, denormals,
+// huge magnitudes; NaN for the quantizer, whose contract includes it).
+// Also covers the dispatch layer itself: selection logic over faked CPU
+// feature bits, the DPZ_FORCE_ISA override, and the unsupported-ISA
+// error path.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "simd/simd.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using dpz::Rng;
+using dpz::simd::CpuFeatures;
+using dpz::simd::Isa;
+using dpz::simd::KernelTable;
+
+// Bitwise comparison: NaNs with the same payload compare equal, +0/-0
+// do not — exactly the equality the golden-archive suite relies on.
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+::testing::AssertionResult buffers_match(const std::vector<double>& a,
+                                         const std::vector<double>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_bits(a[i], b[i]))
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i]
+             << " (bits " << std::bit_cast<std::uint64_t>(a[i]) << " vs "
+             << std::bit_cast<std::uint64_t>(b[i]) << ")";
+  return ::testing::AssertionSuccess();
+}
+
+// Adversarial double stream: mixes ordinary values with signed zeros,
+// denormals, and large magnitudes so rounding differences cannot hide.
+double random_value(Rng& rng) {
+  switch (rng.next_u64() % 16) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:
+      return 1e-310;  // denormal
+    case 3:
+      return -1e308;
+    case 4:
+      return 1e-8;
+    default:
+      return rng.normal() * 3.0;
+  }
+}
+
+std::vector<double> random_buffer(Rng& rng, std::size_t n) {
+  std::vector<double> out(n);
+  for (double& v : out) v = random_value(rng);
+  return out;
+}
+
+// The sizes that matter for tail handling: below one vector, exact
+// multiples, off-by-one around the 4-lane width, and large.
+const std::size_t kSizes[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,
+                              15, 16, 17, 31, 64, 100, 255, 1024};
+
+// Offsets 0..3 doubles from a base allocation: offset 1 makes every
+// pointer 8 (mod 32) — misaligned for 256-bit lanes.
+constexpr std::size_t kMaxOffset = 4;
+constexpr std::size_t kPad = 8;
+
+struct Views {
+  std::vector<double> storage;
+  double* p;
+  Views(const std::vector<double>& data, std::size_t offset)
+      : storage(data.size() + kMaxOffset + kPad) {
+    std::copy(data.begin(), data.end(), storage.begin() + offset);
+    p = storage.data() + offset;
+  }
+  std::vector<double> out(std::size_t n) const {
+    return std::vector<double>(p, p + n);
+  }
+};
+
+class SimdKernelEquivalence : public ::testing::TestWithParam<Isa> {
+ protected:
+  const KernelTable& ref_ = dpz::simd::kernel_table(Isa::kScalar);
+  const KernelTable& isa_ = dpz::simd::kernel_table(GetParam());
+};
+
+TEST_P(SimdKernelEquivalence, ReductionsMatchScalarTree) {
+  Rng rng(7);
+  for (const std::size_t n : kSizes) {
+    for (std::size_t off = 0; off < kMaxOffset; ++off) {
+      const Views x(random_buffer(rng, n), off);
+      const Views y(random_buffer(rng, n), (off + 1) % kMaxOffset);
+      const double mx = random_value(rng);
+      const double my = random_value(rng);
+      EXPECT_TRUE(same_bits(ref_.dot(x.p, y.p, n), isa_.dot(x.p, y.p, n)))
+          << "dot n=" << n << " off=" << off;
+      EXPECT_TRUE(same_bits(ref_.dot_centered(x.p, mx, y.p, my, n),
+                            isa_.dot_centered(x.p, mx, y.p, my, n)))
+          << "dot_centered n=" << n << " off=" << off;
+    }
+  }
+}
+
+// The documented reduction contract, written out naively: lane l sums
+// terms l, l+16, ...; lanes fold to a_l = (s_l+s_{l+8})+(s_{l+4}+s_{l+12})
+// and combine (a0+a2)+(a1+a3); tail appended serially. The scalar table
+// must implement exactly this (the other ISAs are then pinned
+// transitively by the equivalence tests).
+TEST(SimdKernelContract, ScalarDotImplementsDocumentedTree) {
+  Rng rng(11);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> x = random_buffer(rng, n);
+    const std::vector<double> y = random_buffer(rng, n);
+    double lanes[16] = {};
+    const std::size_t n16 = n & ~std::size_t{15};
+    for (std::size_t i = 0; i < n16; ++i) lanes[i % 16] += x[i] * y[i];
+    double partial[4];
+    for (std::size_t l = 0; l < 4; ++l)
+      partial[l] = (lanes[l] + lanes[l + 8]) + (lanes[l + 4] + lanes[l + 12]);
+    double expect = (partial[0] + partial[2]) + (partial[1] + partial[3]);
+    for (std::size_t i = n16; i < n; ++i) expect += x[i] * y[i];
+    EXPECT_TRUE(same_bits(
+        expect,
+        dpz::simd::kernel_table(Isa::kScalar).dot(x.data(), y.data(), n)))
+        << "n=" << n;
+  }
+}
+
+TEST_P(SimdKernelEquivalence, ElementwiseKernelsMatch) {
+  Rng rng(13);
+  for (const std::size_t n : kSizes) {
+    for (std::size_t off = 0; off < kMaxOffset; ++off) {
+      const std::vector<double> xv = random_buffer(rng, n);
+      const std::vector<double> yv = random_buffer(rng, n);
+      const double a = random_value(rng);
+      const double b = random_value(rng);
+      const Views x(xv, off);
+
+      {
+        Views ry(yv, off), iy(yv, (off + 2) % kMaxOffset);
+        ref_.axpy(a, x.p, ry.p, n);
+        isa_.axpy(a, x.p, iy.p, n);
+        EXPECT_TRUE(buffers_match(ry.out(n), iy.out(n))) << "axpy n=" << n;
+      }
+      {
+        Views ry(yv, off), iy(yv, (off + 2) % kMaxOffset);
+        const Views e(random_buffer(rng, n), (off + 1) % kMaxOffset);
+        ref_.rank2_update(a, e.p, b, x.p, ry.p, n);
+        isa_.rank2_update(a, e.p, b, x.p, iy.p, n);
+        EXPECT_TRUE(buffers_match(ry.out(n), iy.out(n)))
+            << "rank2_update n=" << n;
+      }
+      {
+        Views ry(yv, off), iy(yv, (off + 2) % kMaxOffset);
+        ref_.accum_centered(a, x.p, b, ry.p, n);
+        isa_.accum_centered(a, x.p, b, iy.p, n);
+        EXPECT_TRUE(buffers_match(ry.out(n), iy.out(n)))
+            << "accum_centered n=" << n;
+      }
+      {
+        Views ry(yv, off), iy(yv, (off + 2) % kMaxOffset);
+        ref_.center_scale(x.p, a, b, ry.p, n);
+        isa_.center_scale(x.p, a, b, iy.p, n);
+        EXPECT_TRUE(buffers_match(ry.out(n), iy.out(n)))
+            << "center_scale n=" << n;
+      }
+      {
+        Views rx(xv, off), ix(xv, (off + 2) % kMaxOffset);
+        ref_.scale_shift(a, b, rx.p, n);
+        isa_.scale_shift(a, b, ix.p, n);
+        EXPECT_TRUE(buffers_match(rx.out(n), ix.out(n)))
+            << "scale_shift n=" << n;
+      }
+      {
+        Views rx(xv, off), ix(xv, (off + 2) % kMaxOffset);
+        ref_.scale(a, rx.p, n);
+        isa_.scale(a, ix.p, n);
+        EXPECT_TRUE(buffers_match(rx.out(n), ix.out(n))) << "scale n=" << n;
+      }
+      {
+        const double s = a == 0.0 ? 3.0 : a;
+        Views rx(xv, off), ix(xv, (off + 2) % kMaxOffset);
+        ref_.divide(s, rx.p, n);
+        isa_.divide(s, ix.p, n);
+        EXPECT_TRUE(buffers_match(rx.out(n), ix.out(n))) << "divide n=" << n;
+      }
+      {
+        const double c = std::cos(a);
+        const double s = std::sin(a);
+        Views ru(xv, off), iu(xv, (off + 2) % kMaxOffset);
+        Views rv(yv, off), iv(yv, (off + 2) % kMaxOffset);
+        ref_.rot2(c, s, ru.p, rv.p, n);
+        isa_.rot2(c, s, iu.p, iv.p, n);
+        EXPECT_TRUE(buffers_match(ru.out(n), iu.out(n))) << "rot2 u n=" << n;
+        EXPECT_TRUE(buffers_match(rv.out(n), iv.out(n))) << "rot2 v n=" << n;
+      }
+    }
+  }
+}
+
+// Complex kernels carry the finite-data contract, so the random stream
+// here avoids the extreme magnitudes (products must stay finite).
+double random_finite(Rng& rng) { return rng.normal() * 2.0; }
+
+TEST_P(SimdKernelEquivalence, ComplexKernelsMatch) {
+  Rng rng(17);
+  for (const std::size_t n : kSizes) {
+    for (std::size_t off = 0; off < kMaxOffset; ++off) {
+      std::vector<double> av(2 * n);
+      std::vector<double> bv(2 * n);
+      for (double& v : av) v = random_finite(rng);
+      for (double& v : bv) v = random_finite(rng);
+      const Views a(av, off);
+      const Views b(bv, (off + 1) % kMaxOffset);
+      {
+        Views rout(std::vector<double>(2 * n, 0.0), off);
+        Views iout(std::vector<double>(2 * n, 0.0), (off + 2) % kMaxOffset);
+        ref_.cmul(a.p, b.p, rout.p, n);
+        isa_.cmul(a.p, b.p, iout.p, n);
+        EXPECT_TRUE(buffers_match(rout.out(2 * n), iout.out(2 * n)))
+            << "cmul n=" << n;
+      }
+      {
+        // cmul matches std::complex multiplication for finite operands.
+        std::vector<double> out(2 * n, 0.0);
+        ref_.cmul(a.p, b.p, out.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::complex<double> expect =
+              std::complex<double>(a.p[2 * i], a.p[2 * i + 1]) *
+              std::complex<double>(b.p[2 * i], b.p[2 * i + 1]);
+          EXPECT_TRUE(same_bits(expect.real(), out[2 * i]));
+          EXPECT_TRUE(same_bits(expect.imag(), out[2 * i + 1]));
+        }
+      }
+      {
+        Views rout(std::vector<double>(n, 0.0), off);
+        Views iout(std::vector<double>(n, 0.0), (off + 2) % kMaxOffset);
+        const double s = random_finite(rng);
+        ref_.cmul_real_scale(a.p, b.p, s, rout.p, n);
+        isa_.cmul_real_scale(a.p, b.p, s, iout.p, n);
+        EXPECT_TRUE(buffers_match(rout.out(n), iout.out(n)))
+            << "cmul_real_scale n=" << n;
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernelEquivalence, Radix2StagesMatch) {
+  Rng rng(19);
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8},
+                              std::size_t{64}, std::size_t{256}}) {
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      std::vector<double> data(2 * n);
+      for (double& v : data) v = random_finite(rng);
+      std::vector<double> w(len);  // len/2 twiddles
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const double ang = -2.0 * 3.14159265358979323846 *
+                           static_cast<double>(k) / static_cast<double>(len);
+        w[2 * k] = std::cos(ang);
+        w[2 * k + 1] = std::sin(ang);
+      }
+      for (const bool conj : {false, true}) {
+        for (std::size_t off = 0; off < kMaxOffset; ++off) {
+          Views ra(data, off), ia(data, (off + 1) % kMaxOffset);
+          ref_.radix2_stage(ra.p, n, len, w.data(), conj);
+          isa_.radix2_stage(ia.p, n, len, w.data(), conj);
+          EXPECT_TRUE(buffers_match(ra.out(2 * n), ia.out(2 * n)))
+              << "radix2 n=" << n << " len=" << len << " conj=" << conj;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernelEquivalence, QuantizerStripsMatch) {
+  Rng rng(23);
+  const double p = 1e-3;
+  for (const bool wide : {false, true}) {
+    const std::uint32_t bins = wide ? 65535U : 255U;
+    const double half = p * static_cast<double>(bins);
+    for (const std::size_t n : kSizes) {
+      std::vector<double> values(n);
+      for (double& v : values) {
+        switch (rng.next_u64() % 8) {
+          case 0:
+            v = std::numeric_limits<double>::quiet_NaN();
+            break;
+          case 1:
+            v = 10.0 * half;  // escape
+            break;
+          case 2:
+            v = half;  // boundary: clamps to bins-1
+            break;
+          case 3:
+            v = -half;
+            break;
+          default:
+            v = (rng.uniform() * 2.0 - 1.0) * half * 1.05;
+        }
+      }
+      std::vector<std::uint8_t> ref_codes(n * (wide ? 2 : 1) + 8, 0xAB);
+      std::vector<std::uint8_t> isa_codes(ref_codes);
+      ref_.quantize_codes(values.data(), n, half, p, bins, wide,
+                          ref_codes.data());
+      isa_.quantize_codes(values.data(), n, half, p, bins, wide,
+                          isa_codes.data());
+      EXPECT_EQ(ref_codes, isa_codes) << "quantize n=" << n << " wide="
+                                      << wide;
+
+      std::vector<double> ref_out(n, -1.0);
+      std::vector<double> isa_out(n, -2.0);
+      ref_.dequantize_codes(ref_codes.data(), n, p, half, wide,
+                            ref_out.data());
+      isa_.dequantize_codes(isa_codes.data(), n, p, half, wide,
+                            isa_out.data());
+      EXPECT_TRUE(buffers_match(ref_out, isa_out))
+          << "dequantize n=" << n << " wide=" << wide;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AvailableIsas, SimdKernelEquivalence,
+    ::testing::ValuesIn(dpz::simd::available_isas()),
+    [](const ::testing::TestParamInfo<Isa>& param_info) {
+      return dpz::simd::isa_name(param_info.param);
+    });
+
+// ---- dispatch-layer selection logic (faked CPU feature bits) ----------
+
+TEST(SimdDispatch, SelectsHighestAvailableIsa) {
+  CpuFeatures none;
+  EXPECT_EQ(dpz::simd::select_isa(none, std::nullopt), Isa::kScalar);
+  CpuFeatures avx2;
+  avx2.avx2 = true;
+  EXPECT_EQ(dpz::simd::select_isa(avx2, std::nullopt), Isa::kAvx2);
+  CpuFeatures neon;
+  neon.neon = true;
+  EXPECT_EQ(dpz::simd::select_isa(neon, std::nullopt), Isa::kNeon);
+}
+
+TEST(SimdDispatch, OverrideWinsOverDetection) {
+  CpuFeatures avx2;
+  avx2.avx2 = true;
+  EXPECT_EQ(dpz::simd::select_isa(avx2, Isa::kScalar), Isa::kScalar);
+  EXPECT_EQ(dpz::simd::select_isa(avx2, Isa::kAvx2), Isa::kAvx2);
+}
+
+TEST(SimdDispatch, ForcingUnsupportedIsaIsACleanError) {
+  CpuFeatures none;
+  EXPECT_THROW(dpz::simd::select_isa(none, Isa::kAvx2),
+               dpz::InvalidArgument);
+  EXPECT_THROW(dpz::simd::select_isa(none, Isa::kNeon),
+               dpz::InvalidArgument);
+  // Scalar is always executable.
+  EXPECT_EQ(dpz::simd::select_isa(none, Isa::kScalar), Isa::kScalar);
+}
+
+TEST(SimdDispatch, ParseAndNameRoundTrip) {
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kNeon})
+    EXPECT_EQ(dpz::simd::parse_isa(dpz::simd::isa_name(isa)), isa);
+  EXPECT_EQ(dpz::simd::parse_isa("sse9"), std::nullopt);
+  EXPECT_EQ(dpz::simd::parse_isa(""), std::nullopt);
+}
+
+TEST(SimdDispatch, SetForceIsaSwitchesAndRestores) {
+  const Isa initial = dpz::simd::active_isa();
+  dpz::simd::set_force_isa(Isa::kScalar);
+  EXPECT_EQ(dpz::simd::active_isa(), Isa::kScalar);
+  // The dispatched table is the scalar table while forced.
+  EXPECT_EQ(&dpz::simd::kernels(),
+            &dpz::simd::kernel_table(Isa::kScalar));
+  dpz::simd::set_force_isa(std::nullopt);
+  EXPECT_EQ(dpz::simd::active_isa(), initial);
+}
+
+TEST(SimdDispatch, AvailableIsasAlwaysIncludesScalar) {
+  const std::vector<Isa> isas = dpz::simd::available_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  for (const Isa isa : isas) {
+    // Every advertised ISA must dispatch to a real table.
+    EXPECT_NE(&dpz::simd::kernel_table(isa), nullptr);
+  }
+}
+
+TEST(SimdDispatch, KernelTableForUnavailableIsaThrows) {
+  const std::vector<Isa> isas = dpz::simd::available_isas();
+  for (const Isa isa : {Isa::kAvx2, Isa::kNeon}) {
+    const bool available =
+        std::find(isas.begin(), isas.end(), isa) != isas.end();
+    if (!available) {
+      EXPECT_THROW(dpz::simd::kernel_table(isa), dpz::InvalidArgument);
+    }
+  }
+}
+
+}  // namespace

@@ -16,8 +16,9 @@ namespace dpz::analyze {
 
 const std::vector<CheckInfo> kChecks = {
     {"reinterpret-cast",
-     "reinterpret_cast is banned in src/ outside codec/zlib_codec.cpp; "
-     "archive bytes flow through the checked ByteReader/BitReader"},
+     "reinterpret_cast is banned in src/ outside codec/zlib_codec.cpp "
+     "and the dsp std::complex<->double reinterpretations (fft.cpp, "
+     "dct.cpp); archive bytes flow through ByteReader/BitReader"},
     {"raw-memcpy",
      "memcpy is banned in src/core and src/codec outside codec/bytes.h; "
      "bulk copies out of an archive use the checked get_bytes paths"},
@@ -46,6 +47,10 @@ const std::vector<CheckInfo> kChecks = {
     {"raw-thread",
      "std::thread/std::async/.detach() appear only inside "
      "util/thread_pool.{h,cpp}; parallelism goes through the pool"},
+    {"simd-isolated",
+     "vector intrinsics (_mm*/__m*, NEON v*q_* and float{32,64}x*) "
+     "appear only under src/simd/; everything else reaches them "
+     "through the dispatched simd::kernels() table"},
 };
 
 namespace {
@@ -67,13 +72,57 @@ void add(std::vector<Finding>* out, const char* check,
 
 void check_reinterpret_cast(const FileMap& files,
                             std::vector<Finding>* out) {
+  // zlib_codec owns the byte-stream casts; fft.cpp/dct.cpp reinterpret
+  // std::complex<double> arrays as interleaved doubles, which the
+  // standard's array-oriented access guarantee sanctions (see the
+  // comment atop fft.cpp).
+  const std::set<std::string> allowlist = {
+      "src/codec/zlib_codec.cpp", "src/dsp/fft.cpp", "src/dsp/dct.cpp"};
   for (const auto& [path, file] : files) {
-    if (path == "src/codec/zlib_codec.cpp") continue;
+    if (allowlist.count(path) != 0) continue;
     for (const Token& t : file.tokens)
       if (t.kind == TokKind::kIdent && t.text == "reinterpret_cast")
         add(out, "reinterpret-cast", path, t.line,
             "reinterpret_cast outside the allowlist; read archive "
             "bytes through ByteReader/BitReader instead");
+  }
+}
+
+// ---- rule: SIMD intrinsics stay under src/simd/ ------------------------
+
+// The dispatch design (docs/SIMD.md) funnels every vectorized primitive
+// through simd::kernels(); an intrinsic anywhere else either bypasses
+// the runtime CPU check (illegal-instruction risk on older hosts) or
+// forks the sixteen-lane reduction contract. Matches the x86 vector
+// vocabulary (_mm*/..., __m128/__m256/__m512 types), the NEON one
+// (float64x2_t and the v...q_ intrinsic families), and the header names
+// so an unused include is flagged too.
+bool is_intrinsic_ident(const std::string& t) {
+  if (t.rfind("_mm", 0) == 0) return true;    // _mm_, _mm256_, _mm512_
+  if (t.rfind("__m128", 0) == 0 || t.rfind("__m256", 0) == 0 ||
+      t.rfind("__m512", 0) == 0)
+    return true;
+  if (t == "immintrin" || t == "arm_neon") return true;
+  if (t.rfind("float64x", 0) == 0 || t.rfind("float32x", 0) == 0)
+    return true;
+  static const char* const kNeonFamilies[] = {
+      "vld1q", "vst1q", "vdupq", "vaddq", "vsubq", "vmulq",
+      "vfmaq", "vfmsq", "vnegq", "vgetq", "vsetq", "vcombine",
+      "vpaddq", "vaddvq"};
+  for (const char* prefix : kNeonFamilies)
+    if (t.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
+void check_simd_isolated(const FileMap& files, std::vector<Finding>* out) {
+  for (const auto& [path, file] : files) {
+    if (starts_with(path, "src/simd/")) continue;
+    for (const Token& t : file.tokens)
+      if (t.kind == TokKind::kIdent && is_intrinsic_ident(t.text))
+        add(out, "simd-isolated", path, t.line,
+            "vector intrinsic '" + t.text +
+                "' outside src/simd/; call through the dispatched "
+                "simd::kernels() table instead");
   }
 }
 
@@ -484,6 +533,7 @@ std::vector<Finding> run_checks(const Options& options,
   }
 
   check_reinterpret_cast(files, &findings);
+  check_simd_isolated(files, &findings);
   check_raw_memcpy(files, &findings);
   check_require_in_reader(files, &findings);
   if (options.golden_check)
