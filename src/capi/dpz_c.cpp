@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <optional>
 #include <span>
 #include <string>
@@ -13,6 +14,13 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/error.h"
+#include "util/resource.h"
+
+/* Opaque cancel-token handle: a CancelSource whose token the options
+ * translation hands to the pipeline (dpz_c.h). */
+struct dpz_cancel_token {
+  dpz::CancelSource source;
+};
 
 namespace {
 
@@ -30,6 +38,12 @@ int translate_exception() {
     // dpz::StatusCode values mirror the DPZ_* enum, so the classification
     // every dpz exception carries crosses the boundary unchanged.
     return set_error(static_cast<int>(e.code()), e.what());
+  } catch (const std::bad_alloc&) {
+    // The allocator gave out before (or without) a configured budget
+    // tripping. Same caller remedy as an admission rejection — free
+    // memory or lower the working set — so it maps to the same status
+    // instead of aborting through an unhandled exception.
+    return set_error(DPZ_ERR_RESOURCE, "allocation failed (out of memory)");
   } catch (const std::exception& e) {
     return set_error(DPZ_ERR_INTERNAL, e.what());
   } catch (...) {
@@ -64,6 +78,25 @@ class TraceScope {
   std::optional<dpz::obs::ScopedTelemetry> enabled_;
 };
 
+// Translates the options' governance fields. Called at the start of the
+// API call, so deadline_ms is relative to now (the documented contract).
+dpz::ResourceLimits to_limits(const dpz_options* opt) {
+  dpz::ResourceLimits limits;
+  if (opt == nullptr) return limits;
+  limits.max_memory_bytes = opt->max_memory_bytes;
+  if (opt->deadline_ms > 0.0)
+    limits.deadline_ns =
+        dpz::ResourceLimits::deadline_after_ms(opt->deadline_ms);
+  if (opt->cancel != nullptr) limits.cancel = opt->cancel->source.token();
+  return limits;
+}
+
+unsigned threads_of(const dpz_options* opt) {
+  return opt != nullptr && opt->threads > 0
+             ? static_cast<unsigned>(opt->threads)
+             : 0;
+}
+
 dpz::DpzConfig to_config(const dpz_options* opt) {
   dpz::DpzConfig config = opt->scheme == DPZ_SCHEME_LOOSE
                               ? dpz::DpzConfig::loose()
@@ -88,6 +121,7 @@ dpz::DpzConfig to_config(const dpz_options* opt) {
   config.zlib_level = opt->zlib_level;
   config.threads =
       opt->threads > 0 ? static_cast<unsigned>(opt->threads) : 0;
+  config.limits = to_limits(opt);
   return config;
 }
 
@@ -174,6 +208,24 @@ void dpz_options_default(dpz_options* opt) {
   opt->best_effort = 0;
   opt->fill_value = 0.0;
   opt->trace_path = nullptr;
+  opt->max_memory_bytes = 0;
+  opt->deadline_ms = 0.0;
+  opt->cancel = nullptr;
+}
+
+dpz_cancel_token* dpz_cancel_token_new(void) {
+  return new (std::nothrow) dpz_cancel_token();
+}
+
+void dpz_cancel_token_free(dpz_cancel_token* token) { delete token; }
+
+void dpz_cancel(dpz_cancel_token* token) {
+  if (token != nullptr) token->source.request_cancel();
+}
+
+int dpz_cancel_requested(const dpz_cancel_token* token) {
+  return token != nullptr && token->source.token().cancel_requested() ? 1
+                                                                      : 0;
 }
 
 void dpz_telemetry_enable(int enabled) {
@@ -214,6 +266,9 @@ int dpz_metrics_snapshot(dpz_metrics* out) {
   out->frames_decoded = snap.counter(Counter::kFramesDecoded);
   out->frames_recovered = snap.counter(Counter::kFramesRecovered);
   out->frames_lost = snap.counter(Counter::kFramesLost);
+  out->admission_rejected = snap.counter(Counter::kAdmissionRejected);
+  out->cancelled = snap.counter(Counter::kCancelledOps);
+  out->deadline_exceeded = snap.counter(Counter::kDeadlineExceededOps);
   return DPZ_OK;
 }
 
@@ -254,6 +309,7 @@ int dpz_chunked_decompress_float(const unsigned char* container,
                                  ? dpz::DecodePolicy::kBestEffort
                                  : dpz::DecodePolicy::kStrict;
       config.fill_value = static_cast<float>(opt->fill_value);
+      config.dpz.limits = to_limits(opt);
     }
     dpz::DecodeReport cpp_report;
     const dpz::FloatArray array = dpz::chunked_decompress(
@@ -328,6 +384,29 @@ int dpz_decompress_double_mt(const unsigned char* archive,
       archive, archive_size, out, out_count,
       [n](std::span<const std::uint8_t> a) {
         return dpz::dpz_decompress_f64(a, 0, n);
+      });
+}
+
+int dpz_decompress_float_ex(const unsigned char* archive,
+                            size_t archive_size, const dpz_options* opt,
+                            float** out, size_t* out_count) {
+  return decompress_impl<float>(
+      archive, archive_size, out, out_count,
+      [opt](std::span<const std::uint8_t> a) {
+        const TraceScope trace(opt);
+        return dpz::dpz_decompress(a, 0, threads_of(opt), to_limits(opt));
+      });
+}
+
+int dpz_decompress_double_ex(const unsigned char* archive,
+                             size_t archive_size, const dpz_options* opt,
+                             double** out, size_t* out_count) {
+  return decompress_impl<double>(
+      archive, archive_size, out, out_count,
+      [opt](std::span<const std::uint8_t> a) {
+        const TraceScope trace(opt);
+        return dpz::dpz_decompress_f64(a, 0, threads_of(opt),
+                                       to_limits(opt));
       });
 }
 

@@ -36,7 +36,12 @@ extern "C" {
  * returns it — never crashes. DPZ_ERR_CHECKSUM is its format-v2
  * refinement (a stored CRC32C did not match the bytes). DPZ_PARTIAL is
  * not an error: a best-effort chunked decode completed but lost frames —
- * the output is valid, with lost frames holding the fill value. */
+ * the output is valid, with lost frames holding the fill value.
+ * DPZ_ERR_RESOURCE, DPZ_ERR_DEADLINE, and DPZ_ERR_CANCELLED report
+ * resource-governance outcomes (options max_memory_bytes / deadline_ms /
+ * cancel): the operation was refused or aborted cleanly, no output was
+ * produced, and retrying with a larger budget / later deadline is
+ * legitimate — the input bytes are not the problem. */
 enum {
   DPZ_OK = 0,
   DPZ_ERR_INVALID_ARGUMENT = 1,
@@ -45,7 +50,10 @@ enum {
   DPZ_ERR_IO = 4,
   DPZ_ERR_NUMERICAL = 5,
   DPZ_ERR_CHECKSUM = 6,
-  DPZ_PARTIAL = 7
+  DPZ_PARTIAL = 7,
+  DPZ_ERR_RESOURCE = 8,
+  DPZ_ERR_DEADLINE = 9,
+  DPZ_ERR_CANCELLED = 10
 };
 
 /* Short stable name for a status code ("ok", "format", ...). */
@@ -63,6 +71,30 @@ enum {
   DPZ_SELECT_KNEE_1D = 1,  /* knee point, 1-D interpolation */
   DPZ_SELECT_KNEE_POLY = 2 /* knee point, polynomial fit */
 };
+
+/* ---- Cooperative cancellation -------------------------------------------
+ *
+ * A cancel token is shared between the thread driving a compression or
+ * decompression and any thread that wants to stop it. Attach the token
+ * to dpz_options.cancel, start the operation, and call dpz_cancel() from
+ * anywhere: the operation observes the request at its next checkpoint
+ * (stage boundaries and between loop strips — bounded latency) and
+ * returns DPZ_ERR_CANCELLED with no output. Tokens are reusable across
+ * calls until freed, but a cancelled token stays cancelled. */
+typedef struct dpz_cancel_token dpz_cancel_token;
+
+/* Creates a token (free with dpz_cancel_token_free; NULL on OOM). */
+dpz_cancel_token* dpz_cancel_token_new(void);
+
+/* Releases a token. Safe on NULL. Operations still running with this
+ * token must not outlive it. */
+void dpz_cancel_token_free(dpz_cancel_token* token);
+
+/* Requests cancellation. Thread-safe, idempotent, safe on NULL. */
+void dpz_cancel(dpz_cancel_token* token);
+
+/* 1 when cancellation has been requested, else 0 (0 on NULL). */
+int dpz_cancel_requested(const dpz_cancel_token* token);
 
 /* Compression options.
  *
@@ -100,6 +132,24 @@ typedef struct dpz_options {
    * it leaves a note in dpz_last_error(). Appended per the ABI-growth
    * policy above — dpz_options_default() sets it to NULL. */
   const char* trace_path;
+  /* ---- Resource governance (appended per the ABI-growth policy) ------
+   *
+   * Limits never change output bytes: a governed call either produces
+   * the identical archive/reconstruction or fails with DPZ_ERR_RESOURCE
+   * / DPZ_ERR_DEADLINE / DPZ_ERR_CANCELLED and no output. */
+  /* Peak-memory budget in bytes for the call's working set (matrices,
+   * section buffers, the output); 0 = unlimited. Decodes additionally
+   * price the header-claimed geometry against the budget up front, so a
+   * forged archive claiming terabytes is rejected before any large
+   * allocation (DPZ_ERR_RESOURCE). */
+  uint64_t max_memory_bytes;
+  /* Wall-clock deadline in milliseconds from the start of the call;
+   * 0 = none. Expiry is observed at the next checkpoint and returns
+   * DPZ_ERR_DEADLINE. */
+  double deadline_ms;
+  /* Cooperative cancel token (see dpz_cancel_token_new); NULL = none.
+   * The token must stay alive for the duration of the call. */
+  const dpz_cancel_token* cancel;
 } dpz_options;
 
 /* Fills `opt` with the library defaults (strict scheme, five-nine TVE). */
@@ -136,6 +186,17 @@ int dpz_decompress_float_mt(const unsigned char* archive,
 int dpz_decompress_double_mt(const unsigned char* archive,
                              size_t archive_size, int threads, double** out,
                              size_t* out_count);
+
+/* Options-aware decompression: honors `threads`, `trace_path`, and the
+ * resource-governance fields (max_memory_bytes / deadline_ms / cancel).
+ * `opt` may be NULL, which is equivalent to the plain variants. The
+ * reconstruction is bit-identical to every other variant. */
+int dpz_decompress_float_ex(const unsigned char* archive,
+                            size_t archive_size, const dpz_options* opt,
+                            float** out, size_t* out_count);
+int dpz_decompress_double_ex(const unsigned char* archive,
+                             size_t archive_size, const dpz_options* opt,
+                             double** out, size_t* out_count);
 
 /* Per-frame outcome of a chunked decode (see dpz_chunked_decompress_float).
  * first_lost_frame is (size_t)-1 when no frame was lost. */
@@ -212,6 +273,13 @@ typedef struct dpz_metrics {
   uint64_t frames_decoded;
   uint64_t frames_recovered;
   uint64_t frames_lost;
+  /* Resource-governance outcomes (appended per the ABI-growth policy):
+   * decodes refused by the pre-flight admission check, operations
+   * aborted by a cancel request, and operations aborted by deadline
+   * expiry. */
+  uint64_t admission_rejected;
+  uint64_t cancelled;
+  uint64_t deadline_exceeded;
 } dpz_metrics;
 
 /* Copies the current counter values into *out. Returns DPZ_OK, or

@@ -5,13 +5,19 @@
 #include <string>
 
 #include "util/error.h"
+#include "util/resource.h"
 
 namespace dpz {
 
 std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data,
                                         int level) {
   DPZ_REQUIRE(level >= 1 && level <= 9, "zlib level must be in [1, 9]");
+  // Deflating a large buffer is one of the longest uninterruptible units
+  // in the pipeline, so checkpoint before committing to it; the bound
+  // buffer is a charged (budgeted) allocation.
+  governed_poll();
   uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  const ScopedCharge charge(bound);
   std::vector<std::uint8_t> out(bound);
   const int rc =
       compress2(out.data(), &bound,
@@ -32,6 +38,8 @@ std::vector<std::uint8_t> zlib_decompress(
   // that bound cannot inflate from `data` and is a forged length field.
   if (expected_size > data.size() * 1100 + 4096)
     throw FormatError("zlib expected size implausible for its payload");
+  governed_poll();
+  const ScopedCharge charge(expected_size);
   std::vector<std::uint8_t> out(expected_size);
   uLongf out_size = static_cast<uLongf>(expected_size);
   const int rc = uncompress(

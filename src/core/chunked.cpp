@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "util/crc32c.h"
 #include "util/error.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
@@ -150,9 +151,21 @@ std::vector<std::size_t> chunk_starts(std::size_t total,
   return starts;
 }
 
+// Pre-flight admission for a container decode: the header-claimed output
+// (h.total floats, sealed by the v2 header CRC) is priced against the
+// governing memory budget before any frame is decoded, so a forged shape
+// is rejected with ResourceExhausted instead of sizing the output buffer.
+// Frame working sets are charged per allocation as frames decode.
+void admit_container(const ContainerHeader& h) {
+  if (const ResourceGovernor* g = current_governor())
+    g->admit(static_cast<std::uint64_t>(h.total) * sizeof(float),
+             "chunked container");
+}
+
 FloatArray decompress_strict(std::span<const std::uint8_t> container,
                              const ContainerHeader& h,
                              DecodeReport* report) {
+  admit_container(h);
   // Cheap header-only pre-pass: every frame claims its decoded size, and
   // the claims must exactly tile the container's shape *before* any frame
   // is decoded. This bounds transient memory by h.total — a forged
@@ -218,6 +231,7 @@ FloatArray decompress_strict(std::span<const std::uint8_t> container,
 FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
                                   const ContainerHeader& h, float fill,
                                   DecodeReport* report) {
+  admit_container(h);
   // The output is sized from the header geometry (already validated and,
   // for v2, sealed by the header CRC) and pre-filled so lost frames are
   // visible as runs of the fill value. Each frame writes only its own
@@ -225,6 +239,7 @@ FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
   std::vector<float> values(h.total, fill);
   std::vector<std::string> frame_error(h.frame_count);
   std::vector<std::uint8_t> frame_lost(h.frame_count, 0);
+  std::vector<std::exception_ptr> fatal(h.frame_count);
   parallel_for(0, h.frame_count, [&](std::size_t f) {
     const obs::ScopedSpan frame_span(obs::Span::kFrameDecode);
     const auto [begin, end] = frame_slot(h, f);
@@ -239,10 +254,21 @@ FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
                 values.begin() + static_cast<std::ptrdiff_t>(begin));
       obs::count(obs::Counter::kFramesDecoded);
     } catch (const Error& e) {
+      // Governance aborts are not frame damage: cancellation, deadline
+      // expiry, and budget exhaustion fail the whole decode (below)
+      // instead of masquerading as a salvageable lost frame.
+      if (e.code() == StatusCode::kCancelled ||
+          e.code() == StatusCode::kDeadlineExceeded ||
+          e.code() == StatusCode::kResourceExhausted) {
+        fatal[f] = std::current_exception();
+        return;
+      }
       frame_lost[f] = 1;
       frame_error[f] = e.what();
     }
   });
+  for (const std::exception_ptr& e : fatal)
+    if (e) std::rethrow_exception(e);
 
   for (const std::uint8_t lost : frame_lost)
     obs::count(lost != 0 ? obs::Counter::kFramesLost
@@ -270,6 +296,12 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   DPZ_REQUIRE(config.chunk_values >= 8, "chunk must hold at least 8 values");
   DPZ_REQUIRE(data.size() >= 8, "chunked DPZ needs at least 8 values");
 
+  // One governor for the whole container: frames inherit it through
+  // parallel_for (workers adopt the publisher's governor), so budget,
+  // deadline, and cancel cover every frame without per-frame re-scoping.
+  const GovernorScope governor_scope(config.dpz.limits);
+  governed_poll();
+
   ChunkedStats local;
   ChunkedStats& st = stats != nullptr ? *stats : local;
   st = ChunkedStats{};
@@ -286,6 +318,9 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   const ScopedThreads pool_scope(config.threads);
   DpzConfig frame_config = config.dpz;
   frame_config.threads = 0;
+  // Cleared like `threads`: each frame runs under the container governor
+  // installed above rather than nesting a fresh per-frame one.
+  frame_config.limits = ResourceLimits{};
   std::vector<std::vector<std::uint8_t>> frames(starts.size());
   std::vector<std::uint8_t> frame_stored_raw(starts.size(), 0);
   parallel_for(0, starts.size(), [&](std::size_t f) {
@@ -339,6 +374,10 @@ FloatArray chunked_decompress(std::span<const std::uint8_t> container,
 FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               const ChunkedConfig& config,
                               DecodeReport* report) {
+  // Install the governor before the header parse so even table-sized
+  // allocations and the admission pre-flight run governed.
+  const GovernorScope governor_scope(config.dpz.limits);
+  governed_poll();
   const ContainerHeader h = parse_header(container);
   const ScopedThreads pool_scope(config.threads);
   if (config.decode_policy == DecodePolicy::kBestEffort)
@@ -364,6 +403,28 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
 
 std::size_t chunked_frame_count(std::span<const std::uint8_t> container) {
   return parse_header(container).frame_count;
+}
+
+DecodePreflight chunked_decode_preflight(
+    std::span<const std::uint8_t> container) {
+  const ContainerHeader h = parse_header(container);
+  DecodePreflight pf;
+  pf.decoded_bytes =
+      static_cast<std::uint64_t>(h.total) * sizeof(float);
+  // Serial-decode peak: the output buffer plus the most expensive single
+  // frame's transient working set (frames are decoded one slot at a
+  // time; a parallel decode can hold up to `threads` frames in flight,
+  // which the runtime per-allocation charges still bound exactly).
+  std::uint64_t worst_frame = 0;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    const DpzArchiveInfo info = dpz_inspect(frame_bytes(container, h, f));
+    worst_frame =
+        std::max(worst_frame, dpz_decode_preflight(info).peak_bytes);
+  }
+  pf.peak_bytes = pf.decoded_bytes > UINT64_MAX - worst_frame
+                      ? UINT64_MAX
+                      : pf.decoded_bytes + worst_frame;
+  return pf;
 }
 
 }  // namespace dpz

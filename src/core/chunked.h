@@ -127,4 +127,15 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
 /// Number of frames in a container (header-only parse).
 std::size_t chunked_frame_count(std::span<const std::uint8_t> container);
 
+/// Pre-flight resource estimate for decoding a whole container, from
+/// header metadata alone (the container header plus each frame's DPZ
+/// header — no payload is inflated). `decoded_bytes` is the
+/// reconstructed array; `peak_bytes` adds the most expensive single
+/// frame's working set, the serial-decode peak (a parallel decode holds
+/// up to `threads` frames in flight; per-allocation charges still
+/// enforce the budget exactly at runtime). Throws FormatError on a
+/// malformed container or frame header.
+DecodePreflight chunked_decode_preflight(
+    std::span<const std::uint8_t> container);
+
 }  // namespace dpz

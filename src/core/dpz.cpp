@@ -259,6 +259,12 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   // All parallel loops below (and inside PCA/matmul/quantize) run on the
   // pool this scope resolves; the archive bytes do not depend on it.
   const ScopedThreads pool_scope(config.threads);
+  // Resource governance for the whole compression: every Matrix/NdArray/
+  // zlib allocation below charges the budget, parallel_for propagates the
+  // governor to workers, and each stage boundary polls for cancellation
+  // and deadline expiry. Limits never change the archive bytes.
+  const GovernorScope governor_scope(config.limits);
+  governed_poll();
   DpzStats local_stats;
   DpzStats& st = stats != nullptr ? *stats : local_stats;
   st = DpzStats{};
@@ -275,6 +281,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   std::vector<double> spatial_vifs;
   {
     const obs::StageSpan stage(acc, obs::Span::kStage1Dct);
+    governed_poll();
     layout = choose_block_layout(data.size());
     blocks = to_blocks(data.flat(), layout);
 
@@ -317,6 +324,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   bool standardized = config.standardize > 0;
   {
     const obs::StageSpan stage(acc, obs::Span::kStage2Pca);
+    governed_poll();
     if (config.use_sampling && layout.m >= 2 * config.subset_count) {
       SamplingConfig scfg;
       scfg.subset_count = config.subset_count;
@@ -369,6 +377,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   QuantizedStream qs;
   {
     const obs::StageSpan stage(acc, obs::Span::kStage3Quantize);
+    governed_poll();
     side.score_scale = detail::component_scale(scores.row(0));
     const double inv = 1.0 / side.score_scale;
     parallel_for(0, scores.rows(), [&](std::size_t j) {
@@ -389,6 +398,7 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
   ByteWriter w;
   {
     const obs::StageSpan stage(acc, obs::Span::kZlibEncode);
+    governed_poll();
     w.put_u32(kMagic);
     w.put_u8(kVersion);
     std::uint8_t flags = 0;
@@ -443,8 +453,14 @@ std::vector<std::uint8_t> compress_impl(const NdArray<T>& data,
 
 template <typename T>
 NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
-                           std::size_t max_components, unsigned threads) {
+                           std::size_t max_components, unsigned threads,
+                           const ResourceLimits& limits) {
   const ScopedThreads pool_scope(threads);
+  // Decode governance mirrors compress_impl; additionally the header's
+  // claimed geometry is admitted against the memory budget below, before
+  // any payload-sized allocation (the zip-bomb gate).
+  const GovernorScope governor_scope(limits);
+  governed_poll();
   obs::count(obs::Counter::kDecompressCalls);
   ByteReader r(archive);
   if (r.get_u32() != kMagic) throw FormatError("not a DPZ archive");
@@ -467,6 +483,14 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
       check_header_crc(r, archive, "stored DPZ archive");
     std::size_t total = 1;
     for (const std::size_t d : shape) total *= d;
+    if (const ResourceGovernor* g = current_governor()) {
+      DpzArchiveInfo claim;
+      claim.stored_raw = true;
+      claim.double_precision = is_double;
+      claim.shape = shape;
+      g->admit(dpz_decode_preflight(claim).peak_bytes,
+               "stored DPZ archive");
+    }
     const std::vector<std::uint8_t> raw = get_section(r, version);
     if (raw.size() != total * sizeof(T))
       throw FormatError("stored DPZ archive size mismatch");
@@ -515,6 +539,23 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
       outlier_count > static_cast<std::uint64_t>(k) * layout.n)
     throw FormatError("inconsistent DPZ archive geometry");
 
+  // Pre-flight admission: price the header-claimed decode and reject it
+  // against the governing memory budget before get_section sizes the
+  // first payload allocation from these (validated-but-untrusted) fields.
+  // An archive claiming terabytes therefore fails with ResourceExhausted
+  // here, never by attempting the allocation.
+  if (const ResourceGovernor* g = current_governor()) {
+    DpzArchiveInfo claim;
+    claim.wide_codes = wide_codes;
+    claim.standardized = standardized;
+    claim.double_precision = is_double;
+    claim.shape = shape;
+    claim.layout = layout;
+    claim.k = k;
+    claim.outlier_count = outlier_count;
+    g->admit(dpz_decode_preflight(claim).peak_bytes, "DPZ archive");
+  }
+
   const std::vector<std::uint8_t> side_bytes = get_section(r, version);
   const SideData side =
       deserialize_side(side_bytes, layout.m, k, standardized);
@@ -561,6 +602,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
 
   // Stage 3 inverse: codes -> normalized scores -> scores.
   span.emplace(obs::Span::kDecodeDequantize);
+  governed_poll();
   Matrix scores(use_k, layout.n);
   dequantize(qs, qcfg, scores.flat());
   parallel_for(0, scores.rows(), [&](std::size_t j) {
@@ -570,6 +612,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
   // Stage 2 inverse: back-project through the stored basis (leading use_k
   // columns only).
   span.emplace(obs::Span::kDecodeBackproject);
+  governed_poll();
   PcaModel model;
   model.mean = side.mean;
   model.scale = side.scale;
@@ -587,6 +630,7 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
 
   // Stage 1 inverse: inverse DCT per block, then de-block.
   span.emplace(obs::Span::kDecodeIdct);
+  governed_poll();
   const DctPlan plan(layout.n);
   parallel_for(0, layout.m, [&](std::size_t i) {
     auto row = blocks.row(i);
@@ -615,14 +659,58 @@ std::vector<std::uint8_t> dpz_compress(const DoubleArray& data,
 }
 
 FloatArray dpz_decompress(std::span<const std::uint8_t> archive,
-                          std::size_t max_components, unsigned threads) {
-  return decompress_impl<float>(archive, max_components, threads);
+                          std::size_t max_components, unsigned threads,
+                          const ResourceLimits& limits) {
+  return decompress_impl<float>(archive, max_components, threads, limits);
 }
 
 DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
-                               std::size_t max_components,
-                               unsigned threads) {
-  return decompress_impl<double>(archive, max_components, threads);
+                               std::size_t max_components, unsigned threads,
+                               const ResourceLimits& limits) {
+  return decompress_impl<double>(archive, max_components, threads, limits);
+}
+
+DecodePreflight dpz_decode_preflight(const DpzArchiveInfo& info) {
+  // Saturating arithmetic throughout: the header is untrusted, so a
+  // claimed geometry must never wrap the estimate back below the budget.
+  const auto sat_add = [](std::uint64_t a, std::uint64_t b) {
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+  };
+  const auto sat_mul = [](std::uint64_t a, std::uint64_t b) {
+    if (a == 0 || b == 0) return std::uint64_t{0};
+    return a > UINT64_MAX / b ? UINT64_MAX : a * b;
+  };
+
+  const std::uint64_t elem = info.double_precision ? 8 : 4;
+  std::uint64_t total = 1;
+  for (const std::size_t d : info.shape) total = sat_mul(total, d);
+
+  DecodePreflight pf;
+  pf.decoded_bytes = sat_mul(total, elem);
+  if (info.stored_raw) {
+    // Stored archives inflate the raw element stream (one charged
+    // buffer) and materialize the output array next to it.
+    pf.peak_bytes = sat_add(pf.decoded_bytes, pf.decoded_bytes);
+    return pf;
+  }
+
+  const std::uint64_t m = info.layout.m;
+  const std::uint64_t n = info.layout.n;
+  const std::uint64_t k = info.k;
+  // Dominant charged allocations live concurrently near the end of the
+  // decode: the output array, the back-projected block matrix (m x n
+  // doubles), the score matrix (k x n doubles), the basis (m x k doubles
+  // plus its serialized f32 image), per-feature means/scales, the
+  // inflated code stream, and the outlier stream (raw section + doubles).
+  std::uint64_t peak = pf.decoded_bytes;
+  peak = sat_add(peak, sat_mul(sat_mul(m, n), 8));
+  peak = sat_add(peak, sat_mul(sat_mul(k, n), 8));
+  peak = sat_add(peak, sat_mul(sat_mul(m, k), 12));
+  peak = sat_add(peak, sat_mul(m, 24));
+  peak = sat_add(peak, sat_mul(sat_mul(k, n), info.wide_codes ? 2 : 1));
+  peak = sat_add(peak, sat_mul(info.outlier_count, 8 + elem));
+  pf.peak_bytes = peak;
+  return pf;
 }
 
 DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive) {

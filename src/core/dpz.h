@@ -28,6 +28,7 @@
 #include "core/blocking.h"
 #include "core/compressor.h"
 #include "stats/knee.h"
+#include "util/resource.h"
 #include "util/timer.h"
 
 namespace dpz {
@@ -82,6 +83,13 @@ struct DpzConfig {
   double error_bound = 0.0;  ///< 0 = scheme default (1e-3 / 1e-4)
   int wide_codes = -1;       ///< -1 = scheme default, else 0/1
   int standardize = -1;      ///< -1 = auto (VIF probe when sampling), else 0/1
+
+  /// Resource governance for the whole call: a peak-memory budget, an
+  /// absolute deadline, and a cooperative cancel token (util/resource.h).
+  /// Defaults are "ungoverned". Limits never change archive bytes — a
+  /// governed run either produces the identical output or throws
+  /// ResourceExhausted / DeadlineExceeded / Cancelled.
+  ResourceLimits limits;
 
   [[nodiscard]] double effective_error_bound() const {
     if (error_bound > 0.0) return error_bound;
@@ -177,16 +185,23 @@ std::vector<std::uint8_t> dpz_compress(const DoubleArray& data,
 /// ("the reconstruction at any level shows consistency", SS IV-C).
 /// `threads` sizes the decode worker pool exactly like DpzConfig::threads
 /// does for compression (0 = ambient pool); the reconstruction is
-/// bit-identical for every value.
+/// bit-identical for every value. `limits` governs the decode: the
+/// header-claimed geometry is priced and admitted against the memory
+/// budget *before* any payload-sized allocation happens (so a forged
+/// header claiming terabytes is rejected with ResourceExhausted up
+/// front), and the deadline/cancel token are polled at every stage
+/// boundary and between loop strips.
 FloatArray dpz_decompress(std::span<const std::uint8_t> archive,
                           std::size_t max_components = 0,
-                          unsigned threads = 0);
+                          unsigned threads = 0,
+                          const ResourceLimits& limits = {});
 
 /// Double-precision counterpart of dpz_decompress; throws FormatError when
 /// the archive holds single-precision data (and vice versa).
 DoubleArray dpz_decompress_f64(std::span<const std::uint8_t> archive,
                                std::size_t max_components = 0,
-                               unsigned threads = 0);
+                               unsigned threads = 0,
+                               const ResourceLimits& limits = {});
 
 /// Header-level description of an archive (no payload decoding). For
 /// format-v2 archives the header checksum is verified as part of the
@@ -208,6 +223,22 @@ struct DpzArchiveInfo {
 /// Parses an archive header; throws FormatError on malformed input.
 DpzArchiveInfo dpz_inspect(std::span<const std::uint8_t> archive);
 
+/// Pre-flight resource estimate for decoding an archive, computed from
+/// header metadata alone with saturating arithmetic (the header is
+/// untrusted input, so claimed extents must not wrap the estimate back
+/// into an "affordable" range). `decoded_bytes` is the reconstructed
+/// array; `peak_bytes` adds the dominant transient working set (block and
+/// score matrices, basis, inflated sections). The decode path admits
+/// `peak_bytes` against the governing memory budget before its first
+/// payload-sized allocation.
+struct DecodePreflight {
+  std::uint64_t decoded_bytes = 0;
+  std::uint64_t peak_bytes = 0;
+};
+
+/// Prices a decode from its parsed header (see DecodePreflight).
+DecodePreflight dpz_decode_preflight(const DpzArchiveInfo& info);
+
 /// Compressor-interface adapter for the benchmark harnesses.
 class DpzCompressor final : public Compressor {
  public:
@@ -222,7 +253,7 @@ class DpzCompressor final : public Compressor {
     return dpz_compress(data, config_, &last_stats_);
   }
   FloatArray decompress(std::span<const std::uint8_t> archive) override {
-    return dpz_decompress(archive, 0, config_.threads);
+    return dpz_decompress(archive, 0, config_.threads, config_.limits);
   }
   [[nodiscard]] std::string name() const override { return label_; }
 

@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "simd/simd.h"
 #include "stats/knee.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
 
 namespace dpz {
@@ -57,8 +58,11 @@ SharedBasisCodec SharedBasisCodec::train(const FloatArray& reference,
                                          const DpzConfig& config) {
   DPZ_REQUIRE(reference.size() >= 8, "training snapshot too small");
   const ScopedThreads pool_scope(config.threads);
+  const GovernorScope governor_scope(config.limits);
+  governed_poll();
   SharedBasisCodec codec;
   codec.threads_ = config.threads;
+  codec.limits_ = config.limits;
   codec.layout_ = choose_block_layout(reference.size());
   codec.shape_ = reference.shape();
   codec.qcfg_.error_bound = config.effective_error_bound();
@@ -206,6 +210,8 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
   DPZ_REQUIRE(snapshot.shape() == shape_,
               "snapshot shape differs from the training snapshot");
   const ScopedThreads pool_scope(threads_);
+  const GovernorScope governor_scope(limits_);
+  governed_poll();
   DpzStats local;
   DpzStats& st = stats != nullptr ? *stats : local;
   st = DpzStats{};
@@ -225,6 +231,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
 
   // Scores against the frozen basis: Y = D_k^T (Z - mean).
   stage.emplace(acc, obs::Span::kStage2Pca);
+  governed_poll();
   const std::size_t k = basis_.cols();
   const simd::KernelTable& ops = simd::kernels();
   Matrix scores(k, layout_.n);
@@ -238,6 +245,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
   });
 
   stage.emplace(acc, obs::Span::kStage3Quantize);
+  governed_poll();
   const double score_scale = detail::component_scale(scores.row(0));
   const double inv = 1.0 / score_scale;
   for (double& v : scores.flat()) v *= inv;
@@ -246,6 +254,7 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
   st.stage3_bytes = qs.codes.size() + qs.outliers.size() * sizeof(float);
 
   stage.emplace(acc, obs::Span::kZlibEncode);
+  governed_poll();
   ByteWriter w;
   w.put_u32(detail::kSnapshotMagicV2);
   w.put_u8(detail::kFormatVersion);
@@ -280,6 +289,8 @@ std::vector<std::uint8_t> SharedBasisCodec::compress(
 FloatArray SharedBasisCodec::decompress(
     std::span<const std::uint8_t> archive) const {
   const ScopedThreads pool_scope(threads_);
+  const GovernorScope governor_scope(limits_);
+  governed_poll();
   obs::count(obs::Counter::kDecompressCalls);
   std::optional<obs::ScopedSpan> span;
   span.emplace(obs::Span::kDecodeSections);
@@ -297,6 +308,25 @@ FloatArray SharedBasisCodec::decompress(
     detail::check_header_crc(r, archive, "snapshot archive");
   if (outlier_count > basis_.cols() * layout_.n)
     throw FormatError("snapshot archive: implausible outlier count");
+
+  // Pre-flight admission. The codec's own (already validated) geometry
+  // prices the decode — a snapshot archive claims only the outlier count
+  // — so the budget is checked before any section inflates. The resident
+  // basis is not part of this operation's working set.
+  if (const ResourceGovernor* g = current_governor()) {
+    const auto m = static_cast<std::uint64_t>(layout_.m);
+    const auto n = static_cast<std::uint64_t>(layout_.n);
+    const auto kc = static_cast<std::uint64_t>(basis_.cols());
+    const std::uint64_t peak =
+        static_cast<std::uint64_t>(layout_.original_total) *
+            sizeof(float) +                      // output array
+        m * n * sizeof(double) +                 // block matrix
+        kc * n * sizeof(double) +                // score matrix
+        m * sizeof(double) +                     // means
+        kc * n * qcfg_.code_bytes() +            // inflated codes
+        outlier_count * (sizeof(double) + 4);    // outlier stream
+    g->admit(peak, "shared-basis snapshot");
+  }
 
   const std::vector<std::uint8_t> mean_raw =
       detail::get_section(r, version);
@@ -324,12 +354,14 @@ FloatArray SharedBasisCodec::decompress(
     v = static_cast<double>(outlier_reader.get_f32());
 
   span.emplace(obs::Span::kDecodeDequantize);
+  governed_poll();
   Matrix scores(k, layout_.n);
   dequantize(qs, qcfg_, scores.flat());
   for (double& v : scores.flat()) v *= score_scale;
 
   // Back-project: Z = D_k Y + mean, then inverse DCT + de-block.
   span.emplace(obs::Span::kDecodeBackproject);
+  governed_poll();
   Matrix blocks(layout_.m, layout_.n);
   parallel_for(0, layout_.m, [&](std::size_t i) {
     double* out = blocks.row(i).data();
@@ -344,6 +376,7 @@ FloatArray SharedBasisCodec::decompress(
   });
 
   span.emplace(obs::Span::kDecodeIdct);
+  governed_poll();
   parallel_for(0, layout_.m, [&](std::size_t i) {
     auto row = blocks.row(i);
     plan_->inverse(row, row);

@@ -70,6 +70,14 @@ class SharedBasisCodec {
   void set_threads(unsigned threads) { threads_ = threads; }
   [[nodiscard]] unsigned threads() const { return threads_; }
 
+  /// Resource limits for compress/decompress (memory budget, deadline,
+  /// cancel token; util/resource.h). Train adopts DpzConfig::limits;
+  /// restored codecs default to ungoverned — like `threads`, this is a
+  /// runtime setting, not part of the serialized format, and it never
+  /// changes output bytes.
+  void set_limits(const ResourceLimits& limits) { limits_ = limits; }
+  [[nodiscard]] const ResourceLimits& limits() const { return limits_; }
+
  private:
   SharedBasisCodec() = default;
 
@@ -78,6 +86,7 @@ class SharedBasisCodec {
   QuantizerConfig qcfg_;
   int zlib_level_ = 6;
   unsigned threads_ = 0;
+  ResourceLimits limits_;
   Matrix basis_;  // M x k
   // Stage-1 plan, built once per codec: snapshots share the layout, so
   // rebuilding the twiddle/chirp tables per compress() call is pure waste.

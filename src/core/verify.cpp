@@ -261,4 +261,22 @@ VerifyReport verify_archive(std::span<const std::uint8_t> bytes) {
   return rep;
 }
 
+std::optional<DecodePreflight> decode_preflight(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    switch (r.get_u32()) {
+      case detail::kDpzMagic:
+        return dpz_decode_preflight(dpz_inspect(bytes));
+      case detail::kChunkedMagicV1:
+      case detail::kChunkedMagicV2:
+        return chunked_decode_preflight(bytes);
+      default:
+        return std::nullopt;
+    }
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace dpz

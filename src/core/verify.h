@@ -10,9 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "core/chunked.h"
+#include "core/dpz.h"
 
 namespace dpz {
 
@@ -45,5 +49,14 @@ struct VerifyReport {
 /// `problems`, and the sections walked up to that point are retained.
 /// Chunked containers additionally verify each frame's own structure.
 VerifyReport verify_archive(std::span<const std::uint8_t> bytes);
+
+/// Pre-flight resource estimate for decoding `bytes`, dispatched on the
+/// container magic (monolithic/stored DPZ archives and chunked
+/// containers). Returns nullopt for kinds without a standalone decode
+/// path (shared-basis blobs and snapshots decode through a codec that
+/// holds the geometry) and for headers too malformed to price — pricing
+/// never throws; an undecodable archive simply has no estimate.
+std::optional<DecodePreflight> decode_preflight(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace dpz

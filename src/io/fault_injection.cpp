@@ -1,5 +1,7 @@
 #include "io/fault_injection.h"
 
+#include "util/resource.h"
+
 namespace dpz::io {
 
 namespace {
@@ -14,6 +16,10 @@ void install_fault_plan(const FaultPlan* plan) {
   } else {
     g_active = false;
   }
+  // The allocation-fault countdown lives in util (the charge sites are
+  // below this library in the link order); arm/disarm it alongside the
+  // I/O plan so ScopedFaultPlan covers both fault classes.
+  dpz::detail::set_alloc_fault(plan != nullptr ? plan->alloc_fail_at : 0);
 }
 
 namespace detail {

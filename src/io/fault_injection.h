@@ -42,6 +42,17 @@ struct FaultPlan {
   /// Bit corruption: the byte at this offset lands flipped on disk.
   std::uint64_t write_flip_offset = kNoFault;
   std::uint8_t write_flip_mask = 0;
+
+  // -- allocation faults -------------------------------------------------
+  /// Fail the Nth (1-based) *charged* allocation on this thread with
+  /// std::bad_alloc; 0 disables. Charged allocations are the governed
+  /// Matrix / NdArray / zlib-buffer sites (util/resource.h ScopedCharge),
+  /// so a sweep over N proves every pipeline either completes or fails
+  /// clean at each of its allocation points. Charges only flow when a
+  /// governor is installed (enable ResourceLimits, e.g. a large
+  /// max_memory_bytes) and, like the other counters, only on the calling
+  /// thread — run sweeps with threads = 1.
+  std::uint64_t alloc_fail_at = 0;
 };
 
 /// Installs a copy of `plan` for this thread's subsequent file_io

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/resource.h"
 
 namespace dpz {
 
@@ -24,14 +25,18 @@ class NdArray {
 
   /// Allocates a zero-initialized array of the given shape.
   explicit NdArray(std::vector<std::size_t> shape)
-      : shape_(std::move(shape)), data_(checked_size(shape_), T{}) {}
+      : shape_(std::move(shape)),
+        charge_(checked_size(shape_) * sizeof(T)),
+        data_(checked_size(shape_), T{}) {}
 
   NdArray(std::initializer_list<std::size_t> shape)
       : NdArray(std::vector<std::size_t>(shape)) {}
 
   /// Wraps existing data; `data.size()` must match the shape's element count.
   NdArray(std::vector<std::size_t> shape, std::vector<T> data)
-      : shape_(std::move(shape)), data_(std::move(data)) {
+      : shape_(std::move(shape)),
+        charge_(data.size() * sizeof(T)),
+        data_(std::move(data)) {
     DPZ_REQUIRE(data_.size() == checked_size(shape_),
                 "data size does not match shape");
   }
@@ -123,6 +128,9 @@ class NdArray {
   }
 
   std::vector<std::size_t> shape_;
+  // Governed memory accounting for data_ (declared first: charge before
+  // the allocation, release after the free). See util/resource.h.
+  ScopedCharge charge_;
   std::vector<T> data_;
 };
 

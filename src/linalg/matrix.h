@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/resource.h"
 
 namespace dpz {
 
@@ -21,13 +22,19 @@ class Matrix {
 
   /// rows x cols zero matrix.
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+      : rows_(rows),
+        cols_(cols),
+        charge_(rows * cols * sizeof(double)),
+        data_(rows * cols, 0.0) {
     DPZ_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
   }
 
   /// Wraps existing data (row-major; size must equal rows*cols).
   Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+      : rows_(rows),
+        cols_(cols),
+        charge_(data.size() * sizeof(double)),
+        data_(std::move(data)) {
     DPZ_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
     DPZ_REQUIRE(data_.size() == rows * cols,
                 "matrix data size does not match dimensions");
@@ -81,6 +88,11 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  // Governed memory accounting for the buffer below. Declared before
+  // data_ so the budget check precedes the allocation on construction
+  // (and the release follows the free on destruction); copies re-charge,
+  // moves transfer (util/resource.h). No-op outside governed scopes.
+  ScopedCharge charge_;
   std::vector<double> data_;
 };
 

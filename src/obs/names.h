@@ -99,6 +99,9 @@ enum class Counter : std::uint8_t {
   kFramesDecoded,        ///< chunked frames decoded (intact)
   kFramesRecovered,      ///< best-effort decodes: frames recovered
   kFramesLost,           ///< best-effort decodes: frames lost/filled
+  kAdmissionRejected,    ///< decodes rejected by pre-flight admission
+  kCancelledOps,         ///< operations aborted by a CancelToken
+  kDeadlineExceededOps,  ///< operations aborted by a deadline
   kCounterCount_,        // sentinel — keep last
 };
 
@@ -131,6 +134,9 @@ inline constexpr const char* kCounterNames[kCounterCount] = {
     "frames_decoded",
     "frames_recovered",
     "frames_lost",
+    "admission_rejected",
+    "cancelled",
+    "deadline_exceeded",
 };
 
 inline constexpr const char* counter_name(Counter id) {

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <new>
 #include <optional>
 
 #include "core/blocking.h"
@@ -25,6 +26,7 @@
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -72,6 +74,16 @@ compress options:
                       docs/SIMD.md. Overrides DPZ_FORCE_ISA
   --verify            decompress after compressing and report PSNR
 
+resource limits (compress and decompress; see docs/ROBUSTNESS.md):
+  --max-memory=N      peak-memory budget for the pipeline's working set
+                      (suffix K/M/G/T, e.g. 64M). Decompress prices the
+                      header-claimed geometry against the budget before
+                      any large allocation, so a forged archive claiming
+                      terabytes exits 4 (resource_exhausted) up front
+  --deadline-ms=D     wall-clock deadline for the pipeline work; expiry
+                      aborts cleanly with exit 5 (deadline_exceeded).
+                      Limits never change output bytes
+
 telemetry options (any command; see docs/OBSERVABILITY.md):
   --trace=out.json    record spans and write a Chrome trace-event file
                       (open in ui.perfetto.dev or chrome://tracing)
@@ -87,13 +99,22 @@ telemetry options (any command; see docs/OBSERVABILITY.md):
 /// surface is decided when the status is born, not discovered by a
 /// caller's shell script. 0 and 3 mirror the non-exception paths below
 /// (success, best-effort decode with lost frames); 2 is reserved for
-/// usage errors (unknown command / bad invocation).
+/// usage errors (unknown command / bad invocation). Resource-governance
+/// outcomes get their own codes so a batch driver can tell "raise the
+/// budget and retry" (4), "give it more time" (5), and "the operator
+/// asked for this" (6) apart from data corruption (1).
 int exit_code_for(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return 0;
     case StatusCode::kPartial:
       return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kDeadlineExceeded:
+      return 5;
+    case StatusCode::kCancelled:
+      return 6;
     case StatusCode::kInvalidArgument:
     case StatusCode::kFormat:
     case StatusCode::kInternal:
@@ -109,6 +130,44 @@ unsigned parse_threads(const CliArgs& args) {
   const int threads = args.get_int("threads", 0);
   DPZ_REQUIRE(threads >= 0, "--threads must be >= 0");
   return static_cast<unsigned>(threads);
+}
+
+// Parses a byte-size flag value: a decimal count with an optional
+// K/M/G/T binary suffix ("64M", "2G", "1048576").
+std::uint64_t parse_byte_size(const std::string& text) {
+  std::uint64_t mult = 1;
+  std::size_t digits = text.size();
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'K': case 'k': mult = 1ULL << 10; --digits; break;
+      case 'M': case 'm': mult = 1ULL << 20; --digits; break;
+      case 'G': case 'g': mult = 1ULL << 30; --digits; break;
+      case 'T': case 't': mult = 1ULL << 40; --digits; break;
+      default: break;
+    }
+  }
+  const std::string num = text.substr(0, digits);
+  DPZ_REQUIRE(!num.empty() && num.find_first_not_of("0123456789") ==
+                                  std::string::npos,
+              "malformed byte size '" + text + "' (use e.g. 64M or 2G)");
+  const std::uint64_t value = std::stoull(num);
+  DPZ_REQUIRE(value <= UINT64_MAX / mult,
+              "byte size '" + text + "' overflows");
+  return value * mult;
+}
+
+// Resolves the resource-governance flags shared by compress and
+// decompress. The deadline starts here — flag parsing time — so it
+// covers the whole pipeline run that follows.
+ResourceLimits limits_from_flags(const CliArgs& args) {
+  ResourceLimits limits;
+  const std::string memory = args.get_string("max-memory", "");
+  if (!memory.empty()) limits.max_memory_bytes = parse_byte_size(memory);
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  DPZ_REQUIRE(deadline_ms >= 0.0, "--deadline-ms must be >= 0");
+  if (deadline_ms > 0.0)
+    limits.deadline_ns = ResourceLimits::deadline_after_ms(deadline_ms);
+  return limits;
 }
 
 DpzConfig config_from_flags(const CliArgs& args) {
@@ -139,6 +198,7 @@ DpzConfig config_from_flags(const CliArgs& args) {
   config.error_bound = args.get_double("error-bound", 0.0);
   config.dct_keep_fraction = args.get_double("dct-keep", 1.0);
   config.threads = parse_threads(args);
+  config.limits = limits_from_flags(args);
   return config;
 }
 
@@ -237,10 +297,11 @@ int cmd_compress(const CliArgs& args, std::ostream& out) {
       err = compute_error_stats(data.flat(), back.flat());
     } else if (f64) {
       const DoubleArray back =
-          dpz_decompress_f64(archive, 0, config.threads);
+          dpz_decompress_f64(archive, 0, config.threads, config.limits);
       err = compute_error_stats(data64.flat(), back.flat());
     } else {
-      const FloatArray back = dpz_decompress(archive, 0, config.threads);
+      const FloatArray back =
+          dpz_decompress(archive, 0, config.threads, config.limits);
       err = compute_error_stats(data.flat(), back.flat());
     }
     out << "verify: PSNR " << fixed(err.psnr_db, 2) << " dB, max err "
@@ -258,6 +319,7 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
   const auto components =
       static_cast<std::size_t>(args.get_int("components", 0));
   const unsigned threads = parse_threads(args);
+  const ResourceLimits limits = limits_from_flags(args);
 
   const std::vector<std::uint8_t> archive = read_bytes(in_path);
 
@@ -269,6 +331,7 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
   if (is_chunked) {
     ChunkedConfig config;
     config.threads = threads;
+    config.dpz.limits = limits;
     if (args.get_bool("best-effort", false))
       config.decode_policy = DecodePolicy::kBestEffort;
     config.fill_value = static_cast<float>(args.get_double("fill", 0.0));
@@ -299,12 +362,13 @@ int cmd_decompress(const CliArgs& args, std::ostream& out) {
   double seconds = 0.0;
   if (info.double_precision) {
     const DoubleArray data =
-        dpz_decompress_f64(archive, components, threads);
+        dpz_decompress_f64(archive, components, threads, limits);
     seconds = timer.elapsed();
     write_f64(out_path, data);
     count = data.size();
   } else {
-    const FloatArray data = dpz_decompress(archive, components, threads);
+    const FloatArray data =
+        dpz_decompress(archive, components, threads, limits);
     seconds = timer.elapsed();
     write_f32(out_path, data);
     count = data.size();
@@ -409,6 +473,16 @@ int cmd_inspect(const CliArgs& args, std::ostream& out) {
           << (info.layout.padded ? " (padded)" : "") << "\n"
           << "k:        " << info.k << "\n"
           << "outliers: " << info.outlier_count << "\n";
+  }
+  // Header-claimed decode cost: what the archive says it will expand to
+  // and the pre-flight working-set estimate a --max-memory budget admits
+  // against. Printed from header metadata only — nothing is inflated —
+  // so operators can size budgets without attempting the decode.
+  if (const std::optional<DecodePreflight> pf = decode_preflight(bytes)) {
+    out << "decoded:  " << human_bytes(pf->decoded_bytes)
+        << " (header claim)\n"
+        << "peak est: " << human_bytes(pf->peak_bytes)
+        << " (pre-flight decode working set)\n";
   }
   out << "sections:\n";
   print_section_table(rep, out);
@@ -530,7 +604,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                         "components", "scale", "names", "seed",
                         "target-cr", "target-psnr", "chunk", "threads",
                         "isa", "best-effort", "fill", "trace", "metrics",
-                        "help"});
+                        "max-memory", "deadline-ms", "help"});
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.has("help") ? 0 : 2;
@@ -595,6 +669,12 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n";
     return exit_code_for(e.code());
+  } catch (const std::bad_alloc&) {
+    // The allocator failed before (or without) a configured budget
+    // tripping; report it like a budget rejection instead of letting the
+    // exception terminate the process.
+    err << "error: allocation failed (out of memory)\n";
+    return exit_code_for(StatusCode::kResourceExhausted);
   }
 }
 

@@ -41,6 +41,17 @@ enum class StatusCode {
   /// Not an exception code: a best-effort decode completed but lost
   /// frames (see core/chunked.h DecodeReport and the C API DPZ_PARTIAL).
   kPartial = 7,
+  /// A resource budget was exceeded: a memory charge or pre-flight decode
+  /// admission check did not fit ResourceLimits::max_memory_bytes, or the
+  /// process ran out of memory (std::bad_alloc at a fault boundary). See
+  /// util/resource.h and docs/ROBUSTNESS.md.
+  kResourceExhausted = 8,
+  /// The operation's ResourceLimits deadline passed before it finished.
+  /// The partial work is discarded; inputs are never modified.
+  kDeadlineExceeded = 9,
+  /// The operation's CancelToken was triggered. Like kDeadlineExceeded,
+  /// this is a clean abort: no output is produced, nothing leaks.
+  kCancelled = 10,
 };
 
 /// Human-readable name of a status code ("ok", "format", ...).
@@ -53,6 +64,9 @@ constexpr const char* status_code_name(StatusCode code) {
     case StatusCode::kNumerical: return "numerical";
     case StatusCode::kChecksum: return "checksum";
     case StatusCode::kPartial: return "partial";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kInternal: break;
   }
   return "internal";
@@ -115,6 +129,32 @@ class NumericalError : public Error {
  public:
   explicit NumericalError(const std::string& what)
       : Error(what, StatusCode::kNumerical) {}
+};
+
+/// A memory charge or pre-flight admission check exceeded the operation's
+/// ResourceLimits::max_memory_bytes budget (util/resource.h). Recoverable:
+/// the operation aborted cleanly before (or while) allocating, and retrying
+/// with a larger budget — or rejecting the request — are both sound.
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& what)
+      : Error(what, StatusCode::kResourceExhausted) {}
+};
+
+/// The operation ran past its ResourceLimits deadline and aborted at the
+/// next cooperative checkpoint. Partial work is discarded.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : Error(what, StatusCode::kDeadlineExceeded) {}
+};
+
+/// The operation's CancelToken fired and the pipeline aborted at the next
+/// cooperative checkpoint. Partial work is discarded.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what)
+      : Error(what, StatusCode::kCancelled) {}
 };
 
 namespace detail {

@@ -1,0 +1,171 @@
+#include "util/resource.h"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dpz {
+
+namespace {
+
+// The calling thread's innermost governor. A raw pointer (trivially
+// destructible TLS, no guard overhead on the poll fast path): ownership
+// lives in the GovernorScope on the installing thread's stack, or in the
+// thread pool's published job for workers — both strictly outlive the
+// scopes that read this.
+thread_local const ResourceGovernor* t_governor = nullptr;
+
+// Armed allocation fault: 1-based countdown to the charged allocation
+// that throws std::bad_alloc (see io/fault_injection.h); 0 = disarmed.
+thread_local std::uint64_t t_alloc_fault = 0;
+
+std::string bytes_str(std::uint64_t bytes) {
+  return std::to_string(bytes) + " bytes";
+}
+
+}  // namespace
+
+std::int64_t ResourceLimits::now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t ResourceLimits::deadline_after_ms(double ms) noexcept {
+  if (!(ms > 0.0)) return 0;
+  return now_ns() + static_cast<std::int64_t>(std::llround(ms * 1e6));
+}
+
+void MemoryArena::charge(std::uint64_t bytes) {
+  const MutexLock lock(m_);
+  if (budget_ != 0 && bytes > budget_ - in_use_)
+    throw ResourceExhausted(
+        "memory budget exceeded: charge of " + bytes_str(bytes) +
+        " with " + bytes_str(in_use_) + " in use against a budget of " +
+        bytes_str(budget_));
+  in_use_ += bytes;
+  peak_ = std::max(peak_, in_use_);
+}
+
+void MemoryArena::release(std::uint64_t bytes) noexcept {
+  const MutexLock lock(m_);
+  in_use_ -= std::min(bytes, in_use_);
+}
+
+std::uint64_t MemoryArena::in_use() const {
+  const MutexLock lock(m_);
+  return in_use_;
+}
+
+std::uint64_t MemoryArena::peak() const {
+  const MutexLock lock(m_);
+  return peak_;
+}
+
+void ResourceGovernor::checkpoint() const {
+  for (const ResourceGovernor* g = this; g != nullptr;
+       g = g->parent_.get()) {
+    if (g->limits_.cancel.cancel_requested()) {
+      if (!g->reported_.exchange(true, std::memory_order_relaxed))
+        obs::count(obs::Counter::kCancelledOps);
+      throw Cancelled("operation cancelled by its CancelToken");
+    }
+    if (g->limits_.deadline_ns != 0 &&
+        ResourceLimits::now_ns() >= g->limits_.deadline_ns) {
+      if (!g->reported_.exchange(true, std::memory_order_relaxed))
+        obs::count(obs::Counter::kDeadlineExceededOps);
+      throw DeadlineExceeded("operation deadline exceeded");
+    }
+  }
+}
+
+void ResourceGovernor::admit(std::uint64_t estimated_peak_bytes,
+                             const char* what) const {
+  for (const ResourceGovernor* g = this; g != nullptr;
+       g = g->parent_.get()) {
+    if (g->limits_.max_memory_bytes == 0) continue;
+    const std::uint64_t in_use = g->arena_.in_use();
+    const std::uint64_t remaining =
+        g->limits_.max_memory_bytes -
+        std::min(in_use, g->limits_.max_memory_bytes);
+    if (estimated_peak_bytes > remaining) {
+      obs::count(obs::Counter::kAdmissionRejected);
+      throw ResourceExhausted(
+          std::string(what) + ": pre-flight decode estimate of " +
+          bytes_str(estimated_peak_bytes) +
+          " exceeds the remaining memory budget of " +
+          bytes_str(remaining));
+    }
+  }
+}
+
+void ResourceGovernor::charge(std::uint64_t bytes) const {
+  const ResourceGovernor* g = this;
+  while (g != nullptr) {
+    try {
+      g->arena_.charge(bytes);
+    } catch (...) {
+      for (const ResourceGovernor* undo = this; undo != g;
+           undo = undo->parent_.get())
+        undo->arena_.release(bytes);
+      throw;
+    }
+    g = g->parent_.get();
+  }
+}
+
+void ResourceGovernor::release(std::uint64_t bytes) const noexcept {
+  for (const ResourceGovernor* g = this; g != nullptr;
+       g = g->parent_.get())
+    g->arena_.release(bytes);
+}
+
+const ResourceGovernor* current_governor() noexcept { return t_governor; }
+
+std::shared_ptr<const ResourceGovernor> current_governor_shared() {
+  return t_governor != nullptr ? t_governor->shared_from_this() : nullptr;
+}
+
+GovernorScope::GovernorScope(const ResourceLimits& limits) {
+  if (!limits.enabled()) return;
+  previous_ = t_governor;
+  governor_ = std::make_shared<const ResourceGovernor>(
+      limits, previous_ != nullptr ? previous_->shared_from_this()
+                                   : nullptr);
+  t_governor = governor_.get();
+}
+
+GovernorScope::~GovernorScope() {
+  if (governor_ != nullptr) t_governor = previous_;
+}
+
+ScopedCharge::ScopedCharge(std::uint64_t bytes) : bytes_(bytes) {
+  const ResourceGovernor* g = t_governor;
+  if (g == nullptr || bytes == 0) return;
+  if (detail::consume_alloc_fault()) throw std::bad_alloc();
+  g->charge(bytes);
+  governor_ = g->shared_from_this();
+}
+
+namespace detail {
+
+GovernorAdopt::GovernorAdopt(const ResourceGovernor* governor) noexcept
+    : previous_(t_governor) {
+  t_governor = governor;
+}
+
+GovernorAdopt::~GovernorAdopt() { t_governor = previous_; }
+
+void set_alloc_fault(std::uint64_t nth) noexcept { t_alloc_fault = nth; }
+
+bool consume_alloc_fault() noexcept {
+  if (t_alloc_fault == 0) return false;
+  return --t_alloc_fault == 0;
+}
+
+}  // namespace detail
+
+}  // namespace dpz

@@ -1,0 +1,291 @@
+// Resource governance: memory budgets, deadlines, and cooperative
+// cancellation for every pipeline.
+//
+// A compress or decode call becomes a bounded, abortable transaction by
+// carrying a ResourceLimits through its config: a memory budget enforced
+// by a thread-safe accounting arena (charged at the Matrix / NdArray /
+// zlib allocation sites), an absolute deadline, and a shared CancelToken
+// a client can trip from another thread. Pipeline entry points install a
+// GovernorScope; every stage boundary and every parallel_for strip index
+// then runs through a cooperative checkpoint, so abort latency is
+// bounded even mid-stage and a tripped limit surfaces as the matching
+// StatusCode (kResourceExhausted / kDeadlineExceeded / kCancelled).
+//
+// Decoders additionally run a *pre-flight admission check*: the
+// header-claimed geometry is priced before any large allocation, so a
+// zip-bomb archive claiming terabytes is rejected up front instead of
+// discovered mid-allocation (docs/ROBUSTNESS.md).
+//
+// Design invariants:
+//   * Limits never change output bytes — they bound whether a call
+//     completes, not what it produces (the determinism suite runs with
+//     limits enabled).
+//   * Governors nest: a scope installed inside another (e.g. a future
+//     serve-daemon request inside a process budget) charges and polls the
+//     whole chain. An entry point whose limits are all-defaults installs
+//     nothing, so chunked frames never shadow their container's governor.
+//   * Ungoverned code pays one thread-local load per checkpoint/charge.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/annotated_mutex.h"
+#include "util/error.h"
+
+namespace dpz {
+
+class CancelSource;
+
+/// Read side of a cancellation flag. Default-constructed tokens are
+/// empty (never cancelled); live tokens share their source's flag, so
+/// one request_cancel() aborts every operation holding a copy.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when this token is connected to a CancelSource.
+  [[nodiscard]] bool valid() const noexcept { return flag_ != nullptr; }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner side of a cancellation flag: hand token() copies to operations,
+/// call request_cancel() from any thread to abort them at their next
+/// checkpoint. Copies share the flag.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() noexcept {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Per-operation resource limits, threaded through DpzConfig /
+/// ChunkedConfig / SharedBasisCodec, the C API (dpz_options) and the CLI
+/// (--max-memory / --deadline-ms). All-defaults means ungoverned: no
+/// governor is installed and every checkpoint is a no-op.
+struct ResourceLimits {
+  /// Peak accounted bytes the operation may hold; 0 = unlimited.
+  std::uint64_t max_memory_bytes = 0;
+  /// Absolute steady-clock deadline in nanoseconds (now_ns() units);
+  /// 0 = none. Build relative deadlines with deadline_after_ms().
+  std::int64_t deadline_ns = 0;
+  /// Cooperative cancellation handle; empty = never cancelled.
+  CancelToken cancel;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_memory_bytes != 0 || deadline_ns != 0 || cancel.valid();
+  }
+
+  /// Current steady-clock time in deadline_ns units.
+  [[nodiscard]] static std::int64_t now_ns() noexcept;
+  /// Deadline `ms` milliseconds from now (ms <= 0 yields "no deadline").
+  [[nodiscard]] static std::int64_t deadline_after_ms(double ms) noexcept;
+};
+
+/// Thread-safe scoped memory accounting. charge() reserves bytes against
+/// the budget and throws ResourceExhausted when the reservation does not
+/// fit; release() returns it. A zero budget only accounts (in_use/peak)
+/// without ever rejecting.
+class MemoryArena {
+ public:
+  explicit MemoryArena(std::uint64_t budget_bytes)
+      : budget_(budget_bytes) {}
+
+  MemoryArena(const MemoryArena&) = delete;
+  MemoryArena& operator=(const MemoryArena&) = delete;
+
+  /// Reserves `bytes`; throws ResourceExhausted when it exceeds the
+  /// remaining budget.
+  void charge(std::uint64_t bytes);
+  /// Returns a reservation made by charge().
+  void release(std::uint64_t bytes) noexcept;
+
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t in_use() const;
+  /// High-water mark of in_use() over the arena's lifetime.
+  [[nodiscard]] std::uint64_t peak() const;
+
+ private:
+  const std::uint64_t budget_;
+  mutable Mutex m_;
+  std::uint64_t in_use_ DPZ_GUARDED_BY(m_) = 0;
+  std::uint64_t peak_ DPZ_GUARDED_BY(m_) = 0;
+};
+
+/// One governed scope's enforcement state: the limits, their arena, and
+/// the enclosing governor (nesting). Installed thread-locally by
+/// GovernorScope and propagated to pool workers by parallel_for; reach
+/// it through current_governor() / governed_poll(), not directly.
+class ResourceGovernor
+    : public std::enable_shared_from_this<ResourceGovernor> {
+ public:
+  ResourceGovernor(const ResourceLimits& limits,
+                   std::shared_ptr<const ResourceGovernor> parent)
+      : limits_(limits),
+        arena_(limits.max_memory_bytes),
+        parent_(std::move(parent)) {}
+
+  /// Cooperative checkpoint: throws Cancelled / DeadlineExceeded when a
+  /// limit anywhere on the governor chain has tripped. The first
+  /// participant to observe a trip records the obs counter; later
+  /// observers (other pool workers) just throw.
+  void checkpoint() const;
+
+  /// Pre-flight admission: throws ResourceExhausted (and counts
+  /// obs admission_rejected) when `estimated_peak_bytes` exceeds any
+  /// chain member's remaining budget. `what` names the archive kind for
+  /// the error message.
+  void admit(std::uint64_t estimated_peak_bytes, const char* what) const;
+
+  /// Charges every arena on the chain; rolls back the partial charges
+  /// and rethrows if an arena rejects.
+  void charge(std::uint64_t bytes) const;
+  void release(std::uint64_t bytes) const noexcept;
+
+  [[nodiscard]] const ResourceLimits& limits() const noexcept {
+    return limits_;
+  }
+  [[nodiscard]] const MemoryArena& arena() const noexcept { return arena_; }
+
+ private:
+  ResourceLimits limits_;
+  mutable MemoryArena arena_;
+  std::shared_ptr<const ResourceGovernor> parent_;
+  /// Dedupes the cancelled/deadline obs counters: every worker polling a
+  /// tripped governor throws, but exactly one reports the event.
+  mutable std::atomic<bool> reported_{false};
+};
+
+/// The innermost governor installed on the calling thread, or nullptr
+/// when the thread is ungoverned.
+[[nodiscard]] const ResourceGovernor* current_governor() noexcept;
+
+/// Shared handle to the current governor (what parallel_for publishes to
+/// its workers); null when ungoverned.
+[[nodiscard]] std::shared_ptr<const ResourceGovernor>
+current_governor_shared();
+
+/// Cooperative cancellation/deadline checkpoint: a no-op (one
+/// thread-local load) when the calling thread is ungoverned.
+inline void governed_poll() {
+  const ResourceGovernor* g = current_governor();
+  if (g != nullptr) g->checkpoint();
+}
+
+/// Installs a governor enforcing `limits` for the calling thread's scope
+/// (and, through parallel_for, for every pool worker participating in
+/// loops published from it). A no-op when `limits` is all-defaults, so
+/// nested pipeline entry points — chunked frames calling dpz_compress,
+/// rate-control probes — inherit the enclosing governor instead of
+/// shadowing it.
+class GovernorScope {
+ public:
+  explicit GovernorScope(const ResourceLimits& limits);
+  ~GovernorScope();
+
+  GovernorScope(const GovernorScope&) = delete;
+  GovernorScope& operator=(const GovernorScope&) = delete;
+
+ private:
+  std::shared_ptr<const ResourceGovernor> governor_;  // null when no-op
+  const ResourceGovernor* previous_ = nullptr;
+};
+
+/// RAII memory reservation against the calling thread's governor chain.
+/// Records nothing when the thread is ungoverned, so the types carrying
+/// one (Matrix, NdArray) cost a thread-local load per construction
+/// outside governed scopes. Copying re-charges the same byte count
+/// against the *copying* thread's governor (a copy is a new allocation);
+/// moving transfers the reservation. The reservation holds the governor
+/// alive, so charged objects may safely outlive their GovernorScope.
+class ScopedCharge {
+ public:
+  ScopedCharge() noexcept = default;
+  /// Charges `bytes` against the current governor chain. Throws
+  /// ResourceExhausted over budget and std::bad_alloc when an armed
+  /// allocation fault fires (io::FaultPlan::alloc_fail_at).
+  explicit ScopedCharge(std::uint64_t bytes);
+  ScopedCharge(const ScopedCharge& other) : ScopedCharge(other.bytes_) {}
+  ScopedCharge& operator=(const ScopedCharge& other) {
+    if (this != &other) *this = ScopedCharge(other);
+    return *this;
+  }
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : governor_(std::move(other.governor_)), bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      governor_ = std::move(other.governor_);
+      bytes_ = other.bytes_;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~ScopedCharge() { reset(); }
+
+  /// Releases the reservation early (idempotent).
+  void reset() noexcept {
+    if (governor_ != nullptr) {
+      governor_->release(bytes_);
+      governor_ = nullptr;
+    }
+    bytes_ = 0;
+  }
+
+ private:
+  std::shared_ptr<const ResourceGovernor> governor_;
+  std::uint64_t bytes_ = 0;
+};
+
+namespace detail {
+
+/// Worker-side governor adoption for ThreadPool: installs the published
+/// job's governor (may be null) as the worker's thread-local for one
+/// chunk. The pool's Shared job state holds the owning shared_ptr.
+class GovernorAdopt {
+ public:
+  explicit GovernorAdopt(const ResourceGovernor* governor) noexcept;
+  ~GovernorAdopt();
+
+  GovernorAdopt(const GovernorAdopt&) = delete;
+  GovernorAdopt& operator=(const GovernorAdopt&) = delete;
+
+ private:
+  const ResourceGovernor* previous_;
+};
+
+/// Allocation fault injection, armed by io::FaultPlan::alloc_fail_at
+/// through install_fault_plan (the storage lives here because io links
+/// util, not the reverse): set the 1-based index of the charged
+/// allocation that must fail with std::bad_alloc on this thread; 0
+/// disarms.
+void set_alloc_fault(std::uint64_t nth) noexcept;
+/// Consumes one charged-allocation slot; true when this one must fail.
+[[nodiscard]] bool consume_alloc_fault() noexcept;
+
+}  // namespace detail
+
+}  // namespace dpz

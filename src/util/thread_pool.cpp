@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "util/annotated_mutex.h"
+#include "util/resource.h"
 
 namespace dpz {
 
@@ -58,6 +59,11 @@ struct ThreadPool::Shared {
   // publish time. Lets each participant attribute queue-wait (publication
   // to chunk start) separately from run time in its pool_task span.
   std::uint64_t publish_ns DPZ_GUARDED_BY(m) = 0;
+  // The publishing thread's resource governor (null when ungoverned):
+  // workers adopt it for their chunk so governed charges and cooperative
+  // cancellation checkpoints cross the fork. The shared_ptr keeps the
+  // governor alive for the job even though the publisher also holds it.
+  std::shared_ptr<const ResourceGovernor> governor DPZ_GUARDED_BY(m);
 };
 
 namespace {
@@ -102,6 +108,7 @@ void ThreadPool::worker_main(unsigned index) const {
     std::size_t lo = 0;
     std::size_t hi = 0;
     std::uint64_t publish_ns = 0;
+    std::shared_ptr<const ResourceGovernor> governor;
     {
       // Predicate spelled out in the wait loop (not a lambda) so the
       // thread-safety analysis sees the guarded reads under the lock.
@@ -113,14 +120,23 @@ void ThreadPool::worker_main(unsigned index) const {
       lo = std::min(s.end, s.begin + index * s.chunk);
       hi = std::min(s.end, lo + s.chunk);
       publish_ns = s.publish_ns;
+      governor = s.governor;
     }
     if (lo < hi) {
       const bool traced = obs::telemetry_enabled();
       const std::uint64_t start_ns =
           traced ? obs::TraceRecorder::now_ns() : 0;
       const DepthGuard guard;
+      // Adopt the publisher's governor so body-internal charges, nested
+      // polls, and the per-index checkpoint below all see it. A tripped
+      // limit aborts this chunk between strip indices (bounded latency)
+      // and surfaces through the normal first-exception-wins channel.
+      const detail::GovernorAdopt adopt(governor.get());
       try {
-        for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (governor != nullptr) governor->checkpoint();
+          (*body)(i);
+        }
       } catch (...) {
         const MutexLock lock(s.m);
         if (!s.error) s.error = std::current_exception();
@@ -144,9 +160,16 @@ void ThreadPool::parallel_for(
 
   // Serial paths: single-participant pools, tiny ranges, and nested
   // calls (the calling thread is already one of a pool's participants).
+  // The thread-local governor is already in place here; poll it between
+  // indices so single-threaded loops honor the same abort-latency bound
+  // as pool chunks.
   if (workers_.empty() || n == 1 || t_parallel_depth > 0) {
     const DepthGuard guard;
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    const ResourceGovernor* governor = current_governor();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (governor != nullptr) governor->checkpoint();
+      body(i);
+    }
     return;
   }
 
@@ -171,21 +194,27 @@ void ThreadPool::parallel_for(
     s.error = nullptr;
     s.publish_ns =
         obs::telemetry_enabled() ? obs::TraceRecorder::now_ns() : 0;
+    s.governor = current_governor_shared();
     ++s.generation;
     chunk = s.chunk;
     publish_ns = s.publish_ns;
   }
   s.job_cv.notify_all();
 
-  // The calling thread is participant 0.
+  // The calling thread is participant 0 (its thread-local governor is
+  // already installed; poll it between indices like the workers do).
   {
     const bool traced = obs::telemetry_enabled();
     const std::uint64_t start_ns =
         traced ? obs::TraceRecorder::now_ns() : 0;
     const DepthGuard guard;
+    const ResourceGovernor* governor = current_governor();
     const std::size_t hi = std::min(end, begin + chunk);
     try {
-      for (std::size_t i = begin; i < hi; ++i) body(i);
+      for (std::size_t i = begin; i < hi; ++i) {
+        if (governor != nullptr) governor->checkpoint();
+        body(i);
+      }
     } catch (...) {
       const MutexLock lock(s.m);
       if (!s.error) s.error = std::current_exception();
@@ -201,6 +230,7 @@ void ThreadPool::parallel_for(
     while (s.remaining != 0) s.done_cv.wait(s.m);
     error = s.error;
     s.body = nullptr;
+    s.governor = nullptr;
   }
   if (error) std::rethrow_exception(error);
 }

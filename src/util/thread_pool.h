@@ -22,6 +22,13 @@
 // `threads` knob resolves to via ScopedThreads; every inner loop that
 // calls the free `parallel_for` then runs on that pool. With no scope
 // installed, the process-wide pool (hardware concurrency) is used.
+//
+// Resource governance: parallel_for publishes the calling thread's
+// ResourceGovernor (util/resource.h) with each job. Workers adopt it for
+// their chunk — so governed memory charges inside the body account
+// correctly — and every participant polls it between strip indices,
+// which bounds cancellation/deadline abort latency to one body call even
+// mid-loop. Ungoverned loops pay one thread-local load per index.
 #pragma once
 
 #include <cstddef>

@@ -244,6 +244,153 @@ TEST(CApi, GarbageArchiveGivesFormatErrorNotCrash) {
   EXPECT_LT(dpz_archive_is_double(garbage.data(), garbage.size()), 0);
 }
 
+TEST(CApi, CancelTokenLifecycleAndSemantics) {
+  dpz_cancel_token* token = dpz_cancel_token_new();
+  ASSERT_NE(token, nullptr);
+  EXPECT_EQ(dpz_cancel_requested(token), 0);
+  dpz_cancel(token);
+  EXPECT_EQ(dpz_cancel_requested(token), 1);
+  dpz_cancel(token);  // idempotent
+  EXPECT_EQ(dpz_cancel_requested(token), 1);
+  dpz_cancel_token_free(token);
+  // Null handles are inert everywhere.
+  dpz_cancel(nullptr);
+  EXPECT_EQ(dpz_cancel_requested(nullptr), 0);
+  dpz_cancel_token_free(nullptr);
+}
+
+TEST(CApi, ResourceLimitOptionsGovernCompressAndDecompress) {
+  const std::vector<float> data = smooth_values(64 * 96);
+  const size_t dims[2] = {64, 96};
+  dpz_options opt;
+  dpz_options_default(&opt);
+  EXPECT_EQ(opt.max_memory_bytes, 0U);
+  EXPECT_DOUBLE_EQ(opt.deadline_ms, 0.0);
+  EXPECT_EQ(opt.cancel, nullptr);
+
+  // Generous limits: everything succeeds and bytes match the ungoverned
+  // archive (limits are byte-invisible when they never trip).
+  unsigned char* plain = nullptr;
+  size_t plain_size = 0;
+  ASSERT_EQ(dpz_compress_float(data.data(), dims, 2, &opt, &plain,
+                               &plain_size),
+            DPZ_OK);
+  opt.max_memory_bytes = 1ULL << 30;
+  opt.deadline_ms = 60000.0;
+  unsigned char* governed = nullptr;
+  size_t governed_size = 0;
+  ASSERT_EQ(dpz_compress_float(data.data(), dims, 2, &opt, &governed,
+                               &governed_size),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_EQ(governed_size, plain_size);
+  EXPECT_EQ(std::memcmp(governed, plain, plain_size), 0);
+
+  float* out = nullptr;
+  size_t out_count = 0;
+  ASSERT_EQ(dpz_decompress_float_ex(governed, governed_size, &opt, &out,
+                                    &out_count),
+            DPZ_OK)
+      << dpz_last_error();
+  EXPECT_EQ(out_count, data.size());
+  dpz_free(out);
+  out = nullptr;
+
+  // A budget smaller than the decoded output: pre-flight admission
+  // rejects with the dedicated status, outputs untouched.
+  dpz_options tiny;
+  dpz_options_default(&tiny);
+  tiny.max_memory_bytes = 1024;
+  EXPECT_EQ(dpz_decompress_float_ex(governed, governed_size, &tiny, &out,
+                                    &out_count),
+            DPZ_ERR_RESOURCE);
+  EXPECT_EQ(out, nullptr);
+  EXPECT_EQ(std::string(dpz_status_name(DPZ_ERR_RESOURCE)),
+            "resource_exhausted");
+
+  // An expired deadline aborts at the first checkpoint.
+  dpz_options late;
+  dpz_options_default(&late);
+  late.deadline_ms = 1e-6;
+  EXPECT_EQ(dpz_decompress_float_ex(governed, governed_size, &late, &out,
+                                    &out_count),
+            DPZ_ERR_DEADLINE);
+  EXPECT_EQ(std::string(dpz_status_name(DPZ_ERR_DEADLINE)),
+            "deadline_exceeded");
+
+  // A pre-cancelled token aborts compress and decompress alike.
+  dpz_cancel_token* token = dpz_cancel_token_new();
+  ASSERT_NE(token, nullptr);
+  dpz_cancel(token);
+  dpz_options cancelled;
+  dpz_options_default(&cancelled);
+  cancelled.cancel = token;
+  unsigned char* never = nullptr;
+  size_t never_size = 0;
+  EXPECT_EQ(dpz_compress_float(data.data(), dims, 2, &cancelled, &never,
+                               &never_size),
+            DPZ_ERR_CANCELLED);
+  EXPECT_EQ(never, nullptr);
+  EXPECT_EQ(dpz_decompress_float_ex(governed, governed_size, &cancelled,
+                                    &out, &out_count),
+            DPZ_ERR_CANCELLED);
+  EXPECT_EQ(std::string(dpz_status_name(DPZ_ERR_CANCELLED)), "cancelled");
+  dpz_cancel_token_free(token);
+
+  dpz_free(plain);
+  dpz_free(governed);
+}
+
+TEST(CApi, MetricsExposeGovernanceCounters) {
+  dpz_telemetry_enable(1);
+  dpz_metrics_reset();
+
+  const std::vector<float> data = smooth_values(64 * 96);
+  const size_t dims[2] = {64, 96};
+  dpz_options defaults;
+  dpz_options_default(&defaults);
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_compress_float(data.data(), dims, 2, &defaults, &archive,
+                               &archive_size),
+            DPZ_OK);
+
+  dpz_options tiny;
+  dpz_options_default(&tiny);
+  tiny.max_memory_bytes = 1024;
+  float* out = nullptr;
+  size_t out_count = 0;
+  EXPECT_EQ(dpz_decompress_float_ex(archive, archive_size, &tiny, &out,
+                                    &out_count),
+            DPZ_ERR_RESOURCE);
+
+  dpz_options late;
+  dpz_options_default(&late);
+  late.deadline_ms = 1e-6;
+  EXPECT_EQ(dpz_decompress_float_ex(archive, archive_size, &late, &out,
+                                    &out_count),
+            DPZ_ERR_DEADLINE);
+
+  dpz_cancel_token* token = dpz_cancel_token_new();
+  dpz_cancel(token);
+  dpz_options cancelled;
+  dpz_options_default(&cancelled);
+  cancelled.cancel = token;
+  EXPECT_EQ(dpz_decompress_float_ex(archive, archive_size, &cancelled,
+                                    &out, &out_count),
+            DPZ_ERR_CANCELLED);
+  dpz_cancel_token_free(token);
+
+  dpz_metrics metrics;
+  ASSERT_EQ(dpz_metrics_snapshot(&metrics), DPZ_OK);
+  EXPECT_EQ(metrics.admission_rejected, 1U);
+  EXPECT_EQ(metrics.deadline_exceeded, 1U);
+  EXPECT_EQ(metrics.cancelled, 1U);
+
+  dpz_free(archive);
+  dpz_telemetry_enable(0);
+}
+
 TEST(CApi, KneeSelectionViaOptions) {
   const std::vector<float> data = smooth_values(128 * 64);
   const size_t dims[2] = {128, 64};

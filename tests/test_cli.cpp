@@ -296,6 +296,83 @@ TEST_F(CliFlowTest, BestEffortDecompressRecoversDamagedContainer) {
   EXPECT_NO_THROW(read_f32(path("be_out.f32"), {64, 96}));
 }
 
+TEST_F(CliFlowTest, ResourceLimitFlagsGovernDecompress) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("rl.dpz"),
+                 "--shape=64x96"}),
+            0)
+      << err_.str();
+
+  // Generous limits: the decode succeeds normally.
+  EXPECT_EQ(run({"decompress", path("rl.dpz"), path("rl_out.f32"),
+                 "--max-memory=256M", "--deadline-ms=60000"}),
+            0)
+      << err_.str();
+
+  // A budget below the decoded size: pre-flight admission rejects with
+  // the dedicated exit code, before any output is written.
+  EXPECT_EQ(run({"decompress", path("rl.dpz"), path("rl_tiny.f32"),
+                 "--max-memory=1K"}),
+            4);
+  EXPECT_NE(err_.str().find("memory budget"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path("rl_tiny.f32")));
+
+  // An effectively expired deadline aborts with its own exit code.
+  EXPECT_EQ(run({"decompress", path("rl.dpz"), path("rl_late.f32"),
+                 "--deadline-ms=0.000001"}),
+            5);
+  EXPECT_NE(err_.str().find("deadline"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, ResourceLimitFlagsGovernCompress) {
+  // Compressing 24 KB of input under a 1 KB budget trips the arena at
+  // the first charged allocation.
+  EXPECT_EQ(run({"compress", path("in.f32"), path("rc.dpz"),
+                 "--shape=64x96", "--max-memory=1K"}),
+            4);
+  EXPECT_NE(err_.str().find("memory budget"), std::string::npos);
+  EXPECT_EQ(run({"compress", path("in.f32"), path("rc.dpz"),
+                 "--shape=64x96", "--deadline-ms=0.000001"}),
+            5);
+
+  // And generous limits leave the archive byte-identical to a plain run.
+  ASSERT_EQ(run({"compress", path("in.f32"), path("rc_plain.dpz"),
+                 "--shape=64x96"}),
+            0);
+  ASSERT_EQ(run({"compress", path("in.f32"), path("rc_gov.dpz"),
+                 "--shape=64x96", "--max-memory=1G",
+                 "--deadline-ms=60000"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(read_bytes(path("rc_plain.dpz")),
+            read_bytes(path("rc_gov.dpz")));
+}
+
+TEST_F(CliFlowTest, MalformedResourceFlagsFail) {
+  EXPECT_EQ(run({"decompress", path("in.f32"), path("x.f32"),
+                 "--max-memory=64Q"}),
+            1);
+  EXPECT_NE(err_.str().find("byte size"), std::string::npos);
+  EXPECT_EQ(run({"decompress", path("in.f32"), path("x.f32"),
+                 "--max-memory="}),
+            1);
+  EXPECT_EQ(run({"decompress", path("in.f32"), path("x.f32"),
+                 "--deadline-ms=-5"}),
+            1);
+}
+
+TEST_F(CliFlowTest, InspectPrintsDecodePreflight) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("pf.dpz"),
+                 "--shape=64x96"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"inspect", path("pf.dpz")}), 0) << err_.str();
+  // 64 x 96 f32 = 24576 bytes claimed; the peak estimate sits above it.
+  EXPECT_NE(out_.str().find("decoded:  24.0 KB (header claim)"),
+            std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("peak est:"), std::string::npos);
+}
+
 TEST_F(CliFlowTest, VerifyMissingOperandFails) {
   EXPECT_EQ(run({"verify"}), 1);
   EXPECT_EQ(run({"inspect"}), 1);

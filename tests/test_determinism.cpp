@@ -249,6 +249,50 @@ TEST(Determinism, ArchiveBytesAreIsaAndThreadCountInvariant) {
   }
 }
 
+TEST(Determinism, ResourceLimitsAreByteInvisibleAcrossThreadCounts) {
+  // Governance checkpoints and memory charges sit inside every stage
+  // and strip loop; with limits enabled but never tripping, the bytes
+  // must be indistinguishable from an ungoverned run at every worker
+  // count (the ResourceLimits design invariant).
+  const FloatArray data = synthetic_2d(96, 80, 47);
+  DpzConfig plain = DpzConfig::strict();
+  plain.threads = 1;
+  const std::vector<std::uint8_t> ref_archive = dpz_compress(data, plain);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(dpz_decompress(ref_archive, 0, 1));
+
+  CancelSource never;
+  ResourceLimits limits;
+  limits.max_memory_bytes = 1ULL << 30;
+  limits.deadline_ns = ResourceLimits::deadline_after_ms(300000.0);
+  limits.cancel = never.token();
+  DpzConfig governed = plain;
+  governed.limits = limits;
+  for (const unsigned threads : kThreadCounts) {
+    governed.threads = threads;
+    EXPECT_EQ(dpz_compress(data, governed), ref_archive)
+        << "governed archive differs at threads=" << threads;
+    EXPECT_EQ(
+        float_bytes(dpz_decompress(ref_archive, 0, threads, limits)),
+        ref_decode)
+        << "governed decode differs at threads=" << threads;
+  }
+
+  ChunkedConfig chunk_plain;
+  chunk_plain.chunk_values = 2048;
+  chunk_plain.threads = 1;
+  const FloatArray flat = synthetic_2d(1, 3 * 2048, 48);
+  const std::vector<std::uint8_t> ref_container =
+      chunked_compress(flat, chunk_plain);
+  ChunkedConfig chunk_governed = chunk_plain;
+  chunk_governed.dpz.limits = limits;
+  for (const unsigned threads : kThreadCounts) {
+    chunk_governed.threads = threads;
+    EXPECT_EQ(chunked_compress(flat, chunk_governed), ref_container)
+        << "governed container differs at threads=" << threads;
+  }
+}
+
 TEST(Determinism, ProgressiveDecodeIsThreadCountInvariant) {
   // max_components trims the score streams; the partial reconstruction
   // must be as thread-invariant as the full one.
