@@ -191,6 +191,62 @@ int compress_impl(const T* data, const size_t* dims, size_t rank,
   }
 }
 
+// Options translation for container-level calls. fill_value crosses the
+// boundary unchanged now that ChunkedConfig stores it as double.
+dpz::ChunkedConfig to_chunked_config(const dpz_options* opt) {
+  dpz::ChunkedConfig config;
+  if (opt == nullptr) return config;
+  config.threads = threads_of(opt);
+  config.decode_policy = opt->best_effort != 0
+                             ? dpz::DecodePolicy::kBestEffort
+                             : dpz::DecodePolicy::kStrict;
+  config.fill_value = opt->fill_value;
+  config.dpz.limits = to_limits(opt);
+  return config;
+}
+
+template <typename T, typename Decompress>
+int chunked_decompress_impl(const unsigned char* container,
+                            size_t container_size, const dpz_options* opt,
+                            T** out, size_t* out_count,
+                            dpz_decode_report* report,
+                            const Decompress& decompress) {
+  if (container == nullptr || out == nullptr || out_count == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  if (report != nullptr) {
+    *report = dpz_decode_report{};
+    report->first_lost_frame = static_cast<size_t>(-1);
+  }
+  try {
+    const TraceScope trace(opt);
+    const dpz::ChunkedConfig config = to_chunked_config(opt);
+    dpz::DecodeReport cpp_report;
+    const dpz::NdArray<T> array = decompress(
+        std::span<const std::uint8_t>{container, container_size}, config,
+        &cpp_report);
+    if (report != nullptr) {
+      report->frames_total = cpp_report.frames_total;
+      report->frames_recovered = cpp_report.frames_recovered;
+      report->frames_lost = cpp_report.lost.size();
+      report->frames_repaired = cpp_report.frames_repaired;
+      if (!cpp_report.lost.empty()) {
+        report->first_lost_frame = cpp_report.lost.front().frame;
+        const std::string& msg = cpp_report.lost.front().message;
+        const size_t n =
+            std::min(msg.size(), sizeof(report->first_error) - 1);
+        msg.copy(report->first_error, n);
+        report->first_error[n] = '\0';
+      }
+    }
+    g_last_error.clear();
+    const int rc = export_values(array, out, out_count);
+    if (rc != DPZ_OK) return rc;
+    return cpp_report.complete() ? DPZ_OK : DPZ_PARTIAL;
+  } catch (...) {
+    return translate_exception();
+  }
+}
+
 }  // namespace
 
 extern "C" {
@@ -211,6 +267,8 @@ void dpz_options_default(dpz_options* opt) {
   opt->max_memory_bytes = 0;
   opt->deadline_ms = 0.0;
   opt->cancel = nullptr;
+  opt->parity_k = 16;
+  opt->parity_m = 0;
 }
 
 dpz_cancel_token* dpz_cancel_token_new(void) {
@@ -269,6 +327,8 @@ int dpz_metrics_snapshot(dpz_metrics* out) {
   out->admission_rejected = snap.counter(Counter::kAdmissionRejected);
   out->cancelled = snap.counter(Counter::kCancelledOps);
   out->deadline_exceeded = snap.counter(Counter::kDeadlineExceededOps);
+  out->frames_repaired = snap.counter(Counter::kFramesRepaired);
+  out->repair_failed = snap.counter(Counter::kRepairFailed);
   return DPZ_OK;
 }
 
@@ -293,45 +353,57 @@ int dpz_chunked_decompress_float(const unsigned char* container,
                                  const dpz_options* opt, float** out,
                                  size_t* out_count,
                                  dpz_decode_report* report) {
-  if (container == nullptr || out == nullptr || out_count == nullptr)
+  return chunked_decompress_impl<float>(
+      container, container_size, opt, out, out_count, report,
+      [](std::span<const std::uint8_t> bytes,
+         const dpz::ChunkedConfig& config, dpz::DecodeReport* rep) {
+        return dpz::chunked_decompress(bytes, config, rep);
+      });
+}
+
+int dpz_chunked_decompress_double(const unsigned char* container,
+                                  size_t container_size,
+                                  const dpz_options* opt, double** out,
+                                  size_t* out_count,
+                                  dpz_decode_report* report) {
+  return chunked_decompress_impl<double>(
+      container, container_size, opt, out, out_count, report,
+      [](std::span<const std::uint8_t> bytes,
+         const dpz::ChunkedConfig& config, dpz::DecodeReport* rep) {
+        return dpz::chunked_decompress_f64(bytes, config, rep);
+      });
+}
+
+int dpz_chunked_compress_float(const float* data, const size_t* dims,
+                               size_t rank, size_t chunk_values,
+                               const dpz_options* opt,
+                               unsigned char** archive,
+                               size_t* archive_size) {
+  if (data == nullptr || dims == nullptr || opt == nullptr ||
+      archive == nullptr || archive_size == nullptr)
     return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
-  if (report != nullptr) {
-    *report = dpz_decode_report{};
-    report->first_lost_frame = static_cast<size_t>(-1);
-  }
+  if (rank == 0 || rank > 4)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "rank must be 1..4");
   try {
     const TraceScope trace(opt);
+    std::vector<std::size_t> shape(dims, dims + rank);
+    std::size_t total = 1;
+    for (const std::size_t d : shape) total *= d;
+    const dpz::FloatArray array(shape,
+                                std::vector<float>(data, data + total));
     dpz::ChunkedConfig config;
-    if (opt != nullptr) {
-      config.threads =
-          opt->threads > 0 ? static_cast<unsigned>(opt->threads) : 0;
-      config.decode_policy = opt->best_effort != 0
-                                 ? dpz::DecodePolicy::kBestEffort
-                                 : dpz::DecodePolicy::kStrict;
-      config.fill_value = static_cast<float>(opt->fill_value);
-      config.dpz.limits = to_limits(opt);
+    config.dpz = to_config(opt);
+    config.chunk_values = chunk_values;
+    config.threads = threads_of(opt);
+    if (opt->parity_m > 0) {
+      config.parity_k =
+          opt->parity_k > 0 ? static_cast<unsigned>(opt->parity_k) : 0;
+      config.parity_m = static_cast<unsigned>(opt->parity_m);
     }
-    dpz::DecodeReport cpp_report;
-    const dpz::FloatArray array = dpz::chunked_decompress(
-        std::span<const std::uint8_t>{container, container_size}, config,
-        &cpp_report);
-    if (report != nullptr) {
-      report->frames_total = cpp_report.frames_total;
-      report->frames_recovered = cpp_report.frames_recovered;
-      report->frames_lost = cpp_report.lost.size();
-      if (!cpp_report.lost.empty()) {
-        report->first_lost_frame = cpp_report.lost.front().frame;
-        const std::string& msg = cpp_report.lost.front().message;
-        const size_t n =
-            std::min(msg.size(), sizeof(report->first_error) - 1);
-        msg.copy(report->first_error, n);
-        report->first_error[n] = '\0';
-      }
-    }
+    const std::vector<std::uint8_t> bytes =
+        dpz::chunked_compress(array, config);
     g_last_error.clear();
-    const int rc = export_values(array, out, out_count);
-    if (rc != DPZ_OK) return rc;
-    return cpp_report.complete() ? DPZ_OK : DPZ_PARTIAL;
+    return export_bytes(bytes, archive, archive_size);
   } catch (...) {
     return translate_exception();
   }

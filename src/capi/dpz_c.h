@@ -150,6 +150,17 @@ typedef struct dpz_options {
   /* Cooperative cancel token (see dpz_cancel_token_new); NULL = none.
    * The token must stay alive for the duration of the call. */
   const dpz_cancel_token* cancel;
+  /* ---- Frame parity (appended per the ABI-growth policy) -------------
+   *
+   * Reed-Solomon erasure coding for dpz_chunked_compress_float: groups
+   * of parity_k compressed frames get parity_m parity shards, so up to
+   * parity_m lost frames per group reconstruct byte-exactly on decode
+   * (reported in dpz_decode_report.frames_repaired). parity_m = 0
+   * (default) disables parity and writes the v2 container byte
+   * layout. Requires parity_k >= 1 and parity_k + parity_m <= 255 when
+   * enabled. */
+  int parity_k;
+  int parity_m;
 } dpz_options;
 
 /* Fills `opt` with the library defaults (strict scheme, five-nine TVE). */
@@ -199,7 +210,10 @@ int dpz_decompress_double_ex(const unsigned char* archive,
                              double** out, size_t* out_count);
 
 /* Per-frame outcome of a chunked decode (see dpz_chunked_decompress_float).
- * first_lost_frame is (size_t)-1 when no frame was lost. */
+ * first_lost_frame is (size_t)-1 when no frame was lost.
+ *
+ * ABI note: like dpz_options, this struct may grow at the end; always
+ * zero-populate it through the API, never by layout assumptions. */
 typedef struct dpz_decode_report {
   size_t frames_total;
   size_t frames_recovered;
@@ -207,19 +221,44 @@ typedef struct dpz_decode_report {
   size_t first_lost_frame;
   /* Message of the first lost frame's error ("" when none), truncated. */
   char first_error[240];
+  /* Damaged frames rebuilt byte-exactly from Reed-Solomon parity
+   * (appended per the ABI-growth policy). Repaired frames also count in
+   * frames_recovered; only losses beyond the parity budget appear in
+   * frames_lost. */
+  size_t frames_repaired;
 } dpz_decode_report;
 
-/* Decompresses a chunked container (format "DZCK"/"DZC2"). `opt` may be
- * NULL for strict defaults; otherwise `threads`, `best_effort`, and
- * `fill_value` apply. `report` may be NULL. Returns DPZ_OK on a full
+/* Compresses floats into a chunked container of `chunk_values`-sized
+ * frames (format "DZC2", or "DZC3" when opt->parity_m > 0 adds
+ * Reed-Solomon frame parity). `opt` may be NULL for defaults;
+ * `threads`, `parity_k`/`parity_m`, and the governance fields apply. */
+int dpz_chunked_compress_float(const float* data, const size_t* dims,
+                               size_t rank, size_t chunk_values,
+                               const dpz_options* opt,
+                               unsigned char** archive,
+                               size_t* archive_size);
+
+/* Decompresses a chunked container (format "DZCK"/"DZC2"/"DZC3"). `opt`
+ * may be NULL for strict defaults; otherwise `threads`, `best_effort`,
+ * and `fill_value` apply. `report` may be NULL. Returns DPZ_OK on a full
  * reconstruction, DPZ_PARTIAL when best-effort lost frames (the output
  * buffer is still produced, lost frames filled), or an error code with
- * the outputs untouched. */
+ * the outputs untouched. Damaged frames covered by parity repair
+ * transparently in both policies (report->frames_repaired). */
 int dpz_chunked_decompress_float(const unsigned char* container,
                                  size_t container_size,
                                  const dpz_options* opt, float** out,
                                  size_t* out_count,
                                  dpz_decode_report* report);
+
+/* Double-precision variant: identical semantics, output widened to
+ * doubles (containers store f32 frames; fill_value is applied without
+ * narrowing). */
+int dpz_chunked_decompress_double(const unsigned char* container,
+                                  size_t container_size,
+                                  const dpz_options* opt, double** out,
+                                  size_t* out_count,
+                                  dpz_decode_report* report);
 
 /* Reads the shape from an archive header. `dims` must hold at least 4
  * entries; *rank receives the actual rank. */
@@ -280,6 +319,11 @@ typedef struct dpz_metrics {
   uint64_t admission_rejected;
   uint64_t cancelled;
   uint64_t deadline_exceeded;
+  /* Frame-parity outcomes (appended per the ABI-growth policy): damaged
+   * frames rebuilt byte-exactly from Reed-Solomon parity, and damaged
+   * frames whose loss exceeded the parity budget. */
+  uint64_t frames_repaired;
+  uint64_t repair_failed;
 } dpz_metrics;
 
 /* Copies the current counter values into *out. Returns DPZ_OK, or

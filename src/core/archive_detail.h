@@ -18,6 +18,11 @@ namespace dpz::detail {
 /// kFormatVersion; readers accept both (docs/FORMAT.md, "Format v2").
 inline constexpr std::uint8_t kFormatVersionLegacy = 1;
 inline constexpr std::uint8_t kFormatVersion = 2;
+/// Chunked-container revision 3 ("DZC3"): v2 plus an optional
+/// Reed-Solomon parity section after the frame area. Writers emit it
+/// only when parity is requested, so parity-less containers stay
+/// byte-identical v2 (docs/FORMAT.md, "DZC3").
+inline constexpr std::uint8_t kChunkedFormatVersion3 = 3;
 
 /// Container magics (little-endian u32 of the 4-byte tag). The v1 tags
 /// carry no version byte, so v2 containers announce themselves with new
@@ -25,6 +30,7 @@ inline constexpr std::uint8_t kFormatVersion = 2;
 inline constexpr std::uint32_t kDpzMagic = 0x315A5044;         // "DPZ1"
 inline constexpr std::uint32_t kChunkedMagicV1 = 0x4B435A44;   // "DZCK"
 inline constexpr std::uint32_t kChunkedMagicV2 = 0x32435A44;   // "DZC2"
+inline constexpr std::uint32_t kChunkedMagicV3 = 0x33435A44;   // "DZC3"
 inline constexpr std::uint32_t kBasisMagicV1 = 0x42505A44;     // "DZPB"
 inline constexpr std::uint32_t kBasisMagicV2 = 0x32425A44;     // "DZB2"
 inline constexpr std::uint32_t kSnapshotMagicV1 = 0x53505A44;  // "DZPS"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "codec/bytes.h"
 #include "core/archive_detail.h"
+#include "ecc/reed_solomon.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/crc32c.h"
@@ -27,6 +29,13 @@ struct ContainerHeader {
   std::vector<std::uint64_t> frame_sizes;
   std::vector<std::uint32_t> frame_crcs;  // empty for v1 containers
   std::size_t frames_begin = 0;  // byte offset of the frame area
+  // v3 parity geometry; parity_m == 0 when the container carries none.
+  std::size_t parity_k = 0;
+  std::size_t parity_m = 0;
+  std::vector<std::uint64_t> shard_sizes;     // per group
+  std::vector<std::uint64_t> parity_offsets;  // per group, in parity area
+  std::vector<std::uint32_t> parity_crcs;     // group-major, m per group
+  std::size_t parity_begin = 0;  // byte offset of the parity area
 };
 
 // Number of frames the compressor emits for (total, chunk_values): one
@@ -39,6 +48,12 @@ std::size_t expected_frame_count(std::size_t total,
   std::size_t n = (total + chunk_values - 1) / chunk_values;
   if (n > 1 && total - (n - 1) * chunk_values < 8) --n;
   return n;
+}
+
+// Parity groups the geometry implies (0 when the container has none).
+std::size_t parity_group_count(const ContainerHeader& h) {
+  return h.parity_m == 0 ? 0
+                         : (h.frame_count + h.parity_k - 1) / h.parity_k;
 }
 
 // Flat value range frame `f` covers. Well-defined once the frame count
@@ -55,13 +70,18 @@ std::pair<std::size_t, std::size_t> frame_slot(const ContainerHeader& h,
 ContainerHeader parse_header(std::span<const std::uint8_t> container) {
   ByteReader r(container);
   const std::uint32_t magic = r.get_u32();
-  if (magic != detail::kChunkedMagicV1 && magic != detail::kChunkedMagicV2)
+  if (magic != detail::kChunkedMagicV1 &&
+      magic != detail::kChunkedMagicV2 && magic != detail::kChunkedMagicV3)
     throw FormatError("not a chunked DPZ container");
 
   ContainerHeader h;
   if (magic == detail::kChunkedMagicV2) {
     h.version = r.get_u8();
     if (h.version != detail::kFormatVersion)
+      throw FormatError("unsupported chunked container version");
+  } else if (magic == detail::kChunkedMagicV3) {
+    h.version = r.get_u8();
+    if (h.version != detail::kChunkedFormatVersion3)
       throw FormatError("unsupported chunked container version");
   }
   const std::uint8_t rank = r.get_u8();
@@ -95,7 +115,31 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
     h.frame_sizes[f] = r.get_u64();
     if (h.version >= detail::kFormatVersion) h.frame_crcs[f] = r.get_u32();
   }
-  // v2 seals everything up to here — fields *and* frame table — so a
+  // v3 appends the parity geometry after the frame table (still inside
+  // the sealed header): k, m, then per group its shard size and the
+  // CRC32C of each of its m parity shards.
+  std::uint64_t parity_bytes = 0;
+  if (h.version >= detail::kChunkedFormatVersion3) {
+    h.parity_k = r.get_u8();
+    h.parity_m = r.get_u8();
+    if (h.parity_k < 1 || h.parity_m < 1 ||
+        h.parity_k + h.parity_m > 255)
+      throw FormatError("chunked container: bad parity geometry");
+    const std::size_t groups = parity_group_count(h);
+    h.shard_sizes.resize(groups);
+    h.parity_offsets.resize(groups);
+    h.parity_crcs.resize(groups * h.parity_m);
+    for (std::size_t g = 0; g < groups; ++g) {
+      h.parity_offsets[g] = parity_bytes;
+      h.shard_sizes[g] = r.get_u64();
+      if (h.shard_sizes[g] > (1ULL << 40))
+        throw FormatError("chunked container: implausible parity shard");
+      parity_bytes += h.parity_m * h.shard_sizes[g];
+      for (std::size_t j = 0; j < h.parity_m; ++j)
+        h.parity_crcs[g * h.parity_m + j] = r.get_u32();
+    }
+  }
+  // v2+ seals everything up to here — fields *and* tables — so a
   // flipped table byte is caught before any frame bytes are touched.
   if (h.version >= detail::kFormatVersion)
     detail::check_header_crc(r, container, "chunked container");
@@ -103,8 +147,12 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
 
   // Frame table sanity: contiguous, in-bounds frames. Sizes are archive
   // data, so accumulate against the actual frame-area size instead of
-  // trusting the sum not to wrap 64 bits.
-  const std::uint64_t frame_area = container.size() - h.frames_begin;
+  // trusting the sum not to wrap 64 bits. For v3 the frame area stops
+  // where the parity area starts.
+  const std::uint64_t tail = container.size() - h.frames_begin;
+  if (parity_bytes > tail)
+    throw FormatError("chunked container: parity exceeds the container");
+  const std::uint64_t frame_area = tail - parity_bytes;
   std::uint64_t expected = 0;
   for (std::size_t f = 0; f < h.frame_count; ++f) {
     if (h.frame_offsets[f] != expected)
@@ -115,6 +163,12 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
   }
   if (expected != frame_area)
     throw FormatError("chunked container: frame area size mismatch");
+  h.parity_begin = h.frames_begin + static_cast<std::size_t>(frame_area);
+  // Every frame must fit its group's shard (parity runs over
+  // zero-padded payloads, so a shorter shard cannot cover the frame).
+  for (std::size_t f = 0; f < h.frame_count && h.parity_m != 0; ++f)
+    if (h.frame_sizes[f] > h.shard_sizes[f / h.parity_k])
+      throw FormatError("chunked container: frame exceeds its parity shard");
   return h;
 }
 
@@ -126,18 +180,32 @@ std::span<const std::uint8_t> frame_bytes(
       static_cast<std::size_t>(h.frame_sizes[f]));
 }
 
-// v2 per-frame integrity: verify the frame's CRC32C before its bytes
+std::span<const std::uint8_t> parity_shard_bytes(
+    std::span<const std::uint8_t> container, const ContainerHeader& h,
+    std::size_t g, std::size_t j) {
+  return container.subspan(
+      h.parity_begin + static_cast<std::size_t>(h.parity_offsets[g]) +
+          j * static_cast<std::size_t>(h.shard_sizes[g]),
+      static_cast<std::size_t>(h.shard_sizes[g]));
+}
+
+// v2 per-frame integrity: the frame's CRC32C must pass before its bytes
 // reach the DPZ decoder (verify-before-inflate, docs/FORMAT.md).
-void check_frame_crc(std::span<const std::uint8_t> frame,
-                     const ContainerHeader& h, std::size_t f) {
-  if (h.frame_crcs.empty()) return;
+bool frame_crc_ok(std::span<const std::uint8_t> frame,
+                  const ContainerHeader& h, std::size_t f) {
+  if (h.frame_crcs.empty()) return true;
   const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
   obs::count(obs::Counter::kCrcChecks);
-  if (crc32c(frame) != h.frame_crcs[f]) {
-    obs::count(obs::Counter::kCrcFailures);
+  if (crc32c(frame) == h.frame_crcs[f]) return true;
+  obs::count(obs::Counter::kCrcFailures);
+  return false;
+}
+
+void check_frame_crc(std::span<const std::uint8_t> frame,
+                     const ContainerHeader& h, std::size_t f) {
+  if (!frame_crc_ok(frame, h, f))
     throw ChecksumError("chunked container: frame " + std::to_string(f) +
                         " checksum mismatch");
-  }
 }
 
 // Chunk boundaries over `total` values: every chunk has `chunk_values`
@@ -152,20 +220,191 @@ std::vector<std::size_t> chunk_starts(std::size_t total,
 }
 
 // Pre-flight admission for a container decode: the header-claimed output
-// (h.total floats, sealed by the v2 header CRC) is priced against the
+// (h.total elements, sealed by the v2 header CRC) is priced against the
 // governing memory budget before any frame is decoded, so a forged shape
 // is rejected with ResourceExhausted instead of sizing the output buffer.
 // Frame working sets are charged per allocation as frames decode.
-void admit_container(const ContainerHeader& h) {
+void admit_container(const ContainerHeader& h, std::size_t elem_bytes) {
   if (const ResourceGovernor* g = current_governor())
-    g->admit(static_cast<std::uint64_t>(h.total) * sizeof(float),
+    g->admit(static_cast<std::uint64_t>(h.total) * elem_bytes,
              "chunked container");
 }
 
-FloatArray decompress_strict(std::span<const std::uint8_t> container,
+// Zero-padded data shards for parity group `g`: each stored frame
+// payload padded to the group's shard size, absent frames of a short
+// final group standing in as all-zero shards.
+std::vector<std::vector<std::uint8_t>> padded_group_shards(
+    std::span<const std::uint8_t> container, const ContainerHeader& h,
+    std::size_t g) {
+  const std::size_t shard_size =
+      static_cast<std::size_t>(h.shard_sizes[g]);
+  const ScopedCharge charge(static_cast<std::uint64_t>(h.parity_k) *
+                            shard_size);
+  std::vector<std::vector<std::uint8_t>> padded(h.parity_k);
+  for (std::size_t i = 0; i < h.parity_k; ++i) {
+    padded[i].assign(shard_size, 0);
+    const std::size_t f = g * h.parity_k + i;
+    if (f >= h.frame_count) continue;
+    const std::span<const std::uint8_t> frame = frame_bytes(container, h, f);
+    std::copy(frame.begin(), frame.end(), padded[i].begin());
+  }
+  return padded;
+}
+
+// A decode's parity-repair outcome: replacement bytes for every frame
+// that reconstructed (and CRC-verified byte-exact), flags for the ones
+// that did not. Empty vectors (parity-less containers, undamaged
+// decodes) mean "no repairs".
+struct RepairPlan {
+  std::vector<std::vector<std::uint8_t>> replacement;  // per frame
+  std::vector<std::uint8_t> repaired;      // per frame, 1 = replaced
+  std::vector<std::uint8_t> unrecovered;   // per frame, 1 = beyond budget
+
+  [[nodiscard]] bool frame_repaired(std::size_t f) const {
+    return f < repaired.size() && repaired[f] != 0;
+  }
+  [[nodiscard]] bool frame_unrecovered(std::size_t f) const {
+    return f < unrecovered.size() && unrecovered[f] != 0;
+  }
+};
+
+// Reed-Solomon reconstruction of every damaged frame from its group's
+// surviving shards. `damaged[f]` marks frames whose CRC failed. A
+// rebuilt frame only counts as repaired once its bytes re-verify
+// against the frame table's CRC32C — repair is byte-exact or it is a
+// failure. Counts kFramesRepaired / kRepairFailed exactly once per
+// damaged frame. Requires h.parity_m > 0.
+RepairPlan attempt_repairs(std::span<const std::uint8_t> container,
+                           const ContainerHeader& h,
+                           std::span<const std::uint8_t> damaged) {
+  RepairPlan plan;
+  plan.replacement.resize(h.frame_count);
+  plan.repaired.assign(h.frame_count, 0);
+  plan.unrecovered.assign(h.frame_count, 0);
+  const ecc::RsCodec codec(h.parity_k, h.parity_m);
+  const std::size_t groups = parity_group_count(h);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t first = g * h.parity_k;
+    const std::size_t last =
+        std::min(first + h.parity_k, h.frame_count);
+    bool any = false;
+    for (std::size_t f = first; f < last; ++f) any |= damaged[f] != 0;
+    if (!any) continue;
+    governed_poll();
+    const obs::ScopedSpan repair_span(obs::Span::kFrameRepair);
+    const std::size_t shard_size =
+        static_cast<std::size_t>(h.shard_sizes[g]);
+    const std::vector<std::vector<std::uint8_t>> padded =
+        padded_group_shards(container, h, g);
+    std::vector<std::span<const std::uint8_t>> shards(h.parity_k +
+                                                      h.parity_m);
+    std::vector<std::uint8_t> present(h.parity_k + h.parity_m, 0);
+    for (std::size_t i = 0; i < h.parity_k; ++i) {
+      const std::size_t f = first + i;
+      if (f < h.frame_count && damaged[f] != 0) continue;
+      shards[i] = padded[i];
+      present[i] = 1;
+    }
+    // Parity shards vouch for themselves through the header-sealed
+    // CRCs: a damaged shard is simply absent from the reconstruction.
+    for (std::size_t j = 0; j < h.parity_m; ++j) {
+      const auto shard = parity_shard_bytes(container, h, g, j);
+      if (crc32c(shard) != h.parity_crcs[g * h.parity_m + j]) continue;
+      shards[h.parity_k + j] = shard;
+      present[h.parity_k + j] = 1;
+    }
+    std::size_t surviving = 0;
+    for (const std::uint8_t p : present) surviving += p;
+    if (surviving < h.parity_k) {
+      for (std::size_t f = first; f < last; ++f) {
+        if (damaged[f] == 0) continue;
+        plan.unrecovered[f] = 1;
+        obs::count(obs::Counter::kRepairFailed);
+      }
+      continue;
+    }
+    const ScopedCharge charge(static_cast<std::uint64_t>(h.parity_k) *
+                              shard_size);
+    const std::vector<std::vector<std::uint8_t>> data =
+        codec.reconstruct(shards, present);
+    for (std::size_t f = first; f < last; ++f) {
+      if (damaged[f] == 0) continue;
+      const std::size_t i = f - first;
+      std::vector<std::uint8_t> bytes(
+          data[i].begin(),
+          data[i].begin() +
+              static_cast<std::ptrdiff_t>(h.frame_sizes[f]));
+      if (crc32c(bytes) == h.frame_crcs[f]) {
+        plan.replacement[f] = std::move(bytes);
+        plan.repaired[f] = 1;
+        obs::count(obs::Counter::kFramesRepaired);
+      } else {
+        plan.unrecovered[f] = 1;
+        obs::count(obs::Counter::kRepairFailed);
+      }
+    }
+  }
+  return plan;
+}
+
+// CRC-scans every frame and, when the container carries parity and any
+// frame is damaged, attempts reconstruction. The returned plan is empty
+// for parity-less containers (callers then keep the classic per-frame
+// CRC handling).
+RepairPlan scan_and_repair(std::span<const std::uint8_t> container,
+                           const ContainerHeader& h) {
+  RepairPlan plan;
+  if (h.parity_m == 0) return plan;
+  std::vector<std::uint8_t> damaged(h.frame_count, 0);
+  bool any = false;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    damaged[f] = frame_crc_ok(frame_bytes(container, h, f), h, f) ? 0 : 1;
+    any |= damaged[f] != 0;
+  }
+  if (!any) {
+    plan.repaired.assign(h.frame_count, 0);
+    plan.unrecovered.assign(h.frame_count, 0);
+    plan.replacement.resize(h.frame_count);
+    return plan;
+  }
+  return attempt_repairs(container, h, damaged);
+}
+
+// Frame payload as the decoder should see it: the parity-reconstructed
+// replacement when one exists, the stored bytes otherwise.
+std::span<const std::uint8_t> frame_view(
+    std::span<const std::uint8_t> container, const ContainerHeader& h,
+    const RepairPlan& plan, std::size_t f) {
+  if (plan.frame_repaired(f)) return plan.replacement[f];
+  return frame_bytes(container, h, f);
+}
+
+void fill_repair_report(const RepairPlan& plan, DecodeReport* report) {
+  if (report == nullptr) return;
+  for (std::size_t f = 0; f < plan.repaired.size(); ++f) {
+    if (plan.repaired[f] == 0) continue;
+    ++report->frames_repaired;
+    report->repaired.push_back(f);
+  }
+}
+
+template <typename T>
+NdArray<T> decompress_strict(std::span<const std::uint8_t> container,
                              const ContainerHeader& h,
                              DecodeReport* report) {
-  admit_container(h);
+  admit_container(h, sizeof(T));
+  // Parity containers pre-scan every frame CRC so damage can be
+  // repaired before the decode proper; a frame beyond the parity budget
+  // keeps the strict contract and throws. The per-frame CRC check in
+  // the decode loop is skipped afterwards — every surviving payload
+  // (stored or reconstructed) has already verified.
+  const RepairPlan plan = scan_and_repair(container, h);
+  const bool prescanned = h.parity_m > 0;
+  for (std::size_t f = 0; f < h.frame_count; ++f)
+    if (plan.frame_unrecovered(f))
+      throw ChecksumError("chunked container: frame " + std::to_string(f) +
+                          " checksum mismatch (beyond the parity budget)");
+
   // Cheap header-only pre-pass: every frame claims its decoded size, and
   // the claims must exactly tile the container's shape *before* any frame
   // is decoded. This bounds transient memory by h.total — a forged
@@ -173,7 +412,7 @@ FloatArray decompress_strict(std::span<const std::uint8_t> container,
   // find out afterwards that they exceed the claimed shape.
   std::size_t claimed = 0;
   for (std::size_t f = 0; f < h.frame_count; ++f) {
-    const DpzArchiveInfo info = dpz_inspect(frame_bytes(container, h, f));
+    const DpzArchiveInfo info = dpz_inspect(frame_view(container, h, plan, f));
     std::size_t count = 1;
     for (const std::size_t d : info.shape) count *= d;
     if (count > h.total - claimed)
@@ -196,8 +435,8 @@ FloatArray decompress_strict(std::span<const std::uint8_t> container,
   parallel_for(0, h.frame_count, [&](std::size_t f) {
     const obs::ScopedSpan frame_span(obs::Span::kFrameDecode);
     try {
-      const auto frame = frame_bytes(container, h, f);
-      check_frame_crc(frame, h, f);
+      const auto frame = frame_view(container, h, plan, f);
+      if (!prescanned) check_frame_crc(frame, h, f);
       chunks[f] = dpz_decompress(frame);
       obs::count(obs::Counter::kFramesDecoded);
     } catch (...) {
@@ -220,32 +459,46 @@ FloatArray decompress_strict(std::span<const std::uint8_t> container,
     *report = DecodeReport{};
     report->frames_total = h.frame_count;
     report->frames_recovered = h.frame_count;
+    fill_repair_report(plan, report);
   }
-  std::vector<float> values;
+  std::vector<T> values;
   values.reserve(h.total);
   for (const FloatArray& chunk : chunks)
     values.insert(values.end(), chunk.flat().begin(), chunk.flat().end());
-  return FloatArray(h.shape, std::move(values));
+  return NdArray<T>(h.shape, std::move(values));
 }
 
-FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
-                                  const ContainerHeader& h, float fill,
+template <typename T>
+NdArray<T> decompress_best_effort(std::span<const std::uint8_t> container,
+                                  const ContainerHeader& h, double fill,
                                   DecodeReport* report) {
-  admit_container(h);
+  admit_container(h, sizeof(T));
+  // Parity containers try reconstruction before the decode loop, so a
+  // damaged frame only reaches the fill path once its loss exceeded the
+  // parity budget.
+  RepairPlan plan = scan_and_repair(container, h);
+  const bool prescanned = h.parity_m > 0;
+
   // The output is sized from the header geometry (already validated and,
   // for v2, sealed by the header CRC) and pre-filled so lost frames are
   // visible as runs of the fill value. Each frame writes only its own
   // slot, so the parallel loop touches disjoint ranges.
-  std::vector<float> values(h.total, fill);
+  std::vector<T> values(h.total, static_cast<T>(fill));
   std::vector<std::string> frame_error(h.frame_count);
   std::vector<std::uint8_t> frame_lost(h.frame_count, 0);
   std::vector<std::exception_ptr> fatal(h.frame_count);
   parallel_for(0, h.frame_count, [&](std::size_t f) {
     const obs::ScopedSpan frame_span(obs::Span::kFrameDecode);
     const auto [begin, end] = frame_slot(h, f);
+    if (plan.frame_unrecovered(f)) {
+      frame_lost[f] = 1;
+      frame_error[f] = "chunked container: frame " + std::to_string(f) +
+                       " checksum mismatch (beyond the parity budget)";
+      return;
+    }
     try {
-      const auto frame = frame_bytes(container, h, f);
-      check_frame_crc(frame, h, f);
+      const auto frame = frame_view(container, h, plan, f);
+      if (!prescanned) check_frame_crc(frame, h, f);
       const FloatArray chunk = dpz_decompress(frame);
       if (chunk.size() != end - begin)
         throw FormatError("chunked container: frame " + std::to_string(f) +
@@ -270,6 +523,12 @@ FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
   for (const std::exception_ptr& e : fatal)
     if (e) std::rethrow_exception(e);
 
+  // A reconstructed frame whose bytes then failed to decode ends up
+  // lost, not repaired (possible only when the original archive stored
+  // an undecodable frame with a valid CRC).
+  for (std::size_t f = 0; f < h.frame_count; ++f)
+    if (frame_lost[f] != 0 && plan.frame_repaired(f)) plan.repaired[f] = 0;
+
   for (const std::uint8_t lost : frame_lost)
     obs::count(lost != 0 ? obs::Counter::kFramesLost
                          : obs::Counter::kFramesRecovered);
@@ -284,8 +543,25 @@ FloatArray decompress_best_effort(std::span<const std::uint8_t> container,
         ++report->frames_recovered;
       }
     }
+    fill_repair_report(plan, report);
   }
-  return FloatArray(h.shape, std::move(values));
+  return NdArray<T>(h.shape, std::move(values));
+}
+
+template <typename T>
+NdArray<T> decompress_with_policy(std::span<const std::uint8_t> container,
+                                  const ChunkedConfig& config,
+                                  DecodeReport* report) {
+  // Install the governor before the header parse so even table-sized
+  // allocations and the admission pre-flight run governed.
+  const GovernorScope governor_scope(config.dpz.limits);
+  governed_poll();
+  const ContainerHeader h = parse_header(container);
+  const ScopedThreads pool_scope(config.threads);
+  if (config.decode_policy == DecodePolicy::kBestEffort)
+    return decompress_best_effort<T>(container, h, config.fill_value,
+                                     report);
+  return decompress_strict<T>(container, h, report);
 }
 
 }  // namespace
@@ -295,6 +571,10 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
                                            ChunkedStats* stats) {
   DPZ_REQUIRE(config.chunk_values >= 8, "chunk must hold at least 8 values");
   DPZ_REQUIRE(data.size() >= 8, "chunked DPZ needs at least 8 values");
+  const bool parity = config.parity_m > 0;
+  DPZ_REQUIRE(!parity || (config.parity_k >= 1 &&
+                          config.parity_k + config.parity_m <= 255),
+              "parity geometry must satisfy 1 <= k and k + m <= 255");
 
   // One governor for the whole container: frames inherit it through
   // parallel_for (workers adopt the publisher's governor), so budget,
@@ -341,9 +621,49 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
   for (const std::uint8_t raw : frame_stored_raw)
     if (raw != 0) ++st.stored_raw_frames;
 
+  // Parity shards over the compressed payloads (format v3): groups of k
+  // frames, each zero-padded to the group's largest frame; the shards
+  // are deterministic functions of the frame bytes, so parity never
+  // perturbs thread-count invariance.
+  const std::size_t k = config.parity_k;
+  const std::size_t m = config.parity_m;
+  std::vector<std::uint64_t> shard_sizes;
+  std::vector<std::vector<std::vector<std::uint8_t>>> parity_shards;
+  if (parity) {
+    const ecc::RsCodec codec(k, m);
+    const std::size_t groups = (frames.size() + k - 1) / k;
+    shard_sizes.resize(groups, 0);
+    parity_shards.resize(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      governed_poll();
+      const obs::ScopedSpan repair_span(obs::Span::kFrameRepair);
+      const std::size_t first = g * k;
+      const std::size_t last = std::min(first + k, frames.size());
+      for (std::size_t f = first; f < last; ++f)
+        shard_sizes[g] = std::max<std::uint64_t>(shard_sizes[g],
+                                                 frames[f].size());
+      const std::size_t shard_size =
+          static_cast<std::size_t>(shard_sizes[g]);
+      const ScopedCharge charge(static_cast<std::uint64_t>(k) *
+                                shard_size);
+      std::vector<std::vector<std::uint8_t>> padded(k);
+      std::vector<std::span<const std::uint8_t>> spans(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        padded[i].assign(shard_size, 0);
+        const std::size_t f = first + i;
+        if (f < frames.size())
+          std::copy(frames[f].begin(), frames[f].end(),
+                    padded[i].begin());
+        spans[i] = padded[i];
+      }
+      parity_shards[g] = codec.encode(spans);
+    }
+  }
+
   ByteWriter w;
-  w.put_u32(detail::kChunkedMagicV2);
-  w.put_u8(detail::kFormatVersion);
+  w.put_u32(parity ? detail::kChunkedMagicV3 : detail::kChunkedMagicV2);
+  w.put_u8(parity ? detail::kChunkedFormatVersion3
+                  : detail::kFormatVersion);
   w.put_u8(static_cast<std::uint8_t>(data.shape().size()));
   for (const std::size_t d : data.shape()) w.put_u64(d);
   w.put_u64(config.chunk_values);
@@ -355,8 +675,19 @@ std::vector<std::uint8_t> chunked_compress(const FloatArray& data,
     w.put_u32(crc32c(frame));
     offset += frame.size();
   }
+  if (parity) {
+    w.put_u8(static_cast<std::uint8_t>(k));
+    w.put_u8(static_cast<std::uint8_t>(m));
+    for (std::size_t g = 0; g < parity_shards.size(); ++g) {
+      w.put_u64(shard_sizes[g]);
+      for (const auto& shard : parity_shards[g])
+        w.put_u32(crc32c(shard));
+    }
+  }
   detail::put_header_crc(w);
   for (const auto& frame : frames) w.put_bytes(frame);
+  for (const auto& group : parity_shards)
+    for (const auto& shard : group) w.put_bytes(shard);
 
   std::vector<std::uint8_t> out = w.take();
   st.frame_count = frames.size();
@@ -368,21 +699,19 @@ FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               unsigned threads) {
   const ContainerHeader h = parse_header(container);
   const ScopedThreads pool_scope(threads);
-  return decompress_strict(container, h, nullptr);
+  return decompress_strict<float>(container, h, nullptr);
 }
 
 FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               const ChunkedConfig& config,
                               DecodeReport* report) {
-  // Install the governor before the header parse so even table-sized
-  // allocations and the admission pre-flight run governed.
-  const GovernorScope governor_scope(config.dpz.limits);
-  governed_poll();
-  const ContainerHeader h = parse_header(container);
-  const ScopedThreads pool_scope(config.threads);
-  if (config.decode_policy == DecodePolicy::kBestEffort)
-    return decompress_best_effort(container, h, config.fill_value, report);
-  return decompress_strict(container, h, report);
+  return decompress_with_policy<float>(container, config, report);
+}
+
+DoubleArray chunked_decompress_f64(std::span<const std::uint8_t> container,
+                                   const ChunkedConfig& config,
+                                   DecodeReport* report) {
+  return decompress_with_policy<double>(container, config, report);
 }
 
 ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
@@ -403,6 +732,168 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
 
 std::size_t chunked_frame_count(std::span<const std::uint8_t> container) {
   return parse_header(container).frame_count;
+}
+
+std::vector<std::uint8_t> chunked_repair(
+    std::span<const std::uint8_t> container, RepairReport* report) {
+  governed_poll();
+  const ContainerHeader h = parse_header(container);
+  RepairReport local;
+  RepairReport& rep = report != nullptr ? *report : local;
+  rep = RepairReport{};
+  rep.frames_total = h.frame_count;
+
+  std::vector<std::uint8_t> damaged(h.frame_count, 0);
+  bool any_frame = false;
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    damaged[f] = frame_crc_ok(frame_bytes(container, h, f), h, f) ? 0 : 1;
+    any_frame |= damaged[f] != 0;
+  }
+  const std::size_t groups = parity_group_count(h);
+  std::vector<std::uint8_t> shard_damaged(groups * h.parity_m, 0);
+  bool any_parity = false;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t j = 0; j < h.parity_m; ++j) {
+      if (crc32c(parity_shard_bytes(container, h, g, j)) ==
+          h.parity_crcs[g * h.parity_m + j])
+        continue;
+      shard_damaged[g * h.parity_m + j] = 1;
+      any_parity = true;
+    }
+  }
+  if (!any_frame && !any_parity)
+    return {container.begin(), container.end()};
+  if (h.parity_m == 0)
+    throw ChecksumError(
+        "chunked container: damaged frames and no parity to repair from");
+
+  RepairPlan plan;
+  if (any_frame) {
+    plan = attempt_repairs(container, h, damaged);
+    for (std::size_t f = 0; f < h.frame_count; ++f)
+      if (plan.unrecovered[f] != 0)
+        throw ChecksumError("chunked container: frame " +
+                            std::to_string(f) +
+                            " is beyond the parity budget");
+  }
+
+  const ScopedCharge charge(container.size());
+  std::vector<std::uint8_t> healed(container.begin(), container.end());
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    if (!plan.frame_repaired(f)) continue;
+    std::copy(plan.replacement[f].begin(), plan.replacement[f].end(),
+              healed.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      h.frames_begin +
+                      static_cast<std::size_t>(h.frame_offsets[f])));
+    rep.frames_repaired.push_back(f);
+  }
+
+  // Rebuild damaged parity shards from the (now intact) frame payloads;
+  // each must re-verify against its header-sealed CRC, proving the
+  // healed archive is byte-identical to the pre-damage one.
+  if (any_parity) {
+    const ecc::RsCodec codec(h.parity_k, h.parity_m);
+    for (std::size_t g = 0; g < groups; ++g) {
+      bool group_damaged = false;
+      for (std::size_t j = 0; j < h.parity_m; ++j)
+        group_damaged |= shard_damaged[g * h.parity_m + j] != 0;
+      if (!group_damaged) continue;
+      governed_poll();
+      const obs::ScopedSpan repair_span(obs::Span::kFrameRepair);
+      const std::vector<std::vector<std::uint8_t>> padded =
+          padded_group_shards(healed, h, g);
+      std::vector<std::span<const std::uint8_t>> spans(h.parity_k);
+      for (std::size_t i = 0; i < h.parity_k; ++i) spans[i] = padded[i];
+      const std::vector<std::vector<std::uint8_t>> parity =
+          codec.encode(spans);
+      for (std::size_t j = 0; j < h.parity_m; ++j) {
+        if (shard_damaged[g * h.parity_m + j] == 0) continue;
+        if (crc32c(parity[j]) != h.parity_crcs[g * h.parity_m + j])
+          throw ChecksumError(
+              "chunked container: rebuilt parity shard fails its stored "
+              "checksum");
+        std::copy(
+            parity[j].begin(), parity[j].end(),
+            healed.begin() +
+                static_cast<std::ptrdiff_t>(
+                    h.parity_begin +
+                    static_cast<std::size_t>(h.parity_offsets[g]) +
+                    j * static_cast<std::size_t>(h.shard_sizes[g])));
+        ++rep.parity_shards_repaired;
+      }
+    }
+  }
+  return healed;
+}
+
+ScrubReport chunked_scrub(std::span<const std::uint8_t> container) {
+  governed_poll();
+  const ContainerHeader h = parse_header(container);
+  ScrubReport s;
+  s.frames_total = h.frame_count;
+  s.parity_k = h.parity_k;
+  s.parity_m = h.parity_m;
+  s.groups = parity_group_count(h);
+
+  std::vector<std::uint8_t> frame_ok(h.frame_count, 1);
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    if (frame_crc_ok(frame_bytes(container, h, f), h, f)) continue;
+    frame_ok[f] = 0;
+    ++s.frames_damaged;
+  }
+  if (h.parity_m == 0) return s;
+
+  std::vector<std::uint8_t> shard_ok(s.groups * h.parity_m, 1);
+  for (std::size_t g = 0; g < s.groups; ++g) {
+    for (std::size_t j = 0; j < h.parity_m; ++j) {
+      if (crc32c(parity_shard_bytes(container, h, g, j)) ==
+          h.parity_crcs[g * h.parity_m + j])
+        continue;
+      shard_ok[g * h.parity_m + j] = 0;
+      ++s.parity_shards_damaged;
+    }
+  }
+
+  // Consistency audit: recompute each fully-intact group's parity from
+  // the stored payloads and compare it to the intact stored shards —
+  // no frame is ever decoded.
+  const ecc::RsCodec codec(h.parity_k, h.parity_m);
+  for (std::size_t g = 0; g < s.groups; ++g) {
+    const std::size_t first = g * h.parity_k;
+    const std::size_t last =
+        std::min(first + h.parity_k, h.frame_count);
+    bool inputs_ok = true;
+    for (std::size_t f = first; f < last; ++f)
+      inputs_ok &= frame_ok[f] != 0;
+    if (!inputs_ok) continue;
+    governed_poll();
+    const std::vector<std::vector<std::uint8_t>> padded =
+        padded_group_shards(container, h, g);
+    std::vector<std::span<const std::uint8_t>> spans(h.parity_k);
+    for (std::size_t i = 0; i < h.parity_k; ++i) spans[i] = padded[i];
+    const std::vector<std::vector<std::uint8_t>> parity =
+        codec.encode(spans);
+    for (std::size_t j = 0; j < h.parity_m; ++j) {
+      if (shard_ok[g * h.parity_m + j] == 0) continue;
+      const auto stored = parity_shard_bytes(container, h, g, j);
+      if (!std::equal(parity[j].begin(), parity[j].end(),
+                      stored.begin(), stored.end()))
+        ++s.parity_mismatches;
+    }
+  }
+  return s;
+}
+
+ParityInfo chunked_parity_info(std::span<const std::uint8_t> container) {
+  const ContainerHeader h = parse_header(container);
+  ParityInfo info;
+  info.parity_k = h.parity_k;
+  info.parity_m = h.parity_m;
+  info.groups = parity_group_count(h);
+  for (std::size_t g = 0; g < info.groups; ++g)
+    info.parity_bytes += h.parity_m * h.shard_sizes[g];
+  return info;
 }
 
 DecodePreflight chunked_decode_preflight(

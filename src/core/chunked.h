@@ -19,7 +19,11 @@
 // frame table of (offset, size, CRC32C) entries, a header checksum over
 // everything before the frames, then the frames themselves. v1 ("DZCK")
 // containers — same layout minus version byte and checksums — still
-// decode. See docs/FORMAT.md.
+// decode. Format v3 ("DZC3") adds an optional Reed-Solomon parity
+// section after the frames: groups of k frame payloads get m parity
+// shards, so up to m lost frames per group reconstruct byte-exactly
+// instead of falling back to fill_value. Parity-less archives always
+// write v2 bytes. See docs/FORMAT.md.
 #pragma once
 
 #include <cstdint>
@@ -46,15 +50,20 @@ enum class DecodePolicy {
 };
 
 /// Outcome of a best-effort chunked decode: which frames survived and
-/// the first error observed for each lost frame.
+/// the first error observed for each lost frame. A damaged frame that
+/// Reed-Solomon parity reconstructed byte-exactly counts as *repaired*
+/// (and recovered) — only frames whose loss exceeded the parity budget
+/// appear in `lost`.
 struct DecodeReport {
   struct FrameError {
     std::size_t frame = 0;  ///< 0-based frame index
     std::string message;    ///< first error observed for this frame
   };
   std::size_t frames_total = 0;
-  std::size_t frames_recovered = 0;
-  std::vector<FrameError> lost;  ///< ascending by frame index
+  std::size_t frames_recovered = 0;  ///< decoded frames, repaired included
+  std::size_t frames_repaired = 0;   ///< subset rebuilt from parity
+  std::vector<std::size_t> repaired;  ///< ascending by frame index
+  std::vector<FrameError> lost;       ///< ascending by frame index
 
   [[nodiscard]] bool complete() const { return lost.empty(); }
 };
@@ -76,7 +85,16 @@ struct ChunkedConfig {
   /// Value written into every position of a lost frame in best-effort
   /// mode — caller-visible, so "recovered with holes" is distinguishable
   /// from real data (NaN is a deliberate choice for float analysis).
-  float fill_value = 0.0F;
+  /// Double so the f64 decode path never narrows the caller's fill.
+  double fill_value = 0.0;
+  /// Reed-Solomon frame parity (format v3): groups of `parity_k` frames
+  /// get `parity_m` parity shards over their compressed payloads, so up
+  /// to parity_m lost frames per group reconstruct byte-exactly on
+  /// decode. parity_m == 0 (default) disables parity and emits the v2
+  /// byte-identical container. Requires 1 <= parity_k and
+  /// parity_k + parity_m <= 255 when enabled.
+  unsigned parity_k = 16;
+  unsigned parity_m = 0;
 };
 
 /// Per-container accounting.
@@ -112,6 +130,70 @@ FloatArray chunked_decompress(std::span<const std::uint8_t> container,
 FloatArray chunked_decompress(std::span<const std::uint8_t> container,
                               const ChunkedConfig& config,
                               DecodeReport* report = nullptr);
+
+/// Double-precision variant of the policy-aware decode: frames decode
+/// through the same pipeline and widen into an f64 array (the container
+/// stores f32 frames; this is an output-type convenience, not extra
+/// precision). Honors decode_policy / fill_value / threads identically.
+DoubleArray chunked_decompress_f64(std::span<const std::uint8_t> container,
+                                   const ChunkedConfig& config,
+                                   DecodeReport* report = nullptr);
+
+/// Outcome of chunked_repair: which frames and parity shards were
+/// rewritten. An intact archive repairs to a byte-identical copy with
+/// an all-clean report.
+struct RepairReport {
+  std::size_t frames_total = 0;
+  std::vector<std::size_t> frames_repaired;  ///< ascending frame indices
+  std::size_t parity_shards_repaired = 0;
+
+  [[nodiscard]] bool clean() const {
+    return frames_repaired.empty() && parity_shards_repaired == 0;
+  }
+};
+
+/// Reconstructs every damaged frame and parity shard of a v3 container
+/// from the surviving shards and returns the healed archive — byte
+/// identical to the pre-damage container (every rebuilt frame and shard
+/// is verified against its stored CRC32C). Throws ChecksumError when
+/// damage exceeds the parity budget (or the container has no parity to
+/// repair from), FormatError when the header itself is unreadable.
+std::vector<std::uint8_t> chunked_repair(
+    std::span<const std::uint8_t> container,
+    RepairReport* report = nullptr);
+
+/// Outcome of chunked_scrub: parity-consistency audit without decoding.
+struct ScrubReport {
+  std::size_t frames_total = 0;
+  std::size_t parity_k = 0;  ///< 0 when the container carries no parity
+  std::size_t parity_m = 0;
+  std::size_t groups = 0;
+  std::size_t frames_damaged = 0;         ///< frame CRC mismatches
+  std::size_t parity_shards_damaged = 0;  ///< parity shard CRC mismatches
+  std::size_t parity_mismatches = 0;      ///< stored parity != recomputed
+
+  [[nodiscard]] bool ok() const {
+    return frames_damaged == 0 && parity_shards_damaged == 0 &&
+           parity_mismatches == 0;
+  }
+};
+
+/// Validates parity consistency without decoding any frame: checks every
+/// frame and parity-shard CRC, then recomputes each fully-intact group's
+/// parity from the stored payloads and compares it to the stored shards.
+/// Parity-less containers scrub trivially ok (CRC sweep only).
+ScrubReport chunked_scrub(std::span<const std::uint8_t> container);
+
+/// Parity geometry from the header alone (for `dpz inspect`).
+struct ParityInfo {
+  std::size_t parity_k = 0;  ///< 0 when the container carries no parity
+  std::size_t parity_m = 0;
+  std::size_t groups = 0;
+  std::uint64_t parity_bytes = 0;  ///< total parity-section payload
+
+  [[nodiscard]] bool enabled() const { return parity_m != 0; }
+};
+ParityInfo chunked_parity_info(std::span<const std::uint8_t> container);
 
 /// Decompresses a single frame (0-based). Returns the chunk's values in
 /// flattened order along with its offset into the flat dataset. This is

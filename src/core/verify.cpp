@@ -118,12 +118,16 @@ void walk_dpz(ByteReader& r, std::span<const std::uint8_t> bytes,
 }
 
 void walk_chunked(ByteReader& r, std::span<const std::uint8_t> bytes,
-                  bool v2, VerifyReport& rep) {
+                  std::uint32_t magic, VerifyReport& rep) {
   rep.kind = "chunked";
   std::uint8_t version = kFormatVersionLegacy;
-  if (v2) {
+  if (magic == detail::kChunkedMagicV2) {
     version = r.get_u8();
     if (version != kFormatVersion) throw FormatError("unsupported version");
+  } else if (magic == detail::kChunkedMagicV3) {
+    version = r.get_u8();
+    if (version != detail::kChunkedFormatVersion3)
+      throw FormatError("unsupported version");
   }
   rep.version = version;
   walk_shape(r);
@@ -142,10 +146,39 @@ void walk_chunked(ByteReader& r, std::span<const std::uint8_t> bytes,
     sizes[f] = r.get_u64();
     if (version >= kFormatVersion) crcs[f] = r.get_u32();
   }
+  // v3: parity geometry rides in the sealed header after the frame
+  // table — k, m, then each group's shard size and per-shard CRCs.
+  std::uint64_t parity_k = 0;
+  std::uint64_t parity_m = 0;
+  std::uint64_t parity_bytes = 0;
+  std::vector<std::uint64_t> shard_sizes;
+  std::vector<std::uint32_t> parity_crcs;
+  if (version >= detail::kChunkedFormatVersion3) {
+    parity_k = r.get_u8();
+    parity_m = r.get_u8();
+    if (parity_k < 1 || parity_m < 1 || parity_k + parity_m > 255)
+      throw FormatError("bad parity geometry");
+    const std::uint64_t groups = (frame_count + parity_k - 1) / parity_k;
+    if (groups > r.remaining() / 8)
+      throw FormatError("bad parity geometry");
+    shard_sizes.resize(groups);
+    parity_crcs.resize(groups * parity_m);
+    for (std::uint64_t g = 0; g < groups; ++g) {
+      shard_sizes[g] = r.get_u64();
+      if (shard_sizes[g] > (1ULL << 40))
+        throw FormatError("implausible parity shard");
+      parity_bytes += parity_m * shard_sizes[g];
+      for (std::uint64_t j = 0; j < parity_m; ++j)
+        parity_crcs[g * parity_m + j] = r.get_u32();
+    }
+  }
   walk_header(r, bytes, version, rep);
 
   const std::size_t frames_begin = r.position();
-  const std::uint64_t frame_area = bytes.size() - frames_begin;
+  const std::uint64_t tail = bytes.size() - frames_begin;
+  if (parity_bytes > tail)
+    throw FormatError("parity exceeds the container");
+  const std::uint64_t frame_area = tail - parity_bytes;
   std::uint64_t expected = 0;
   for (std::uint64_t f = 0; f < frame_count; ++f) {
     if (offsets[f] != expected)
@@ -186,6 +219,34 @@ void walk_chunked(ByteReader& r, std::span<const std::uint8_t> bytes,
   }
   if (expected != frame_area)
     throw FormatError("frame area size mismatch");
+
+  // Parity shards follow the frames; each carries a header-sealed CRC,
+  // so a damaged shard is reported without touching any frame.
+  std::uint64_t parity_off = frames_begin + frame_area;
+  for (std::size_t g = 0; g < shard_sizes.size(); ++g) {
+    for (std::uint64_t j = 0; j < parity_m; ++j) {
+      SectionStatus s;
+      s.name = "parity[" + std::to_string(g) + "." + std::to_string(j) +
+               "]";
+      s.offset = parity_off;
+      s.size = shard_sizes[g];
+      const auto shard =
+          bytes.subspan(static_cast<std::size_t>(s.offset),
+                        static_cast<std::size_t>(s.size));
+      const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
+      obs::count(obs::Counter::kCrcChecks);
+      s.has_crc = true;
+      s.stored_crc = parity_crcs[g * parity_m + j];
+      s.computed_crc = crc32c(shard);
+      s.crc_ok = s.computed_crc == s.stored_crc;
+      if (!s.crc_ok) {
+        obs::count(obs::Counter::kCrcFailures);
+        rep.problems.push_back(s.name + " checksum mismatch");
+      }
+      rep.sections.push_back(s);
+      parity_off += shard_sizes[g];
+    }
+  }
 }
 
 void walk_basis(ByteReader& r, std::span<const std::uint8_t> bytes,
@@ -241,7 +302,8 @@ VerifyReport verify_archive(std::span<const std::uint8_t> bytes) {
         break;
       case detail::kChunkedMagicV1:
       case detail::kChunkedMagicV2:
-        walk_chunked(r, bytes, magic == detail::kChunkedMagicV2, rep);
+      case detail::kChunkedMagicV3:
+        walk_chunked(r, bytes, magic, rep);
         break;
       case detail::kBasisMagicV1:
       case detail::kBasisMagicV2:
@@ -270,6 +332,7 @@ std::optional<DecodePreflight> decode_preflight(
         return dpz_decode_preflight(dpz_inspect(bytes));
       case detail::kChunkedMagicV1:
       case detail::kChunkedMagicV2:
+      case detail::kChunkedMagicV3:
         return chunked_decode_preflight(bytes);
       default:
         return std::nullopt;

@@ -1,0 +1,158 @@
+#include "ecc/reed_solomon.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ecc/gf256.h"
+#include "util/error.h"
+#include "util/resource.h"
+
+namespace dpz::ecc {
+
+namespace {
+
+// Square-matrix Gaussian inversion over GF(2^8). `a` is n x n
+// row-major and is consumed; returns the inverse. Throws
+// NumericalError on a singular input — never reached for the matrices
+// the codec builds (Vandermonde submatrices are provably invertible),
+// but checked rather than assumed.
+std::vector<std::uint8_t> gf_invert(std::vector<std::uint8_t> a,
+                                    std::size_t n) {
+  std::vector<std::uint8_t> inv(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    governed_poll();
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot * n + col] == 0) ++pivot;
+    if (pivot == n)
+      throw NumericalError("reed-solomon: singular shard matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[pivot * n + j], a[col * n + j]);
+        std::swap(inv[pivot * n + j], inv[col * n + j]);
+      }
+    }
+    const std::uint8_t scale = gf_inv(a[col * n + col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col * n + j] = gf_mul(a[col * n + j], scale);
+      inv[col * n + j] = gf_mul(inv[col * n + j], scale);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const std::uint8_t factor = a[row * n + col];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a[row * n + j] =
+            gf_add(a[row * n + j], gf_mul(factor, a[col * n + j]));
+        inv[row * n + j] =
+            gf_add(inv[row * n + j], gf_mul(factor, inv[col * n + j]));
+      }
+    }
+  }
+  return inv;
+}
+
+// out += coef * shard, the accumulation primitive both directions share.
+void gf_mul_add(std::span<std::uint8_t> out, std::uint8_t coef,
+                std::span<const std::uint8_t> shard) {
+  if (coef == 0) return;
+  for (std::size_t b = 0; b < shard.size(); ++b)
+    out[b] = gf_add(out[b], gf_mul(coef, shard[b]));
+}
+
+}  // namespace
+
+RsCodec::RsCodec(std::size_t data_shards, std::size_t parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  DPZ_REQUIRE(k_ >= 1 && m_ >= 1 && k_ + m_ <= 255,
+              "reed-solomon geometry must satisfy 1 <= k, 1 <= m, "
+              "k + m <= 255");
+  // Vandermonde rows over distinct elements 0..k+m-1, then normalize to
+  // systematic form by right-multiplying with the inverse of the top
+  // k x k block (see the header comment for why this preserves the
+  // any-k-rows-invertible property).
+  const std::size_t rows = k_ + m_;
+  std::vector<std::uint8_t> vandermonde(rows * k_);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < k_; ++c)
+      vandermonde[r * k_ + c] = gf_pow(static_cast<std::uint8_t>(r), c);
+
+  std::vector<std::uint8_t> top(k_ * k_);
+  std::copy(vandermonde.begin(),
+            vandermonde.begin() + static_cast<std::ptrdiff_t>(k_ * k_),
+            top.begin());
+  const std::vector<std::uint8_t> top_inv = gf_invert(std::move(top), k_);
+
+  rows_.assign(rows * k_, 0);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < k_; ++c)
+      for (std::size_t i = 0; i < k_; ++i)
+        rows_[r * k_ + c] =
+            gf_add(rows_[r * k_ + c],
+                   gf_mul(vandermonde[r * k_ + i], top_inv[i * k_ + c]));
+}
+
+std::vector<std::vector<std::uint8_t>> RsCodec::encode(
+    std::span<const std::span<const std::uint8_t>> data) const {
+  DPZ_REQUIRE(data.size() == k_, "reed-solomon: expected k data shards");
+  const std::size_t shard_size = data.empty() ? 0 : data[0].size();
+  for (const auto& shard : data)
+    DPZ_REQUIRE(shard.size() == shard_size,
+                "reed-solomon: shards must be equal-length");
+
+  const ScopedCharge charge(static_cast<std::uint64_t>(m_) * shard_size);
+  std::vector<std::vector<std::uint8_t>> parity(m_);
+  for (std::size_t j = 0; j < m_; ++j) {
+    governed_poll();
+    parity[j].assign(shard_size, 0);
+    const std::uint8_t* coefs = &rows_[(k_ + j) * k_];
+    for (std::size_t i = 0; i < k_; ++i)
+      gf_mul_add(parity[j], coefs[i], data[i]);
+  }
+  return parity;
+}
+
+std::vector<std::vector<std::uint8_t>> RsCodec::reconstruct(
+    std::span<const std::span<const std::uint8_t>> shards,
+    std::span<const std::uint8_t> present) const {
+  DPZ_REQUIRE(shards.size() == k_ + m_ && present.size() == k_ + m_,
+              "reed-solomon: expected k + m shards");
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < shards.size() && survivors.size() < k_; ++i)
+    if (present[i] != 0) survivors.push_back(i);
+  DPZ_REQUIRE(survivors.size() == k_,
+              "reed-solomon: loss exceeds the parity budget");
+  std::size_t shard_size = 0;
+  for (const std::size_t s : survivors)
+    shard_size = std::max(shard_size, shards[s].size());
+  for (const std::size_t s : survivors)
+    DPZ_REQUIRE(shards[s].size() == shard_size,
+                "reed-solomon: shards must be equal-length");
+
+  // Invert the k x k submatrix the survivors span: decode row i of the
+  // inverse maps the surviving shards back onto data shard i.
+  std::vector<std::uint8_t> sub(k_ * k_);
+  for (std::size_t r = 0; r < k_; ++r)
+    std::copy(rows_.begin() +
+                  static_cast<std::ptrdiff_t>(survivors[r] * k_),
+              rows_.begin() +
+                  static_cast<std::ptrdiff_t>((survivors[r] + 1) * k_),
+              sub.begin() + static_cast<std::ptrdiff_t>(r * k_));
+  const std::vector<std::uint8_t> decode = gf_invert(std::move(sub), k_);
+
+  const ScopedCharge charge(static_cast<std::uint64_t>(k_) * shard_size);
+  std::vector<std::vector<std::uint8_t>> data(k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    governed_poll();
+    if (present[i] != 0) {
+      data[i].assign(shards[i].begin(), shards[i].end());
+      continue;
+    }
+    data[i].assign(shard_size, 0);
+    for (std::size_t r = 0; r < k_; ++r)
+      gf_mul_add(data[i], decode[i * k_ + r], shards[survivors[r]]);
+  }
+  return data;
+}
+
+}  // namespace dpz::ecc

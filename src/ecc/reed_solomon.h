@@ -1,0 +1,65 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// The chunked container's parity layer (docs/FORMAT.md, "DZC3") groups
+// k compressed frame payloads and stores m parity shards per group; any
+// m lost shards — data or parity — are recoverable from the k
+// survivors. The codec is *systematic*: the encode matrix's top k rows
+// are the identity, so data shards are stored verbatim and parity is an
+// additive layer that parity-less readers can ignore.
+//
+// Construction follows the classic storage-codec recipe: a
+// (k+m) x k Vandermonde matrix (rows are powers of distinct field
+// elements, so every k-row submatrix is invertible) is multiplied by
+// the inverse of its own top k x k block. That right-multiplication by
+// an invertible matrix preserves the any-k-rows-invertible property
+// while turning the top block into the identity. Reconstruction inverts
+// the k x k submatrix picked out by the surviving shards.
+//
+// Erasure-only: the container's CRC32C layer localizes damage to whole
+// shards before the codec runs, so no error-location polynomial is
+// needed. Shard-size work is governed — encode and reconstruct charge
+// their buffers against the ambient MemoryArena and poll the
+// cancellation/deadline checkpoint per shard row.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dpz::ecc {
+
+class RsCodec {
+ public:
+  /// Geometry limits: k >= 1, m >= 1, k + m <= 255 (the field minus the
+  /// zero element bounds the distinct Vandermonde rows). Throws
+  /// InvalidArgument outside that envelope.
+  RsCodec(std::size_t data_shards, std::size_t parity_shards);
+
+  [[nodiscard]] std::size_t data_shards() const noexcept { return k_; }
+  [[nodiscard]] std::size_t parity_shards() const noexcept { return m_; }
+
+  /// Computes the m parity shards for k equal-length data shards.
+  /// Every span in `data` must have the same size.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const std::span<const std::uint8_t>> data) const;
+
+  /// Erasure-only reconstruction of the k data shards. `shards` holds
+  /// the k data shards followed by the m parity shards; `present[i]`
+  /// is nonzero when shards[i] survived (its span is valid and
+  /// equal-length). Missing shards' spans are ignored. Surviving data
+  /// shards are copied through verbatim; missing ones are solved from
+  /// the survivors. Throws InvalidArgument when fewer than k shards
+  /// survive.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> reconstruct(
+      std::span<const std::span<const std::uint8_t>> shards,
+      std::span<const std::uint8_t> present) const;
+
+ private:
+  std::size_t k_;
+  std::size_t m_;
+  /// (k+m) x k encode matrix, row-major; rows [0, k) are the identity.
+  std::vector<std::uint8_t> rows_;
+};
+
+}  // namespace dpz::ecc

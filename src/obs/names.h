@@ -33,6 +33,7 @@ enum class Span : std::uint8_t {
   kFrameDecode,       ///< one chunked frame decoded
   // Integrity (dpz.cpp, chunked.cpp, verify.cpp).
   kCrcCheck,          ///< one CRC32C verification
+  kFrameRepair,       ///< one parity group's Reed-Solomon reconstruction
   // Kernel dispatch (simd/dispatch.cpp).
   kSimdDispatch,      ///< one-time CPU detection + ISA selection
   // Thread pool (thread_pool.cpp).
@@ -63,6 +64,7 @@ inline constexpr SpanInfo kSpanInfo[kSpanCount] = {
     {"frame_encode", "frame"},
     {"frame_decode", "frame"},
     {"crc_check", "integrity"},
+    {"frame_repair", "integrity"},
     {"simd_dispatch", "simd"},
     {"pool_task", "pool"},
 };
@@ -99,6 +101,8 @@ enum class Counter : std::uint8_t {
   kFramesDecoded,        ///< chunked frames decoded (intact)
   kFramesRecovered,      ///< best-effort decodes: frames recovered
   kFramesLost,           ///< best-effort decodes: frames lost/filled
+  kFramesRepaired,       ///< damaged frames rebuilt from parity
+  kRepairFailed,         ///< damaged frames parity could not rebuild
   kAdmissionRejected,    ///< decodes rejected by pre-flight admission
   kCancelledOps,         ///< operations aborted by a CancelToken
   kDeadlineExceededOps,  ///< operations aborted by a deadline
@@ -134,6 +138,8 @@ inline constexpr const char* kCounterNames[kCounterCount] = {
     "frames_decoded",
     "frames_recovered",
     "frames_lost",
+    "frames_repaired",
+    "repair_failed",
     "admission_rejected",
     "cancelled",
     "deadline_exceeded",

@@ -34,6 +34,10 @@ enum class MutationKind {
   kHeaderByte,       ///< corrupt a byte within the leading 24 bytes
   kDuplicateRegion,  ///< copy one random region over another
   kCrcField,         ///< rewrite a u32 at a random offset (0, ~orig, random)
+  kParitySection,    ///< corrupt a region in the archive's trailing
+                     ///< quarter, where a DZC3 container keeps its parity
+                     ///< shards — damaged redundancy must never poison an
+                     ///< intact decode
 };
 
 /// Little-endian u64 field access, for targeted corruption in tests.
@@ -82,7 +86,7 @@ class ArchiveMutator {
     const std::size_t rounds = 1 + rng_.uniform_index(3);
     for (std::size_t round = 0; round < rounds; ++round) {
       if (out.empty()) break;
-      apply(out, static_cast<MutationKind>(rng_.uniform_index(10)));
+      apply(out, static_cast<MutationKind>(rng_.uniform_index(11)));
     }
     return out;
   }
@@ -190,6 +194,25 @@ class ArchiveMutator {
         write_u32_at(bytes, offset, forged);
         note("crc-field @" + std::to_string(offset) + " -> " +
              std::to_string(forged));
+        break;
+      }
+      case MutationKind::kParitySection: {
+        // Aims at the container's tail, where DZC3 stores its parity
+        // shards after the frame area. On other layouts this degrades to
+        // tail noise, which the decoders must survive anyway.
+        const std::size_t tail_begin = bytes.size() - bytes.size() / 4;
+        if (tail_begin >= bytes.size()) {
+          apply(bytes, MutationKind::kBitFlip);
+          break;
+        }
+        const std::size_t begin =
+            tail_begin + rng_.uniform_index(bytes.size() - tail_begin);
+        const std::size_t len =
+            1 + rng_.uniform_index(bytes.size() - begin);
+        for (std::size_t i = begin; i < begin + len; ++i)
+          bytes[i] = static_cast<std::uint8_t>(rng_.next_u64());
+        note("parity-section [" + std::to_string(begin) + ", +" +
+             std::to_string(len) + ")");
         break;
       }
     }

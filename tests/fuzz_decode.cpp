@@ -283,6 +283,69 @@ TEST(FuzzDecode, ChunkedBestEffort) {
   });
 }
 
+TEST(FuzzDecode, ChunkedWithParity) {
+  // A DZC3 container under the full mutation mix (including the
+  // parity-section kind). Repair makes many frame corruptions decode
+  // successfully, so the clean-error floor is carried by header/table
+  // damage; a success must hand back a complete, consistently
+  // accounted reconstruction — never bytes rebuilt from forged parity.
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = 2;
+  config.parity_m = 1;
+  const auto container = chunked_compress(wave({4 * 4096 + 64}, 36),
+                                          config);
+  fuzz_decode(container, 123, [&](std::span<const std::uint8_t> bytes) {
+    DecodeReport report;
+    const FloatArray out = chunked_decompress(bytes, config, &report);
+    ASSERT_TRUE(report.complete());
+    ASSERT_GE(report.frames_recovered, report.frames_repaired);
+    std::size_t product = 1;
+    for (const std::size_t d : out.shape()) product *= d;
+    ASSERT_EQ(product, out.size());
+  });
+}
+
+TEST(FuzzDecode, ChunkedWithParityBestEffort) {
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = 2;
+  config.parity_m = 1;
+  const auto container = chunked_compress(wave({4 * 4096 + 64}, 37),
+                                          config);
+  ChunkedConfig best = config;
+  best.decode_policy = DecodePolicy::kBestEffort;
+  best.fill_value = -1.0;
+  fuzz_decode(container, 124, [&](std::span<const std::uint8_t> bytes) {
+    DecodeReport report;
+    const FloatArray out = chunked_decompress(bytes, best, &report);
+    ASSERT_EQ(report.frames_recovered + report.lost.size(),
+              report.frames_total);
+    ASSERT_LE(report.frames_repaired, report.frames_recovered);
+    std::size_t product = 1;
+    for (const std::size_t d : out.shape()) product *= d;
+    ASSERT_EQ(product, out.size());
+  });
+}
+
+TEST(FuzzDecode, ChunkedRepairAndScrubNeverCrash) {
+  // The repair and scrub entry points walk the same untrusted geometry
+  // as the decoder; they must uphold the same clean-status contract.
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = 2;
+  config.parity_m = 1;
+  const auto container = chunked_compress(wave({4 * 4096}, 38), config);
+  fuzz_decode(container, 125, [](std::span<const std::uint8_t> bytes) {
+    const std::vector<std::uint8_t> copy(bytes.begin(), bytes.end());
+    const ScrubReport scrub = chunked_scrub(copy);
+    ASSERT_LE(scrub.frames_damaged, scrub.frames_total);
+    const std::vector<std::uint8_t> healed = chunked_repair(copy, nullptr);
+    // A successful repair must produce a container that scrubs clean.
+    ASSERT_TRUE(chunked_scrub(healed).ok());
+  });
+}
+
 TEST(FuzzDecode, VerifyArchiveNeverThrows) {
   // verify_archive is the no-throw pre-flight check: for any input,
   // however mangled, it must return a report (never raise) whose ok bit

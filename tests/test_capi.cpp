@@ -31,6 +31,8 @@ TEST(CApi, OptionsDefaultMatchesStrictScheme) {
   EXPECT_EQ(opt.zlib_level, 6);
   EXPECT_EQ(opt.best_effort, 0);
   EXPECT_DOUBLE_EQ(opt.fill_value, 0.0);
+  EXPECT_EQ(opt.parity_k, 16);
+  EXPECT_EQ(opt.parity_m, 0);  // parity is opt-in
   dpz_options_default(nullptr);  // must not crash
 }
 
@@ -41,7 +43,8 @@ TEST(CApi, StatusNamesCoverIntegrityCodes) {
 }
 
 // A chunked container for the C-surface tests; built through the C++
-// encoder (the C API is decode-only for containers).
+// encoder so these rows stay independent of dpz_chunked_compress_float
+// (which has its own coverage below).
 std::vector<unsigned char> chunked_fixture(std::vector<float>* values) {
   *values = smooth_values(3 * 4096);
   const dpz::FloatArray data({values->size()},
@@ -124,6 +127,164 @@ TEST(CApi, ChunkedDamageStrictFailsBestEffortGoesPartial) {
   }
   dpz_free(ref);
   dpz_free(out);
+}
+
+TEST(CApi, ChunkedDoubleDecompressMatchesFloatVariant) {
+  std::vector<float> values;
+  const std::vector<unsigned char> container = chunked_fixture(&values);
+
+  float* f_out = nullptr;
+  size_t f_count = 0;
+  ASSERT_EQ(dpz_chunked_decompress_float(container.data(),
+                                         container.size(), nullptr, &f_out,
+                                         &f_count, nullptr),
+            DPZ_OK);
+  double* d_out = nullptr;
+  size_t d_count = 0;
+  dpz_decode_report report;
+  ASSERT_EQ(dpz_chunked_decompress_double(container.data(),
+                                          container.size(), nullptr,
+                                          &d_out, &d_count, &report),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_EQ(d_count, f_count);
+  EXPECT_EQ(report.frames_total, 3U);
+  EXPECT_EQ(report.frames_recovered, 3U);
+  EXPECT_EQ(report.frames_repaired, 0U);
+  for (size_t i = 0; i < d_count; ++i)
+    ASSERT_EQ(d_out[i], static_cast<double>(f_out[i])) << "value " << i;
+  dpz_free(f_out);
+  dpz_free(d_out);
+}
+
+TEST(CApi, ChunkedDoubleBestEffortFillsWithDoubleFill) {
+  std::vector<float> values;
+  std::vector<unsigned char> container = chunked_fixture(&values);
+  container[container.size() - 32] ^= 0x20;  // damage the last frame
+
+  double* out = nullptr;
+  size_t out_count = 0;
+  EXPECT_EQ(dpz_chunked_decompress_double(container.data(),
+                                          container.size(), nullptr, &out,
+                                          &out_count, nullptr),
+            DPZ_ERR_CHECKSUM);
+  EXPECT_EQ(out, nullptr);
+
+  dpz_options opt;
+  dpz_options_default(&opt);
+  opt.best_effort = 1;
+  opt.fill_value = 0.1;  // exactly representable only as double
+  dpz_decode_report report;
+  ASSERT_EQ(dpz_chunked_decompress_double(container.data(),
+                                          container.size(), &opt, &out,
+                                          &out_count, &report),
+            DPZ_PARTIAL);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(report.frames_lost, 1U);
+  EXPECT_EQ(report.first_lost_frame, 2U);
+  // The double pipeline must not round the fill through float.
+  for (size_t i = 2 * 4096; i < out_count; ++i)
+    ASSERT_EQ(out[i], 0.1) << "fill at " << i;
+  dpz_free(out);
+}
+
+TEST(CApi, ChunkedCompressWithParityRepairsAcrossTheBoundary) {
+  const std::vector<float> data = smooth_values(6 * 4096);
+  const size_t dims[1] = {6 * 4096};
+  dpz_options opt;
+  dpz_options_default(&opt);
+  opt.parity_k = 3;
+  opt.parity_m = 1;
+
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_chunked_compress_float(data.data(), dims, 1, 4096, &opt,
+                                       &archive, &archive_size),
+            DPZ_OK)
+      << dpz_last_error();
+  ASSERT_NE(archive, nullptr);
+
+  // Reference reconstruction from the intact container.
+  float* ref = nullptr;
+  size_t ref_count = 0;
+  ASSERT_EQ(dpz_chunked_decompress_float(archive, archive_size, nullptr,
+                                         &ref, &ref_count, nullptr),
+            DPZ_OK);
+  ASSERT_EQ(ref_count, data.size());
+
+  // Damage one frame's payload; parity must absorb it: strict decode
+  // still returns DPZ_OK with the repair reported, bytes unchanged.
+  archive[archive_size / 2] ^= 0x40;
+  float* out = nullptr;
+  size_t out_count = 0;
+  dpz_decode_report report;
+  ASSERT_EQ(dpz_chunked_decompress_float(archive, archive_size, nullptr,
+                                         &out, &out_count, &report),
+            DPZ_OK)
+      << dpz_last_error();
+  EXPECT_EQ(report.frames_total, 6U);
+  EXPECT_EQ(report.frames_repaired, 1U);
+  EXPECT_EQ(report.frames_lost, 0U);
+  EXPECT_EQ(report.frames_recovered, 6U);
+  ASSERT_EQ(out_count, ref_count);
+  for (size_t i = 0; i < out_count; ++i)
+    ASSERT_EQ(out[i], ref[i]) << "repair not byte-exact at " << i;
+
+  dpz_free(archive);
+  dpz_free(ref);
+  dpz_free(out);
+}
+
+TEST(CApi, ChunkedCompressRejectsBadParityGeometry) {
+  const std::vector<float> data = smooth_values(4096);
+  const size_t dims[1] = {4096};
+  dpz_options opt;
+  dpz_options_default(&opt);
+  opt.parity_k = 254;
+  opt.parity_m = 2;  // k + m > 255
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  EXPECT_EQ(dpz_chunked_compress_float(data.data(), dims, 1, 4096, &opt,
+                                       &archive, &archive_size),
+            DPZ_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(archive, nullptr);
+  EXPECT_EQ(dpz_chunked_compress_float(nullptr, dims, 1, 4096, &opt,
+                                       &archive, &archive_size),
+            DPZ_ERR_INVALID_ARGUMENT);
+}
+
+TEST(CApi, MetricsExposeRepairCounters) {
+  dpz_telemetry_enable(1);
+  dpz_metrics_reset();
+
+  const std::vector<float> data = smooth_values(4 * 4096);
+  const size_t dims[1] = {4 * 4096};
+  dpz_options opt;
+  dpz_options_default(&opt);
+  opt.parity_k = 4;
+  opt.parity_m = 1;
+  unsigned char* archive = nullptr;
+  size_t archive_size = 0;
+  ASSERT_EQ(dpz_chunked_compress_float(data.data(), dims, 1, 4096, &opt,
+                                       &archive, &archive_size),
+            DPZ_OK);
+  archive[archive_size / 2] ^= 0x08;
+
+  float* out = nullptr;
+  size_t out_count = 0;
+  ASSERT_EQ(dpz_chunked_decompress_float(archive, archive_size, nullptr,
+                                         &out, &out_count, nullptr),
+            DPZ_OK)
+      << dpz_last_error();
+
+  dpz_metrics metrics;
+  ASSERT_EQ(dpz_metrics_snapshot(&metrics), DPZ_OK);
+  EXPECT_EQ(metrics.frames_repaired, 1U);
+  EXPECT_EQ(metrics.repair_failed, 0U);
+
+  dpz_free(archive);
+  dpz_free(out);
+  dpz_telemetry_enable(0);
 }
 
 TEST(CApi, FloatRoundTrip) {

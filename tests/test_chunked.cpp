@@ -3,9 +3,13 @@
 // header validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "core/chunked.h"
+#include "core/verify.h"
 #include "metrics/metrics.h"
 #include "util/rng.h"
 
@@ -217,6 +221,217 @@ TEST(Chunked, StatsAccounting) {
   EXPECT_EQ(stats.archive_bytes, container.size());
   EXPECT_EQ(stats.frame_count, 4U);
   EXPECT_GT(stats.cr(), 1.0);
+}
+
+// ---- DZC3 parity ----------------------------------------------------
+
+// Locates frame f's byte extent via the verify section table, so the
+// tests damage exactly the frame they claim to.
+std::pair<std::size_t, std::size_t> frame_extent(
+    const std::vector<std::uint8_t>& container, std::size_t f) {
+  const VerifyReport rep = verify_archive(container);
+  const std::string name = "frame[" + std::to_string(f) + "]";
+  for (const SectionStatus& s : rep.sections)
+    if (s.name == name)
+      return {static_cast<std::size_t>(s.offset),
+              static_cast<std::size_t>(s.size)};
+  ADD_FAILURE() << "no section " << name;
+  return {0, 0};
+}
+
+void damage_frame(std::vector<std::uint8_t>& container, std::size_t f) {
+  const auto [offset, size] = frame_extent(container, f);
+  for (std::size_t i = 0; i < std::min<std::size_t>(size, 24); ++i)
+    container[offset + size / 2 - i] ^= 0xA5;
+}
+
+ChunkedConfig parity_config(unsigned k, unsigned m) {
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = k;
+  config.parity_m = m;
+  return config;
+}
+
+TEST(ChunkedParity, ParityContainerDecodesLikeParityLess) {
+  const FloatArray data = long_signal(60000, 20);
+  ChunkedConfig plain;
+  plain.chunk_values = 4096;
+  const auto without = chunked_compress(data, plain);
+  const auto with = chunked_compress(data, parity_config(4, 2));
+
+  EXPECT_GT(with.size(), without.size());  // parity costs bytes
+  const ParityInfo info = chunked_parity_info(with);
+  EXPECT_TRUE(info.enabled());
+  EXPECT_EQ(info.parity_k, 4u);
+  EXPECT_EQ(info.parity_m, 2u);
+  EXPECT_EQ(info.groups,
+            (chunked_frame_count(with) + 3) / 4);
+  EXPECT_FALSE(chunked_parity_info(without).enabled());
+
+  const FloatArray a = chunked_decompress(without);
+  const FloatArray b = chunked_decompress(with);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(ChunkedParity, StrictDecodeRepairsDamageWithinBudget) {
+  const FloatArray data = long_signal(60000, 21);
+  auto container = chunked_compress(data, parity_config(4, 2));
+  const FloatArray reference = chunked_decompress(container);
+
+  damage_frame(container, 1);
+  damage_frame(container, 2);  // two losses in group 0, m = 2
+
+  DecodeReport report;
+  const FloatArray out =
+      chunked_decompress(container, parity_config(4, 2), &report);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.frames_repaired, 2u);
+  EXPECT_EQ(report.repaired, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(report.frames_recovered, report.frames_total);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], reference[i]) << "repair not byte-exact at " << i;
+}
+
+TEST(ChunkedParity, StrictDecodeBeyondBudgetThrows) {
+  const FloatArray data = long_signal(60000, 22);
+  auto container = chunked_compress(data, parity_config(4, 1));
+  damage_frame(container, 0);
+  damage_frame(container, 3);  // two losses in group 0, m = 1
+  try {
+    chunked_decompress(container, parity_config(4, 1), nullptr);
+    FAIL() << "strict decode of unrecoverable damage must throw";
+  } catch (const ChecksumError& e) {
+    EXPECT_NE(std::string(e.what()).find("beyond the parity budget"),
+              std::string::npos);
+  }
+}
+
+TEST(ChunkedParity, BestEffortRepairsOneGroupFillsAnother) {
+  const FloatArray data = long_signal(60000, 23);
+  auto container = chunked_compress(data, parity_config(4, 1));
+  const FloatArray reference = chunked_decompress(container);
+  const std::size_t frames = chunked_frame_count(container);
+  ASSERT_GE(frames, 8u);
+
+  damage_frame(container, 0);
+  damage_frame(container, 1);  // group 0: beyond its m = 1 budget
+  damage_frame(container, 5);  // group 1: within budget
+
+  ChunkedConfig best = parity_config(4, 1);
+  best.decode_policy = DecodePolicy::kBestEffort;
+  best.fill_value = 7.0;
+  DecodeReport report;
+  const FloatArray out = chunked_decompress(container, best, &report);
+
+  EXPECT_FALSE(report.complete());
+  EXPECT_EQ(report.frames_repaired, 1u);
+  EXPECT_EQ(report.repaired, (std::vector<std::size_t>{5}));
+  ASSERT_EQ(report.lost.size(), 2u);
+  EXPECT_EQ(report.lost[0].frame, 0u);
+  EXPECT_EQ(report.lost[1].frame, 1u);
+  EXPECT_EQ(report.frames_recovered, frames - 2);
+
+  const std::size_t chunk = 4096;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i < 2 * chunk) {
+      ASSERT_EQ(out[i], 7.0F) << "lost frame not filled at " << i;
+    } else {
+      ASSERT_EQ(out[i], reference[i]) << "value altered at " << i;
+    }
+  }
+}
+
+TEST(ChunkedParity, RepairRewritesByteIdentical) {
+  const FloatArray data = long_signal(60000, 24);
+  const auto pristine = chunked_compress(data, parity_config(4, 2));
+
+  auto damaged = pristine;
+  damage_frame(damaged, 4);
+  damage_frame(damaged, 6);
+  ASSERT_NE(damaged, pristine);
+
+  RepairReport report;
+  const auto healed = chunked_repair(damaged, &report);
+  EXPECT_EQ(healed, pristine);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.frames_repaired, (std::vector<std::size_t>{4, 6}));
+  EXPECT_EQ(report.parity_shards_repaired, 0u);
+}
+
+TEST(ChunkedParity, RepairOfIntactContainerIsIdentityAndClean) {
+  const FloatArray data = long_signal(30000, 25);
+  const auto pristine = chunked_compress(data, parity_config(4, 1));
+  RepairReport report;
+  EXPECT_EQ(chunked_repair(pristine, &report), pristine);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(ChunkedParity, RepairHealsDamagedParityShards) {
+  const FloatArray data = long_signal(60000, 26);
+  const auto pristine = chunked_compress(data, parity_config(4, 2));
+  const ParityInfo info = chunked_parity_info(pristine);
+
+  // Corrupt parity bytes only (the trailing parity area).
+  auto damaged = pristine;
+  for (std::size_t i = 1; i <= 32; ++i)
+    damaged[damaged.size() - i] ^= 0x5C;
+
+  // Damaged redundancy must never poison an intact decode.
+  const FloatArray reference = chunked_decompress(pristine);
+  DecodeReport report;
+  const FloatArray out =
+      chunked_decompress(damaged, parity_config(4, 2), &report);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.frames_repaired, 0u);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], reference[i]);
+
+  RepairReport rrep;
+  const auto healed = chunked_repair(damaged, &rrep);
+  EXPECT_EQ(healed, pristine);
+  EXPECT_TRUE(rrep.frames_repaired.empty());
+  EXPECT_GE(rrep.parity_shards_repaired, 1u);
+  (void)info;
+}
+
+TEST(ChunkedParity, ScrubJudgesWithoutDecoding) {
+  const FloatArray data = long_signal(60000, 27);
+  const auto pristine = chunked_compress(data, parity_config(4, 2));
+
+  const ScrubReport clean = chunked_scrub(pristine);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(clean.parity_k, 4u);
+  EXPECT_EQ(clean.parity_m, 2u);
+  EXPECT_EQ(clean.frames_damaged, 0u);
+  EXPECT_EQ(clean.parity_mismatches, 0u);
+
+  auto frame_damage = pristine;
+  damage_frame(frame_damage, 2);
+  const ScrubReport fd = chunked_scrub(frame_damage);
+  EXPECT_FALSE(fd.ok());
+  EXPECT_EQ(fd.frames_damaged, 1u);
+
+  auto parity_damage = pristine;
+  parity_damage[parity_damage.size() - 8] ^= 0xFF;
+  const ScrubReport pd = chunked_scrub(parity_damage);
+  EXPECT_FALSE(pd.ok());
+  EXPECT_GE(pd.parity_shards_damaged, 1u);
+
+  const ScrubReport plain =
+      chunked_scrub(chunked_compress(data, ChunkedConfig{}));
+  EXPECT_TRUE(plain.ok());
+  EXPECT_EQ(plain.parity_m, 0u);
+}
+
+TEST(ChunkedParity, ParityLessRepairOfDamageThrows) {
+  const FloatArray data = long_signal(30000, 28);
+  ChunkedConfig plain;
+  plain.chunk_values = 8192;
+  auto container = chunked_compress(data, plain);
+  damage_frame(container, 0);
+  EXPECT_THROW(chunked_repair(container, nullptr), ChecksumError);
 }
 
 TEST(Chunked, WhiteNoiseFramesFallBackWithoutBreakingContainer) {

@@ -296,6 +296,100 @@ TEST_F(CliFlowTest, BestEffortDecompressRecoversDamagedContainer) {
   EXPECT_NO_THROW(read_f32(path("be_out.f32"), {64, 96}));
 }
 
+TEST_F(CliFlowTest, ParityCompressRepairsDamageTransparently) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("p.dpzc"),
+                 "--shape=64x96", "--chunk=2048", "--parity=3+1"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find(", parity 3+1"), std::string::npos);
+
+  ASSERT_EQ(run({"decompress", path("p.dpzc"), path("p_ref.f32")}), 0)
+      << err_.str();
+
+  auto bytes = read_bytes(path("p.dpzc"));
+  bytes[bytes.size() / 2] ^= 0x10;  // land inside some frame payload
+  write_bytes(path("p.dpzc"), bytes);
+
+  // Strict decode heals the frame from parity and reports it.
+  ASSERT_EQ(run({"decompress", path("p.dpzc"), path("p_out.f32")}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("parity: repaired 1 damaged frame"),
+            std::string::npos)
+      << out_.str();
+  EXPECT_EQ(read_bytes(path("p_out.f32")), read_bytes(path("p_ref.f32")));
+}
+
+TEST_F(CliFlowTest, RepairRewritesArchiveAndScrubJudgesIt) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("r.dpzc"),
+                 "--shape=64x96", "--chunk=2048", "--parity=3+1"}),
+            0)
+      << err_.str();
+  const auto pristine = read_bytes(path("r.dpzc"));
+
+  // Intact archive: repair is a no-op, scrub passes.
+  ASSERT_EQ(run({"repair", path("r.dpzc")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("intact, nothing to repair"),
+            std::string::npos);
+  ASSERT_EQ(run({"verify", path("r.dpzc"), "--scrub"}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("parity:   3+1"), std::string::npos);
+  EXPECT_NE(out_.str().find("OK"), std::string::npos);
+
+  // Damage a frame: scrub flags it, repair restores the exact bytes.
+  auto bytes = pristine;
+  bytes[bytes.size() / 2] ^= 0x20;
+  write_bytes(path("r.dpzc"), bytes);
+  EXPECT_EQ(run({"verify", path("r.dpzc"), "--scrub"}), 1);
+  ASSERT_EQ(run({"repair", path("r.dpzc")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("rebuilt from parity, checksum ok"),
+            std::string::npos)
+      << out_.str();
+  EXPECT_EQ(read_bytes(path("r.dpzc")), pristine);
+  EXPECT_EQ(run({"verify", path("r.dzc"), "--scrub"}), 1);  // absent file
+  EXPECT_EQ(run({"verify", path("r.dpzc"), "--scrub"}), 0);
+}
+
+TEST_F(CliFlowTest, ParityFlagValidation) {
+  // --parity without --chunk is rejected up front.
+  EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpzc"),
+                 "--shape=64x96", "--parity=4+2"}),
+            1);
+  EXPECT_NE(err_.str().find("--chunk"), std::string::npos);
+  // Malformed geometries.
+  for (const char* bad : {"--parity=4", "--parity=0+2", "--parity=4+0",
+                          "--parity=300+1", "--parity=a+b"}) {
+    EXPECT_EQ(run({"compress", path("in.f32"), path("x.dpzc"),
+                   "--shape=64x96", "--chunk=2048", bad}),
+              1)
+        << bad;
+    EXPECT_NE(err_.str().find("parity"), std::string::npos) << bad;
+  }
+  // Repair of a parity-less container that is damaged must fail loudly.
+  ASSERT_EQ(run({"compress", path("in.f32"), path("nl.dpzc"),
+                 "--shape=64x96", "--chunk=2048"}),
+            0);
+  auto bytes = read_bytes(path("nl.dpzc"));
+  bytes[bytes.size() - 24] ^= 0x10;
+  write_bytes(path("nl.dpzc"), bytes);
+  EXPECT_EQ(run({"repair", path("nl.dpzc")}), 1);
+}
+
+TEST_F(CliFlowTest, InspectShowsParityGeometry) {
+  ASSERT_EQ(run({"compress", path("in.f32"), path("ig.dpzc"),
+                 "--shape=64x96", "--chunk=2048", "--parity=3+1"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run({"inspect", path("ig.dpzc")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("parity:   3+1"), std::string::npos)
+      << out_.str();
+
+  ASSERT_EQ(run({"compress", path("in.f32"), path("ig0.dpzc"),
+                 "--shape=64x96", "--chunk=2048"}),
+            0);
+  ASSERT_EQ(run({"inspect", path("ig0.dpzc")}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("parity:   none"), std::string::npos)
+      << out_.str();
+}
+
 TEST_F(CliFlowTest, ResourceLimitFlagsGovernDecompress) {
   ASSERT_EQ(run({"compress", path("in.f32"), path("rl.dpz"),
                  "--shape=64x96"}),

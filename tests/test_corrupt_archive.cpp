@@ -333,6 +333,113 @@ TEST(CorruptChunkedContainer, TableDriven) {
   });
 }
 
+// Chunked v3 layout for the 4-frame, rank-1, parity-4+2 fixture below:
+// the v2 prefix (magic, version, rank, dim0, chunk_values, frame_count,
+// 4 x 20-byte table entries) ends at 110, then parity_k u8 @110,
+// parity_m u8 @111, the single group's shard_size u64 @112 and two
+// parity CRC32Cs @120, header CRC u32 @128.
+constexpr std::size_t kV3OffParityK = 110;
+constexpr std::size_t kV3OffParityM = 111;
+constexpr std::size_t kV3OffShardSize = 112;
+constexpr std::size_t kV3OffParityCrc = 120;
+constexpr std::size_t kV3OffHeaderCrc = 128;
+
+void reseal_v3_header(std::vector<std::uint8_t>& bytes) {
+  write_u32_at(bytes, kV3OffHeaderCrc,
+               crc32c(std::span(bytes.data(), kV3OffHeaderCrc)));
+}
+
+TEST(CorruptChunkedContainer, ParityGeometryTableDriven) {
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = 4;
+  config.parity_m = 2;
+  const std::vector<std::uint8_t> valid =
+      chunked_compress(wave({4 * 4096}, 18), config);
+  ASSERT_EQ(valid[kChkOffVersion], 3);
+  ASSERT_EQ(valid[kV3OffParityK], 4);
+  ASSERT_EQ(valid[kV3OffParityM], 2);
+  const std::vector<CorruptionCase> cases = {
+      // Resealed geometry forgeries: the parity validation (not the
+      // header seal) must reject them.
+      {"zero-parity-k",
+       [](auto& b) {
+         b[kV3OffParityK] = 0;
+         reseal_v3_header(b);
+       },
+       "parity"},
+      {"zero-parity-m",
+       [](auto& b) {
+         b[kV3OffParityM] = 0;
+         reseal_v3_header(b);
+       },
+       "parity"},
+      {"parity-geometry-overflow",
+       [](auto& b) {
+         b[kV3OffParityK] = 255;
+         b[kV3OffParityM] = 255;
+         reseal_v3_header(b);
+       },
+       "parity"},
+      {"huge-shard-size",
+       [](auto& b) {
+         write_u64_at(b, kV3OffShardSize, std::uint64_t{1} << 50);
+         reseal_v3_header(b);
+       },
+       nullptr},
+      {"shard-smaller-than-frame",
+       [](auto& b) {
+         write_u64_at(b, kV3OffShardSize, 8);
+         reseal_v3_header(b);
+       },
+       nullptr},
+      // Unsealed forgery: the parity CRCs live under the header seal, so
+      // flipping one is header corruption, never a trusted field.
+      {"forged-parity-crc-unsealed",
+       [](auto& b) { b[kV3OffParityCrc] ^= 0xFF; },
+       "header checksum mismatch"},
+      {"truncated-into-parity-area",
+       [](auto& b) { b.resize(b.size() - 10); }, nullptr},
+      {"v2-magic-on-v3-body", [](auto& b) { b[3] = 0x32; }, "version"},
+  };
+  run_cases(valid, cases, [](std::span<const std::uint8_t> bytes) {
+    (void)chunked_decompress(bytes);
+  });
+}
+
+TEST(CorruptChunkedContainer, DamagedParityNeverCorruptsIntactDecode) {
+  // The redundancy must be strictly additive: any corruption confined to
+  // the parity shard payloads leaves the data decode byte-identical to
+  // the pristine container's.
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = 4;
+  config.parity_m = 2;
+  const std::vector<std::uint8_t> valid =
+      chunked_compress(wave({4 * 4096}, 19), config);
+  const FloatArray reference = chunked_decompress(valid);
+
+  const std::size_t shard = read_u64_at(valid, kV3OffShardSize);
+  const std::size_t parity_bytes = 2 * shard;
+  const std::size_t parity_begin = valid.size() - parity_bytes;
+
+  Rng rng(20);
+  for (int round = 0; round < 32; ++round) {
+    std::vector<std::uint8_t> bytes = valid;
+    const std::size_t hits = 1 + rng.uniform_index(64);
+    for (std::size_t h = 0; h < hits; ++h)
+      bytes[parity_begin + rng.uniform_index(parity_bytes)] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    DecodeReport report;
+    const FloatArray out = chunked_decompress(bytes, config, &report);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.frames_repaired, 0u);
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], reference[i]) << "round " << round;
+  }
+}
+
 // The same corruptions through the C boundary: status codes instead of
 // exceptions, message via dpz_last_error().
 TEST(CorruptArchiveCApi, StatusCodesAndMessages) {

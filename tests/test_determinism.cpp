@@ -150,6 +150,30 @@ TEST(Determinism, ChunkedContainerIsThreadCountInvariant) {
   }
 }
 
+TEST(Determinism, ChunkedParityContainerIsThreadCountInvariant) {
+  // The parity section is derived from the compressed frame payloads, so
+  // any thread-count dependence in the frame bytes would surface here too.
+  const FloatArray data = synthetic_2d(160, 120, 23);
+  ChunkedConfig config;
+  config.dpz = DpzConfig::strict();
+  config.chunk_values = 2048;
+  config.parity_k = 4;
+  config.parity_m = 2;
+  config.threads = 1;
+  const std::vector<std::uint8_t> ref_archive =
+      chunked_compress(data, config);
+  const std::vector<std::uint8_t> ref_decode =
+      float_bytes(chunked_decompress(ref_archive, 1));
+  for (const unsigned threads : kThreadCounts) {
+    config.threads = threads;
+    EXPECT_EQ(chunked_compress(data, config), ref_archive)
+        << "container differs at threads=" << threads;
+    EXPECT_EQ(float_bytes(chunked_decompress(ref_archive, threads)),
+              ref_decode)
+        << "decode differs at threads=" << threads;
+  }
+}
+
 TEST(Determinism, SharedBasisCodecIsThreadCountInvariant) {
   const FloatArray reference = synthetic_2d(96, 96, 31);
   const FloatArray snapshot = synthetic_2d(96, 96, 32);

@@ -19,11 +19,13 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/chunked.h"
 #include "core/dpz.h"
 #include "core/shared_basis.h"
+#include "core/verify.h"
 #include "io/fault_injection.h"
 #include "io/file_io.h"
 #include "obs/metrics.h"
@@ -380,6 +382,140 @@ TEST_F(FaultInjectionTest, BestEffortRecoversIntactFramesFromDamagedFile) {
             << "intact frame " << f << " altered at " << i;
       }
     }
+  }
+}
+
+// ---- Parity (DZC3) loss sweeps --------------------------------------
+//
+// The parity pipelines are deliberately NOT in make_pipelines(): the
+// generic bit-rot sweep asserts every flip ends in kDecodeError, while a
+// parity container turns most frame flips into byte-exact repairs. These
+// sweeps assert the stronger contract instead: every loss the geometry
+// promises to absorb comes back bit-exactly.
+
+// Byte extents of every frame, read once from the verify section table.
+std::vector<std::pair<std::size_t, std::size_t>> frame_extents(
+    const std::vector<std::uint8_t>& container) {
+  std::vector<std::pair<std::size_t, std::size_t>> extents;
+  for (const SectionStatus& s : verify_archive(container).sections)
+    if (s.name.rfind("frame[", 0) == 0)
+      extents.emplace_back(static_cast<std::size_t>(s.offset),
+                           static_cast<std::size_t>(s.size));
+  return extents;
+}
+
+void wreck_frame(std::vector<std::uint8_t>& bytes,
+                 std::pair<std::size_t, std::size_t> extent,
+                 std::uint8_t mask) {
+  for (std::size_t i = 0; i < extent.second; i += 3)
+    bytes[extent.first + i] ^= mask;
+}
+
+TEST_F(FaultInjectionTest, ParityEverySingleFrameLossRepairsByteExact) {
+  // The acceptance geometry: 16+2. 20 frames -> one full group of 16
+  // and a partial tail group of 4.
+  ChunkedConfig config;
+  config.chunk_values = 2048;
+  config.parity_k = 16;
+  config.parity_m = 2;
+  const FloatArray input = smooth_f32({20 * 2048}, 31);
+  const std::vector<std::uint8_t> archive = chunked_compress(input, config);
+  const FloatArray reference = chunked_decompress(archive);
+  const auto extents = frame_extents(archive);
+  ASSERT_EQ(extents.size(), 20u);
+
+  for (std::size_t f = 0; f < extents.size(); ++f) {
+    auto damaged = archive;
+    wreck_frame(damaged, extents[f], 0x3C);
+    DecodeReport report;
+    const FloatArray out = chunked_decompress(damaged, config, &report);
+    EXPECT_TRUE(report.complete()) << "frame " << f;
+    EXPECT_EQ(report.frames_repaired, 1u) << "frame " << f;
+    ASSERT_EQ(report.repaired, (std::vector<std::size_t>{f}));
+    ASSERT_EQ(value_bytes(out), value_bytes(reference))
+        << "repair of frame " << f << " was not byte-exact";
+  }
+}
+
+TEST_F(FaultInjectionTest, ParityEveryDoubleFrameLossRepairsByteExact) {
+  ChunkedConfig config;
+  config.chunk_values = 2048;
+  config.parity_k = 16;
+  config.parity_m = 2;
+  const FloatArray input = smooth_f32({20 * 2048}, 32);
+  const std::vector<std::uint8_t> archive = chunked_compress(input, config);
+  const std::vector<std::uint8_t> reference =
+      value_bytes(chunked_decompress(archive));
+  const auto extents = frame_extents(archive);
+  ASSERT_EQ(extents.size(), 20u);
+
+  // Every pair of lost frames: at most 2 per group, always within the
+  // m = 2 budget, so every pattern must reconstruct.
+  std::size_t cases = 0;
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    for (std::size_t j = i + 1; j < extents.size(); ++j) {
+      auto damaged = archive;
+      wreck_frame(damaged, extents[i], 0x81);
+      wreck_frame(damaged, extents[j], 0x5A);
+      DecodeReport report;
+      const FloatArray out = chunked_decompress(damaged, config, &report);
+      EXPECT_TRUE(report.complete()) << i << "," << j;
+      EXPECT_EQ(report.frames_repaired, 2u) << i << "," << j;
+      ASSERT_EQ(value_bytes(out), reference)
+          << "double loss " << i << "," << j << " not byte-exact";
+      ++cases;
+    }
+  }
+  EXPECT_EQ(cases, 190u);
+}
+
+TEST_F(FaultInjectionTest, ParityRepairCountersAccountExactlyOnce) {
+  using obs::Counter;
+  const obs::ScopedTelemetry telemetry(true);
+
+  ChunkedConfig config;
+  config.chunk_values = 4096;
+  config.parity_k = 4;
+  config.parity_m = 2;
+  const FloatArray input = smooth_f32({8 * 4096}, 33);
+  const std::vector<std::uint8_t> archive = chunked_compress(input, config);
+  const auto extents = frame_extents(archive);
+  ASSERT_EQ(extents.size(), 8u);
+
+  // Two losses in group 0: both repaired, none failed.
+  {
+    auto damaged = archive;
+    wreck_frame(damaged, extents[0], 0x11);
+    wreck_frame(damaged, extents[2], 0x22);
+    obs::MetricsRegistry::instance().reset();
+    DecodeReport report;
+    (void)chunked_decompress(damaged, config, &report);
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(snap.counter(Counter::kFramesRepaired), 2u);
+    EXPECT_EQ(snap.counter(Counter::kRepairFailed), 0u);
+    EXPECT_EQ(report.frames_repaired, 2u);
+  }
+
+  // Three losses in group 1 (budget 2): all three counted failed, once
+  // each, and none counted repaired.
+  {
+    auto damaged = archive;
+    wreck_frame(damaged, extents[4], 0x11);
+    wreck_frame(damaged, extents[5], 0x22);
+    wreck_frame(damaged, extents[6], 0x44);
+    obs::MetricsRegistry::instance().reset();
+    ChunkedConfig best = config;
+    best.decode_policy = DecodePolicy::kBestEffort;
+    DecodeReport report;
+    (void)chunked_decompress(damaged, best, &report);
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(snap.counter(Counter::kFramesRepaired), 0u);
+    EXPECT_EQ(snap.counter(Counter::kRepairFailed), 3u);
+    EXPECT_EQ(snap.counter(Counter::kFramesLost), 3u);
+    EXPECT_EQ(report.frames_repaired, 0u);
+    EXPECT_EQ(report.lost.size(), 3u);
   }
 }
 
