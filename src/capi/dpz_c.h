@@ -230,8 +230,9 @@ typedef struct dpz_decode_report {
 
 /* Compresses floats into a chunked container of `chunk_values`-sized
  * frames (format "DZC2", or "DZC3" when opt->parity_m > 0 adds
- * Reed-Solomon frame parity). `opt` may be NULL for defaults;
- * `threads`, `parity_k`/`parity_m`, and the governance fields apply. */
+ * Reed-Solomon frame parity). `opt` is required (initialize with
+ * dpz_options_default, as with dpz_compress_float); `threads`,
+ * `parity_k`/`parity_m`, and the governance fields apply. */
 int dpz_chunked_compress_float(const float* data, const size_t* dims,
                                size_t rank, size_t chunk_values,
                                const dpz_options* opt,

@@ -126,6 +126,11 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
         h.parity_k + h.parity_m > 255)
       throw FormatError("chunked container: bad parity geometry");
     const std::size_t groups = parity_group_count(h);
+    // Each group's table entry needs at least 8 bytes, so a claimed
+    // group count beyond the remaining input is forged — reject before
+    // sizing the tables off it.
+    if (groups > r.remaining() / 8)
+      throw FormatError("chunked container: bad parity geometry");
     h.shard_sizes.resize(groups);
     h.parity_offsets.resize(groups);
     h.parity_crcs.resize(groups * h.parity_m);
@@ -134,7 +139,14 @@ ContainerHeader parse_header(std::span<const std::uint8_t> container) {
       h.shard_sizes[g] = r.get_u64();
       if (h.shard_sizes[g] > (1ULL << 40))
         throw FormatError("chunked container: implausible parity shard");
-      parity_bytes += h.parity_m * h.shard_sizes[g];
+      // Shard sizes are archive data: the running total must not wrap
+      // 64 bits, or the parity-vs-container bound below checks a
+      // wrapped sum and shard reads go out of bounds.
+      const std::uint64_t group_bytes =
+          static_cast<std::uint64_t>(h.parity_m) * h.shard_sizes[g];
+      if (group_bytes > UINT64_MAX - parity_bytes)
+        throw FormatError("chunked container: parity exceeds the container");
+      parity_bytes += group_bytes;
       for (std::size_t j = 0; j < h.parity_m; ++j)
         h.parity_crcs[g * h.parity_m + j] = r.get_u32();
     }
@@ -719,8 +731,31 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
   const ContainerHeader h = parse_header(container);
   DPZ_REQUIRE(frame_index < h.frame_count, "frame index out of range");
 
-  const auto frame = frame_bytes(container, h, frame_index);
-  check_frame_crc(frame, h, frame_index);
+  std::span<const std::uint8_t> frame = frame_bytes(container, h, frame_index);
+  std::vector<std::uint8_t> rebuilt;
+  if (!frame_crc_ok(frame, h, frame_index)) {
+    // Same self-healing contract as whole-container decode: a damaged
+    // frame in a parity-carrying container is reconstructed from its
+    // group before the random-access path gives up on it.
+    if (h.parity_m == 0)
+      throw ChecksumError("chunked container: frame " +
+                          std::to_string(frame_index) +
+                          " checksum mismatch");
+    std::vector<std::uint8_t> damaged(h.frame_count, 0);
+    damaged[frame_index] = 1;
+    const std::size_t first = (frame_index / h.parity_k) * h.parity_k;
+    const std::size_t last = std::min(first + h.parity_k, h.frame_count);
+    for (std::size_t f = first; f < last; ++f)
+      if (f != frame_index)
+        damaged[f] = frame_crc_ok(frame_bytes(container, h, f), h, f) ? 0 : 1;
+    RepairPlan plan = attempt_repairs(container, h, damaged);
+    if (!plan.frame_repaired(frame_index))
+      throw ChecksumError("chunked container: frame " +
+                          std::to_string(frame_index) +
+                          " is beyond the parity budget");
+    rebuilt = std::move(plan.replacement[frame_index]);
+    frame = rebuilt;
+  }
   const FloatArray chunk = dpz_decompress(frame);
 
   ChunkView view;

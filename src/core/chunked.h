@@ -197,7 +197,11 @@ ParityInfo chunked_parity_info(std::span<const std::uint8_t> container);
 
 /// Decompresses a single frame (0-based). Returns the chunk's values in
 /// flattened order along with its offset into the flat dataset. This is
-/// the random-access path: only the requested frame is decoded.
+/// the random-access path: only the requested frame is decoded. A
+/// CRC-failed frame in a parity-carrying (DZC3) container is first
+/// reconstructed from its group's surviving shards — the same
+/// self-healing contract as whole-container decode — and only throws
+/// ChecksumError when the damage exceeds the parity budget.
 struct ChunkView {
   std::size_t frame_index = 0;
   std::size_t value_offset = 0;  ///< position in the flattened dataset

@@ -167,7 +167,12 @@ void walk_chunked(ByteReader& r, std::span<const std::uint8_t> bytes,
       shard_sizes[g] = r.get_u64();
       if (shard_sizes[g] > (1ULL << 40))
         throw FormatError("implausible parity shard");
-      parity_bytes += parity_m * shard_sizes[g];
+      // Archive data: the running total must not wrap 64 bits, or the
+      // parity-vs-container bound below checks a wrapped sum.
+      const std::uint64_t group_bytes = parity_m * shard_sizes[g];
+      if (group_bytes > UINT64_MAX - parity_bytes)
+        throw FormatError("parity exceeds the container");
+      parity_bytes += group_bytes;
       for (std::uint64_t j = 0; j < parity_m; ++j)
         parity_crcs[g * parity_m + j] = r.get_u32();
     }

@@ -308,6 +308,32 @@ TEST(ChunkedParity, StrictDecodeBeyondBudgetThrows) {
   }
 }
 
+TEST(ChunkedParity, RandomAccessRepairsDamagedFrame) {
+  const FloatArray data = long_signal(60000, 30);
+  auto container = chunked_compress(data, parity_config(4, 2));
+  const ChunkView reference = chunked_decompress_frame(container, 2);
+
+  damage_frame(container, 1);
+  damage_frame(container, 2);  // two losses in group 0, m = 2
+  const ChunkView repaired = chunked_decompress_frame(container, 2);
+  EXPECT_EQ(repaired.value_offset, reference.value_offset);
+  ASSERT_EQ(repaired.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < repaired.values.size(); ++i)
+    ASSERT_EQ(repaired.values[i], reference.values[i])
+        << "random-access repair not byte-exact at " << i;
+
+  damage_frame(container, 0);  // third loss in group 0 exceeds m = 2
+  try {
+    chunked_decompress_frame(container, 2);
+    FAIL() << "random access beyond the parity budget must throw";
+  } catch (const ChecksumError& e) {
+    EXPECT_NE(std::string(e.what()).find("beyond the parity budget"),
+              std::string::npos);
+  }
+  // A frame in an undamaged group is untouched by group 0's losses.
+  EXPECT_NO_THROW(chunked_decompress_frame(container, 5));
+}
+
 TEST(ChunkedParity, BestEffortRepairsOneGroupFillsAnother) {
   const FloatArray data = long_signal(60000, 23);
   auto container = chunked_compress(data, parity_config(4, 1));

@@ -407,6 +407,63 @@ TEST(CorruptChunkedContainer, ParityGeometryTableDriven) {
   });
 }
 
+// A forged DZC3 header whose per-group parity sizes sum to 2^64 + 252:
+// the accumulator wraps to 252, which fits the trailing 252 bytes this
+// forgery appends, so every post-wrap bound check passes and shard reads
+// go out of bounds. The parser must reject the accumulation before it
+// wraps. 66052 single-frame groups (k=1, m=254) at the 2^40 shard
+// plausibility cap leave the sum 8*2^40 short of 2^64; the final group's
+// shard of (2^43 + 252) / 254 bytes crosses it exactly.
+TEST(CorruptChunkedContainer, ParityBytesOverflowRejected) {
+  std::vector<std::uint8_t> b;
+  auto put_u8 = [&](std::uint8_t v) { b.push_back(v); };
+  auto put_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  constexpr std::uint64_t kFullGroups = 66052;
+  constexpr std::uint64_t kGroups = kFullGroups + 1;
+  constexpr std::uint64_t kLastShard = ((std::uint64_t{1} << 43) + 252) / 254;
+  static_assert(kFullGroups * 254 * (std::uint64_t{1} << 40) +
+                        254 * kLastShard ==
+                    std::uint64_t{252},  // wrapped: 2^64 + 252
+                "forgery must wrap the parity accumulator to 252");
+  b.reserve((70u << 20));
+  put_u32(0x33435A44u);  // "DZC3"
+  put_u8(3);             // version
+  put_u8(1);             // rank
+  put_u64(kGroups * 8);  // dim0: one 8-value frame per group
+  put_u64(8);            // chunk_values
+  put_u64(kGroups);      // frame_count
+  for (std::uint64_t f = 0; f < kGroups; ++f) {
+    put_u64(0);  // offset: all-empty frames are trivially contiguous
+    put_u64(0);  // size: frame area is exactly the 252 post-wrap bytes
+    put_u32(0);  // crc
+  }
+  put_u8(1);    // parity_k
+  put_u8(254);  // parity_m
+  for (std::uint64_t g = 0; g < kFullGroups; ++g) {
+    put_u64(std::uint64_t{1} << 40);  // shard size at the cap
+    for (int j = 0; j < 254; ++j) put_u32(0);
+  }
+  put_u64(kLastShard);
+  for (int j = 0; j < 254; ++j) put_u32(0);
+  put_u32(crc32c(std::span(b.data(), b.size())));  // sealed forgery
+  b.resize(b.size() + 252, 0);  // the area the wrapped sum points into
+
+  try {
+    (void)chunked_decompress(b);
+    FAIL() << "overflowing parity geometry must be rejected";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("parity exceeds the container"),
+              std::string::npos);
+  }
+}
+
 TEST(CorruptChunkedContainer, DamagedParityNeverCorruptsIntactDecode) {
   // The redundancy must be strictly additive: any corruption confined to
   // the parity shard payloads leaves the data decode byte-identical to
