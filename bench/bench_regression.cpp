@@ -375,6 +375,15 @@ int main(int argc, char** argv) {
   write_json(json_out, cells, opt, hw, calib, deterministic, metrics_json);
   std::cout << "wrote " << path << "\n";
 
+  // Prometheus textfile rendering of the same registry snapshot, for
+  // node_exporter-style collection from the CI artifact directory.
+  const std::string prom_path = artifact_path(opt, "BENCH_metrics.prom");
+  std::ofstream prom_out(prom_path);
+  prom_out << dpz::obs::MetricsRegistry::instance()
+                  .snapshot()
+                  .to_prometheus();
+  std::cout << "wrote " << prom_path << "\n";
+
   const std::string trace_path = artifact_path(opt, "BENCH_trace.json");
   if (dpz::obs::TraceRecorder::instance().write_file(trace_path))
     std::cout << "wrote " << trace_path << " ("

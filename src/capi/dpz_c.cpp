@@ -10,6 +10,7 @@
 
 #include "core/chunked.h"
 #include "core/dpz.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -36,7 +37,10 @@ int translate_exception() {
     throw;
   } catch (const dpz::Error& e) {
     // dpz::StatusCode values mirror the DPZ_* enum, so the classification
-    // every dpz exception carries crosses the boundary unchanged.
+    // every dpz exception carries crosses the boundary unchanged. The
+    // breadcrumb marks where the error left the library.
+    dpz::obs::log_error(dpz::obs::Event::kErrorRaised, e.code(), {},
+                        e.what());
     return set_error(static_cast<int>(e.code()), e.what());
   } catch (const std::bad_alloc&) {
     // The allocator gave out before (or without) a configured budget
@@ -332,6 +336,30 @@ int dpz_metrics_snapshot(dpz_metrics* out) {
   return DPZ_OK;
 }
 
+// Copies a rendered string into a malloc'd NUL-terminated buffer.
+static int export_string(const std::string& text, char** out) {
+  if (out == nullptr)
+    return set_error(DPZ_ERR_INVALID_ARGUMENT, "null argument");
+  auto* buffer = static_cast<char*>(std::malloc(text.size() + 1));
+  if (buffer == nullptr)
+    return set_error(DPZ_ERR_RESOURCE, "out of memory");
+  std::memcpy(buffer, text.c_str(), text.size() + 1);
+  *out = buffer;
+  g_last_error.clear();
+  return DPZ_OK;
+}
+
+int dpz_metrics_json(char** text) {
+  return export_string(
+      dpz::obs::MetricsRegistry::instance().snapshot().to_json(), text);
+}
+
+int dpz_metrics_prometheus(char** text) {
+  return export_string(
+      dpz::obs::MetricsRegistry::instance().snapshot().to_prometheus(),
+      text);
+}
+
 void dpz_metrics_reset(void) {
   dpz::obs::MetricsRegistry::instance().reset();
 }
@@ -516,6 +544,12 @@ int dpz_archive_is_double(const unsigned char* archive,
 void dpz_free(void* ptr) { std::free(ptr); }
 
 const char* dpz_last_error(void) { return g_last_error.c_str(); }
+
+const char* dpz_last_error_report(void) {
+  thread_local std::string report;
+  report = dpz::obs::FlightRecorder::instance().last_error_report();
+  return report.c_str();
+}
 
 const char* dpz_status_name(int code) {
   if (code < 0) code = -code;  // dpz_archive_is_double negates on error

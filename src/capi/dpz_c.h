@@ -331,6 +331,19 @@ typedef struct dpz_metrics {
  * DPZ_ERR_INVALID_ARGUMENT when out is NULL. */
 int dpz_metrics_snapshot(dpz_metrics* out);
 
+/* Renders the full registry (counters AND histograms, including bucket
+ * arrays and per-histogram sums) as one JSON object into a malloc'd
+ * NUL-terminated string the caller frees with dpz_free(). Returns
+ * DPZ_OK, DPZ_ERR_INVALID_ARGUMENT on NULL, DPZ_ERR_RESOURCE on OOM. */
+int dpz_metrics_json(char** text);
+
+/* Renders the registry in the Prometheus text exposition format:
+ * counters as dpz_<name>_total, histograms as dpz_<name> with the
+ * cumulative le-labeled bucket ladder plus _sum/_count, each family
+ * preceded by # HELP and # TYPE lines. Same ownership contract as
+ * dpz_metrics_json. */
+int dpz_metrics_prometheus(char** text);
+
 /* Zeroes every counter and histogram bucket in the registry. */
 void dpz_metrics_reset(void);
 
@@ -348,6 +361,16 @@ void dpz_free(void* ptr);
 /* Message describing the most recent error on this thread ("" if none).
  * The pointer stays valid until the next API call on the same thread. */
 const char* dpz_last_error(void);
+
+/* Human-readable diagnostic report for the most recent error recorded by
+ * the structured event log (process-wide, any thread): the failing
+ * event with its archive offset, frame index, section name, and active
+ * span stack, followed by the flight-recorder breadcrumbs that led up
+ * to it. Returns "" when no error has been recorded. The pointer stays
+ * valid until the next dpz_last_error_report() call on the same thread.
+ * Always available — the flight recorder captures error events even
+ * with telemetry off (see docs/OBSERVABILITY.md). */
+const char* dpz_last_error_report(void);
 
 #ifdef __cplusplus
 }

@@ -74,10 +74,14 @@ SideData deserialize_side(std::span<const std::uint8_t> bytes, std::size_t m,
 /// put_section always writes v2; get_section parses the framing the
 /// given version uses and, for v2, verifies the checksum *before* the
 /// blob is handed to zlib (ChecksumError on mismatch), so corrupted
-/// payloads never reach the inflater or size an allocation.
+/// payloads never reach the inflater or size an allocation. `what`
+/// (when given) names the section in the error-breadcrumb record the
+/// failure leaves behind (obs/log.h); the byte offset recorded is the
+/// section's start position in the archive.
 void put_section(ByteWriter& w, std::span<const std::uint8_t> raw,
                  int level);
-std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version);
+std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version,
+                                      const char* what = nullptr);
 
 /// CRC32C over the section's wire image (raw-size field + blob), i.e.
 /// exactly what a v2 section checksum covers. Shared with verify.cpp.

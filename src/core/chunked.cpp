@@ -8,6 +8,7 @@
 #include "codec/bytes.h"
 #include "core/archive_detail.h"
 #include "ecc/reed_solomon.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/crc32c.h"
@@ -213,11 +214,24 @@ bool frame_crc_ok(std::span<const std::uint8_t> frame,
   return false;
 }
 
+// Breadcrumb context for one frame: its index and absolute byte offset
+// inside the container, so error reports can name the failing bytes.
+obs::LogContext frame_log_ctx(const ContainerHeader& h, std::size_t f) {
+  obs::LogContext ctx;
+  ctx.offset = h.frames_begin + h.frame_offsets[f];
+  ctx.frame = f;
+  ctx.section = "frame";
+  return ctx;
+}
+
 void check_frame_crc(std::span<const std::uint8_t> frame,
                      const ContainerHeader& h, std::size_t f) {
-  if (!frame_crc_ok(frame, h, f))
+  if (!frame_crc_ok(frame, h, f)) {
+    obs::log_error(obs::Event::kChecksumMismatch, StatusCode::kChecksum,
+                   frame_log_ctx(h, f));
     throw ChecksumError("chunked container: frame " + std::to_string(f) +
                         " checksum mismatch");
+  }
 }
 
 // Chunk boundaries over `total` values: every chunk has `chunk_values`
@@ -330,8 +344,12 @@ RepairPlan attempt_repairs(std::span<const std::uint8_t> container,
     if (surviving < h.parity_k) {
       for (std::size_t f = first; f < last; ++f) {
         if (damaged[f] == 0) continue;
+        const obs::ScopedSpan frame_span(obs::Span::kFrameRepair);
         plan.unrecovered[f] = 1;
         obs::count(obs::Counter::kRepairFailed);
+        obs::log_error(obs::Event::kFrameRepairFailed,
+                       StatusCode::kChecksum, frame_log_ctx(h, f),
+                       "too few surviving shards");
       }
       continue;
     }
@@ -341,6 +359,7 @@ RepairPlan attempt_repairs(std::span<const std::uint8_t> container,
         codec.reconstruct(shards, present);
     for (std::size_t f = first; f < last; ++f) {
       if (damaged[f] == 0) continue;
+      const obs::ScopedSpan frame_span(obs::Span::kFrameRepair);
       const std::size_t i = f - first;
       std::vector<std::uint8_t> bytes(
           data[i].begin(),
@@ -350,9 +369,14 @@ RepairPlan attempt_repairs(std::span<const std::uint8_t> container,
         plan.replacement[f] = std::move(bytes);
         plan.repaired[f] = 1;
         obs::count(obs::Counter::kFramesRepaired);
+        obs::log_event(obs::Event::kFrameRebuilt, obs::LogLevel::kInfo,
+                       StatusCode::kOk, frame_log_ctx(h, f));
       } else {
         plan.unrecovered[f] = 1;
         obs::count(obs::Counter::kRepairFailed);
+        obs::log_error(obs::Event::kFrameRepairFailed,
+                       StatusCode::kChecksum, frame_log_ctx(h, f),
+                       "reconstruction fails the stored checksum");
       }
     }
   }
@@ -413,9 +437,12 @@ NdArray<T> decompress_strict(std::span<const std::uint8_t> container,
   const RepairPlan plan = scan_and_repair(container, h);
   const bool prescanned = h.parity_m > 0;
   for (std::size_t f = 0; f < h.frame_count; ++f)
-    if (plan.frame_unrecovered(f))
+    if (plan.frame_unrecovered(f)) {
+      obs::log_error(obs::Event::kChecksumMismatch, StatusCode::kChecksum,
+                     frame_log_ctx(h, f), "beyond the parity budget");
       throw ChecksumError("chunked container: frame " + std::to_string(f) +
                           " checksum mismatch (beyond the parity budget)");
+    }
 
   // Cheap header-only pre-pass: every frame claims its decoded size, and
   // the claims must exactly tile the container's shape *before* any frame
@@ -541,9 +568,16 @@ NdArray<T> decompress_best_effort(std::span<const std::uint8_t> container,
   for (std::size_t f = 0; f < h.frame_count; ++f)
     if (frame_lost[f] != 0 && plan.frame_repaired(f)) plan.repaired[f] = 0;
 
-  for (const std::uint8_t lost : frame_lost)
-    obs::count(lost != 0 ? obs::Counter::kFramesLost
-                         : obs::Counter::kFramesRecovered);
+  for (std::size_t f = 0; f < h.frame_count; ++f) {
+    if (frame_lost[f] != 0) {
+      obs::count(obs::Counter::kFramesLost);
+      obs::log_event(obs::Event::kFrameLost, obs::LogLevel::kWarn,
+                     StatusCode::kChecksum, frame_log_ctx(h, f),
+                     frame_error[f]);
+    } else {
+      obs::count(obs::Counter::kFramesRecovered);
+    }
+  }
 
   if (report != nullptr) {
     *report = DecodeReport{};
@@ -737,10 +771,13 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
     // Same self-healing contract as whole-container decode: a damaged
     // frame in a parity-carrying container is reconstructed from its
     // group before the random-access path gives up on it.
-    if (h.parity_m == 0)
+    if (h.parity_m == 0) {
+      obs::log_error(obs::Event::kChecksumMismatch, StatusCode::kChecksum,
+                     frame_log_ctx(h, frame_index));
       throw ChecksumError("chunked container: frame " +
                           std::to_string(frame_index) +
                           " checksum mismatch");
+    }
     std::vector<std::uint8_t> damaged(h.frame_count, 0);
     damaged[frame_index] = 1;
     const std::size_t first = (frame_index / h.parity_k) * h.parity_k;
@@ -749,10 +786,14 @@ ChunkView chunked_decompress_frame(std::span<const std::uint8_t> container,
       if (f != frame_index)
         damaged[f] = frame_crc_ok(frame_bytes(container, h, f), h, f) ? 0 : 1;
     RepairPlan plan = attempt_repairs(container, h, damaged);
-    if (!plan.frame_repaired(frame_index))
+    if (!plan.frame_repaired(frame_index)) {
+      obs::log_error(obs::Event::kChecksumMismatch, StatusCode::kChecksum,
+                     frame_log_ctx(h, frame_index),
+                     "beyond the parity budget");
       throw ChecksumError("chunked container: frame " +
                           std::to_string(frame_index) +
                           " is beyond the parity budget");
+    }
     rebuilt = std::move(plan.replacement[frame_index]);
     frame = rebuilt;
   }
@@ -772,6 +813,7 @@ std::size_t chunked_frame_count(std::span<const std::uint8_t> container) {
 std::vector<std::uint8_t> chunked_repair(
     std::span<const std::uint8_t> container, RepairReport* report) {
   governed_poll();
+  const obs::ScopedSpan archive_span(obs::Span::kArchiveRepair);
   const ContainerHeader h = parse_header(container);
   RepairReport local;
   RepairReport& rep = report != nullptr ? *report : local;
@@ -798,9 +840,12 @@ std::vector<std::uint8_t> chunked_repair(
   }
   if (!any_frame && !any_parity)
     return {container.begin(), container.end()};
-  if (h.parity_m == 0)
+  if (h.parity_m == 0) {
+    obs::log_error(obs::Event::kFrameRepairFailed, StatusCode::kChecksum,
+                   {}, "no parity to repair from");
     throw ChecksumError(
         "chunked container: damaged frames and no parity to repair from");
+  }
 
   RepairPlan plan;
   if (any_frame) {
@@ -844,10 +889,19 @@ std::vector<std::uint8_t> chunked_repair(
           codec.encode(spans);
       for (std::size_t j = 0; j < h.parity_m; ++j) {
         if (shard_damaged[g * h.parity_m + j] == 0) continue;
-        if (crc32c(parity[j]) != h.parity_crcs[g * h.parity_m + j])
+        if (crc32c(parity[j]) != h.parity_crcs[g * h.parity_m + j]) {
+          obs::LogContext ctx;
+          ctx.offset = h.parity_begin +
+                       static_cast<std::size_t>(h.parity_offsets[g]) +
+                       j * static_cast<std::size_t>(h.shard_sizes[g]);
+          ctx.section = "parity";
+          obs::log_error(obs::Event::kChecksumMismatch,
+                         StatusCode::kChecksum, ctx,
+                         "rebuilt parity shard fails its stored checksum");
           throw ChecksumError(
               "chunked container: rebuilt parity shard fails its stored "
               "checksum");
+        }
         std::copy(
             parity[j].begin(), parity[j].end(),
             healed.begin() +
@@ -864,6 +918,7 @@ std::vector<std::uint8_t> chunked_repair(
 
 ScrubReport chunked_scrub(std::span<const std::uint8_t> container) {
   governed_poll();
+  const obs::ScopedSpan archive_span(obs::Span::kArchiveRepair);
   const ContainerHeader h = parse_header(container);
   ScrubReport s;
   s.frames_total = h.frame_count;
@@ -903,6 +958,7 @@ ScrubReport chunked_scrub(std::span<const std::uint8_t> container) {
       inputs_ok &= frame_ok[f] != 0;
     if (!inputs_ok) continue;
     governed_poll();
+    const obs::ScopedSpan group_span(obs::Span::kFrameRepair);
     const std::vector<std::vector<std::uint8_t>> padded =
         padded_group_shards(container, h, g);
     std::vector<std::span<const std::uint8_t>> spans(h.parity_k);

@@ -13,6 +13,7 @@
 #include "core/sampling.h"
 #include "dsp/dct.h"
 #include "linalg/pca.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/stage_clock.h"
 #include "obs/trace.h"
@@ -117,7 +118,9 @@ void put_section(ByteWriter& w, std::span<const std::uint8_t> raw,
   w.put_blob(z);
 }
 
-std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version) {
+std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version,
+                                      const char* what) {
+  const std::size_t section_start = r.position();
   const std::uint64_t raw_size = r.get_u64();
   const std::uint32_t stored_crc =
       version >= kFormatVersion ? r.get_u32() : 0;
@@ -136,6 +139,11 @@ std::vector<std::uint8_t> get_section(ByteReader& r, std::uint8_t version) {
     obs::count(obs::Counter::kCrcChecks);
     if (section_crc(raw_size, z) != stored_crc) {
       obs::count(obs::Counter::kCrcFailures);
+      obs::LogContext ctx;
+      ctx.offset = section_start;
+      ctx.section = what;
+      obs::log_error(obs::Event::kChecksumMismatch, StatusCode::kChecksum,
+                     ctx, "corrupted section blob");
       throw ChecksumError("section checksum mismatch (corrupted blob)");
     }
   }
@@ -148,9 +156,15 @@ void check_header_crc(ByteReader& r, std::span<const std::uint8_t> archive,
                       const char* what) {
   const obs::ScopedSpan crc_span(obs::Span::kCrcCheck);
   obs::count(obs::Counter::kCrcChecks);
-  const std::uint32_t computed = crc32c(archive.first(r.position()));
+  const std::size_t header_end = r.position();
+  const std::uint32_t computed = crc32c(archive.first(header_end));
   if (r.get_u32() != computed) {
     obs::count(obs::Counter::kCrcFailures);
+    obs::LogContext ctx;
+    ctx.offset = header_end;
+    ctx.section = "header";
+    obs::log_error(obs::Event::kChecksumMismatch, StatusCode::kChecksum,
+                   ctx, what);
     throw ChecksumError(std::string(what) + ": header checksum mismatch");
   }
 }
@@ -491,7 +505,8 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
       g->admit(dpz_decode_preflight(claim).peak_bytes,
                "stored DPZ archive");
     }
-    const std::vector<std::uint8_t> raw = get_section(r, version);
+    const std::vector<std::uint8_t> raw =
+        get_section(r, version, "stored raw");
     if (raw.size() != total * sizeof(T))
       throw FormatError("stored DPZ archive size mismatch");
     ByteReader raw_reader(raw);
@@ -556,19 +571,21 @@ NdArray<T> decompress_impl(std::span<const std::uint8_t> archive,
     g->admit(dpz_decode_preflight(claim).peak_bytes, "DPZ archive");
   }
 
-  const std::vector<std::uint8_t> side_bytes = get_section(r, version);
+  const std::vector<std::uint8_t> side_bytes =
+      get_section(r, version, "side data");
   const SideData side =
       deserialize_side(side_bytes, layout.m, k, standardized);
 
   QuantizedStream qs;
   qs.count = k * layout.n;
-  qs.codes = get_section(r, version);
+  qs.codes = get_section(r, version, "codes");
   // Validate the code-section size against the claimed geometry *before*
   // anything downstream (score matrices, outlier buffers) is sized from
   // k*n — dequantize()'s size contract must never see archive data.
   if (qs.codes.size() != qs.count * qcfg.code_bytes())
     throw FormatError("DPZ code section size mismatch");
-  const std::vector<std::uint8_t> outlier_raw = get_section(r, version);
+  const std::vector<std::uint8_t> outlier_raw =
+      get_section(r, version, "outliers");
   if (outlier_raw.size() != outlier_count * sizeof(T))
     throw FormatError("DPZ outlier section size mismatch");
   ByteReader outlier_reader(outlier_raw);

@@ -191,7 +191,7 @@ SharedBasisCodec SharedBasisCodec::deserialize(
     throw FormatError("shared-basis blob: inconsistent geometry");
 
   const std::vector<std::uint8_t> shuffled =
-      detail::get_section(r, version);
+      detail::get_section(r, version, "shared basis");
   if (shuffled.size() != codec.layout_.m * k * sizeof(float))
     throw FormatError("shared-basis blob: basis size mismatch");
   const std::vector<std::uint8_t> raw =
@@ -329,7 +329,7 @@ FloatArray SharedBasisCodec::decompress(
   }
 
   const std::vector<std::uint8_t> mean_raw =
-      detail::get_section(r, version);
+      detail::get_section(r, version, "means");
   if (mean_raw.size() != layout_.m * sizeof(double))
     throw FormatError("snapshot archive: mean size mismatch");
   ByteReader mean_reader(mean_raw);
@@ -339,13 +339,13 @@ FloatArray SharedBasisCodec::decompress(
   const std::size_t k = basis_.cols();
   QuantizedStream qs;
   qs.count = k * layout_.n;
-  qs.codes = detail::get_section(r, version);
+  qs.codes = detail::get_section(r, version, "codes");
   // Check the section against the codec's geometry before dequantize()
   // sees it: its size contract is for callers, not for archive bytes.
   if (qs.codes.size() != qs.count * qcfg_.code_bytes())
     throw FormatError("snapshot archive: code section size mismatch");
   const std::vector<std::uint8_t> outlier_raw =
-      detail::get_section(r, version);
+      detail::get_section(r, version, "outliers");
   if (outlier_raw.size() != outlier_count * sizeof(float))
     throw FormatError("snapshot archive: outlier size mismatch");
   ByteReader outlier_reader(outlier_raw);

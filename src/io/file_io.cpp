@@ -9,6 +9,7 @@
 #include <filesystem>
 
 #include "io/fault_injection.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace dpz {
@@ -48,21 +49,36 @@ struct FdCloser {
 
 // read(2) with the thread's fault plan applied. `off` is the operation
 // offset, used to place flips and truncation deterministically.
+// One kIoFault breadcrumb per injected fault, offset = operation byte
+// offset. kWarn for faults the retry loops absorb (EINTR, short
+// transfers); kError for ones that surface to the caller.
+void log_io_fault(obs::LogLevel level, std::uint64_t off,
+                  const char* kind) {
+  obs::LogContext ctx;
+  ctx.offset = off;
+  obs::log_event(obs::Event::kIoFault, level, StatusCode::kIo, ctx, kind);
+}
+
 ssize_t faulty_read(int fd, std::uint8_t* buf, std::size_t count,
                     std::uint64_t off) {
   io::FaultPlan* plan = io::detail::active_fault_plan();
   if (plan != nullptr) {
     if (plan->read_eintr > 0) {
       --plan->read_eintr;
+      log_io_fault(obs::LogLevel::kWarn, off, "read EINTR");
       errno = EINTR;
       return -1;
     }
     if (plan->read_truncate_at != io::FaultPlan::kNoFault) {
-      if (off >= plan->read_truncate_at) return 0;  // premature EOF
+      if (off >= plan->read_truncate_at) {
+        log_io_fault(obs::LogLevel::kError, off, "read truncated");
+        return 0;  // premature EOF
+      }
       count = std::min<std::uint64_t>(count, plan->read_truncate_at - off);
     }
     if (plan->short_reads > 0) {
       --plan->short_reads;
+      log_io_fault(obs::LogLevel::kWarn, off, "short read");
       count = std::min<std::size_t>(count, 7);
     }
   }
@@ -70,8 +86,11 @@ ssize_t faulty_read(int fd, std::uint8_t* buf, std::size_t count,
   if (plan != nullptr && got > 0 &&
       plan->read_flip_offset != io::FaultPlan::kNoFault &&
       plan->read_flip_offset >= off &&
-      plan->read_flip_offset < off + static_cast<std::uint64_t>(got))
+      plan->read_flip_offset < off + static_cast<std::uint64_t>(got)) {
+    log_io_fault(obs::LogLevel::kWarn, plan->read_flip_offset,
+                 "read bit flip");
     buf[plan->read_flip_offset - off] ^= plan->read_flip_mask;
+  }
   return got;
 }
 
@@ -82,12 +101,14 @@ ssize_t faulty_write(int fd, const std::uint8_t* buf, std::size_t count,
   if (plan != nullptr) {
     if (plan->write_eintr > 0) {
       --plan->write_eintr;
+      log_io_fault(obs::LogLevel::kWarn, off, "write EINTR");
       errno = EINTR;
       return -1;
     }
     if (plan->write_fail_at != io::FaultPlan::kNoFault &&
         off + count > plan->write_fail_at) {
       if (off >= plan->write_fail_at) {
+        log_io_fault(obs::LogLevel::kError, off, "write ENOSPC");
         errno = ENOSPC;
         return -1;
       }
@@ -95,6 +116,7 @@ ssize_t faulty_write(int fd, const std::uint8_t* buf, std::size_t count,
     }
     if (plan->short_writes > 0) {
       --plan->short_writes;
+      log_io_fault(obs::LogLevel::kWarn, off, "short write");
       count = std::min<std::size_t>(count, 7);
     }
     if (plan->write_flip_offset != io::FaultPlan::kNoFault &&
@@ -102,6 +124,8 @@ ssize_t faulty_write(int fd, const std::uint8_t* buf, std::size_t count,
         plan->write_flip_offset < off + count) {
       // Corrupt the byte that lands on disk without touching the
       // caller's buffer.
+      log_io_fault(obs::LogLevel::kWarn, plan->write_flip_offset,
+                   "write bit flip");
       std::vector<std::uint8_t> copy(buf, buf + count);
       copy[plan->write_flip_offset - off] ^= plan->write_flip_mask;
       return ::write(fd, copy.data(), copy.size());

@@ -40,6 +40,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (std::size_t h = 0; h < kHistCount; ++h)
     for (std::size_t b = 0; b < kHistBuckets; ++b)
       snap.hists[h][b] = hists_[h][b].load(std::memory_order_relaxed);
+  for (std::size_t h = 0; h < kHistCount; ++h)
+    snap.hist_sums[h] = hist_sums_[h].load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -47,6 +49,7 @@ void MetricsRegistry::reset() {
   for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
   for (auto& h : hists_)
     for (auto& b : h) b.store(0, std::memory_order_relaxed);
+  for (auto& s : hist_sums_) s.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t MetricsSnapshot::hist_count(Hist id) const {
@@ -64,6 +67,7 @@ std::string MetricsSnapshot::to_text() const {
   for (std::size_t h = 0; h < kHistCount; ++h) {
     const char* name = hist_name(static_cast<Hist>(h));
     out << name << "_count " << hist_count(static_cast<Hist>(h)) << '\n';
+    out << name << "_sum " << hist_sums[h] << '\n';
     for (std::size_t b = 0; b < kHistBuckets; ++b) {
       if (hists[h][b] == 0) continue;
       out << name << "_bucket[" << bucket_lo(b) << ',' << bucket_hi(b)
@@ -84,7 +88,7 @@ std::string MetricsSnapshot::to_json() const {
   for (std::size_t h = 0; h < kHistCount; ++h) {
     out << (h == 0 ? "" : ", ") << '"' << hist_name(static_cast<Hist>(h))
         << "\": {\"count\": " << hist_count(static_cast<Hist>(h))
-        << ", \"buckets\": [";
+        << ", \"sum\": " << hist_sums[h] << ", \"buckets\": [";
     // Sparse [bucket_index, count] pairs; bucket i covers [2^(i-1), 2^i).
     bool first = true;
     for (std::size_t b = 0; b < kHistBuckets; ++b) {
@@ -95,6 +99,41 @@ std::string MetricsSnapshot::to_json() const {
     out << "]}";
   }
   out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  // Text exposition format. Counters carry the conventional _total
+  // suffix; histograms emit the full cumulative bucket ladder (a scraper
+  // needs every le value present on every scrape, so buckets are not
+  // sparse here). Bucket i covers integer values in [2^(i-1), 2^i), so
+  // its upper bound as an inclusive le label is 2^i - 1; the clamped top
+  // bucket is +Inf.
+  std::ostringstream out;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const char* name = counter_name(static_cast<Counter>(i));
+    out << "# HELP dpz_" << name << "_total "
+        << counter_help(static_cast<Counter>(i)) << '\n';
+    out << "# TYPE dpz_" << name << "_total counter\n";
+    out << "dpz_" << name << "_total " << counters[i] << '\n';
+  }
+  for (std::size_t h = 0; h < kHistCount; ++h) {
+    const char* name = hist_name(static_cast<Hist>(h));
+    out << "# HELP dpz_" << name << ' '
+        << hist_help(static_cast<Hist>(h)) << '\n';
+    out << "# TYPE dpz_" << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b + 1 < kHistBuckets; ++b) {
+      cumulative += hists[h][b];
+      out << "dpz_" << name << "_bucket{le=\""
+          << (b == 0 ? 0 : (1ULL << b) - 1) << "\"} " << cumulative
+          << '\n';
+    }
+    cumulative += hists[h][kHistBuckets - 1];
+    out << "dpz_" << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    out << "dpz_" << name << "_sum " << hist_sums[h] << '\n';
+    out << "dpz_" << name << "_count " << cumulative << '\n';
+  }
   return out.str();
 }
 

@@ -30,17 +30,27 @@ namespace dpz::obs {
 struct MetricsSnapshot {
   std::array<std::uint64_t, kCounterCount> counters{};
   std::array<std::array<std::uint64_t, kHistBuckets>, kHistCount> hists{};
+  std::array<std::uint64_t, kHistCount> hist_sums{};
 
   [[nodiscard]] std::uint64_t counter(Counter id) const {
     return counters[static_cast<std::size_t>(id)];
   }
   /// Total observations across all buckets of one histogram.
   [[nodiscard]] std::uint64_t hist_count(Hist id) const;
+  /// Sum of every observed value of one histogram.
+  [[nodiscard]] std::uint64_t hist_sum(Hist id) const {
+    return hist_sums[static_cast<std::size_t>(id)];
+  }
 
   /// `name value` lines, counters then histogram buckets, for --metrics.
   [[nodiscard]] std::string to_text() const;
   /// One JSON object: {"counters": {...}, "histograms": {...}}.
   [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition format: counters as `dpz_<name>_total`,
+  /// histograms as `dpz_<name>` with cumulative le-labeled buckets plus
+  /// _sum and _count, each family preceded by # HELP / # TYPE lines
+  /// (help text from names.h). See docs/OBSERVABILITY.md.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// The singleton holding the live atomics. Use the free helpers below for
@@ -57,6 +67,8 @@ class MetricsRegistry {
   void observe(Hist id, std::uint64_t value) {
     hists_[static_cast<std::size_t>(id)][bucket_of(value)].fetch_add(
         1, std::memory_order_relaxed);
+    hist_sums_[static_cast<std::size_t>(id)].fetch_add(
+        value, std::memory_order_relaxed);
   }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
@@ -75,6 +87,7 @@ class MetricsRegistry {
   std::array<std::array<std::atomic<std::uint64_t>, kHistBuckets>,
              kHistCount>
       hists_{};
+  std::array<std::atomic<std::uint64_t>, kHistCount> hist_sums_{};
 };
 
 /// Gated counter bump: no-op (one relaxed load) when telemetry is off.

@@ -33,7 +33,8 @@ enum class Span : std::uint8_t {
   kFrameDecode,       ///< one chunked frame decoded
   // Integrity (dpz.cpp, chunked.cpp, verify.cpp).
   kCrcCheck,          ///< one CRC32C verification
-  kFrameRepair,       ///< one parity group's Reed-Solomon reconstruction
+  kFrameRepair,       ///< one frame or parity group reconstructed
+  kArchiveRepair,     ///< one whole-archive repair or scrub pass
   // Kernel dispatch (simd/dispatch.cpp).
   kSimdDispatch,      ///< one-time CPU detection + ISA selection
   // Thread pool (thread_pool.cpp).
@@ -65,6 +66,7 @@ inline constexpr SpanInfo kSpanInfo[kSpanCount] = {
     {"frame_decode", "frame"},
     {"crc_check", "integrity"},
     {"frame_repair", "integrity"},
+    {"archive_repair", "integrity"},
     {"simd_dispatch", "simd"},
     {"pool_task", "pool"},
 };
@@ -172,6 +174,99 @@ inline constexpr const char* kHistNames[kHistCount] = {
 
 inline constexpr const char* hist_name(Hist id) {
   return kHistNames[static_cast<std::size_t>(id)];
+}
+
+// ---- Log-event taxonomy (obs/log.h) -------------------------------------
+//
+// One id per structured-log event class. Like spans and metrics, log
+// sites take these enums, never strings (lint rule 6); the JSONL emitter
+// and the breadcrumb report look the display name up at render time.
+enum class Event : std::uint8_t {
+  kErrorRaised = 0,    ///< an Error crossed a fault boundary (C API, CLI)
+  kChecksumMismatch,   ///< a stored CRC32C disagreed with the bytes
+  kFrameLost,          ///< best-effort decode gave a frame up as lost
+  kFrameRebuilt,       ///< a damaged frame reconstructed bit-exactly
+  kFrameRepairFailed,  ///< damage exceeded the parity budget
+  kAdmissionDenied,    ///< pre-flight admission rejected an operation
+  kOpCancelled,        ///< a CancelToken aborted an operation
+  kOpDeadline,         ///< a deadline expiry aborted an operation
+  kAllocFault,         ///< an injected allocation fault fired
+  kIoFault,            ///< an injected I/O fault fired
+  kPoolTaskError,      ///< a pool task propagated an exception
+  kCommandStart,       ///< a CLI command began dispatch
+  kEventCount_,        // sentinel — keep last
+};
+
+inline constexpr std::size_t kEventCount =
+    static_cast<std::size_t>(Event::kEventCount_);
+
+/// Display names, indexed by the enum value (lint rule 6: the only place
+/// log-event names are spelled out).
+inline constexpr const char* kEventNames[kEventCount] = {
+    "error_raised",
+    "checksum_mismatch",
+    "frame_lost",
+    "frame_rebuilt",
+    "frame_repair_failed",
+    "admission_denied",
+    "op_cancelled",
+    "op_deadline",
+    "alloc_fault",
+    "io_fault",
+    "pool_task_error",
+    "command_start",
+};
+
+inline constexpr const char* event_name(Event id) {
+  return kEventNames[static_cast<std::size_t>(id)];
+}
+
+// ---- Prometheus help text -----------------------------------------------
+//
+// One sentence per counter / histogram for the exposition format's
+// `# HELP` lines (obs/metrics.cpp to_prometheus). Kept beside the names
+// so a new metric's help is written where the metric is born.
+inline constexpr const char* kCounterHelp[kCounterCount] = {
+    "Whole-array compressions started.",
+    "Whole-array decompressions started.",
+    "Uncompressed bytes entering a compressor.",
+    "Archive bytes produced.",
+    "Uncompressed bytes reconstructed.",
+    "Paper-accounting stage-1 and stage-2 output bytes.",
+    "Stage-3 output bytes (codes plus outliers).",
+    "Stage-3 payload bytes after zlib.",
+    "Basis, means, and scales side bytes after zlib.",
+    "Values pushed through the quantizer.",
+    "Values outside the covered quantizer range (escapes).",
+    "Outliers recorded by compressions.",
+    "Incompressible-input stored-raw fallbacks taken.",
+    "CRC32C verifications performed.",
+    "CRC32C verifications that mismatched.",
+    "read() EINTR retries absorbed.",
+    "write() EINTR retries absorbed.",
+    "Short read() transfers continued.",
+    "Short write() transfers continued.",
+    "Chunked frames compressed.",
+    "Chunked frames decoded intact.",
+    "Best-effort decodes: frames recovered.",
+    "Best-effort decodes: frames lost and filled.",
+    "Damaged frames rebuilt bit-exactly from parity.",
+    "Damaged frames parity could not rebuild.",
+    "Operations rejected by pre-flight memory admission.",
+    "Operations aborted by a CancelToken.",
+    "Operations aborted by a deadline.",
+};
+
+inline constexpr const char* kHistHelp[kHistCount] = {
+    "Selected principal components per compression or frame.",
+    "Encoded size of each chunked frame in bytes.",
+};
+
+inline constexpr const char* counter_help(Counter id) {
+  return kCounterHelp[static_cast<std::size_t>(id)];
+}
+inline constexpr const char* hist_help(Hist id) {
+  return kHistHelp[static_cast<std::size_t>(id)];
 }
 
 }  // namespace dpz::obs

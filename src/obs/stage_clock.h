@@ -62,8 +62,11 @@ class StageAccumulator {
 class StageSpan {
  public:
   StageSpan(StageAccumulator& sink, Span id)
-      : sink_(sink), id_(id), start_ns_(TraceRecorder::now_ns()) {}
+      : sink_(sink), id_(id), start_ns_(TraceRecorder::now_ns()) {
+    detail::span_push(id);
+  }
   ~StageSpan() {
+    detail::span_pop();
     const std::uint64_t dur = TraceRecorder::now_ns() - start_ns_;
     sink_.add(id_, dur);
     if (telemetry_enabled())

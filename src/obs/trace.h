@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/names.h"
 #include "obs/telemetry.h"
 #include "util/annotated_mutex.h"
@@ -82,16 +83,21 @@ class TraceRecorder {
       DPZ_GUARDED_BY(registry_m_);
 };
 
-/// Trace-only RAII span, fully gated on the telemetry switch: when off,
-/// construction and destruction are a single relaxed load each — no
-/// clock reads, no allocation, no shared state.
+/// Trace-only RAII span, gated on the telemetry switch: when off,
+/// construction and destruction are a relaxed load plus two TLS writes
+/// each — no clock reads, no allocation, no shared state. The TLS
+/// writes maintain the breadcrumb span stack (obs/log.h) so error
+/// records can name the active spans even with telemetry off.
 class ScopedSpan {
  public:
   explicit ScopedSpan(Span id)
       : id_(id),
         armed_(telemetry_enabled()),
-        start_ns_(armed_ ? TraceRecorder::now_ns() : 0) {}
+        start_ns_(armed_ ? TraceRecorder::now_ns() : 0) {
+    detail::span_push(id);
+  }
   ~ScopedSpan() {
+    detail::span_pop();
     if (armed_)
       TraceRecorder::instance().record(
           id_, start_ns_, TraceRecorder::now_ns() - start_ns_);

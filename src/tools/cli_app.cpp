@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <new>
 #include <optional>
 
@@ -18,6 +19,7 @@
 #include "dsp/dct.h"
 #include "io/file_io.h"
 #include "metrics/metrics.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -26,6 +28,7 @@
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/json_mini.h"
 #include "util/resource.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -44,6 +47,8 @@ const char* kUsage = R"(usage:
   dpz inspect    <archive>
   dpz probe      <in.f32> --shape=AxBxC [--tve=...]
   dpz datasets   <outdir> [--scale=0.2] [--names=CLDHGH,PHIS] [--seed=N]
+  dpz metrics    export
+  dpz trace-report <trace.json>
 
 decompress options:
   --best-effort       salvage a damaged chunked container: intact frames
@@ -103,6 +108,20 @@ telemetry options (any command; see docs/OBSERVABILITY.md):
                       command (text by default, one JSON object with
                       =json); enabling telemetry never changes output
                       bytes
+
+diagnostics options (any command; see docs/OBSERVABILITY.md):
+  --log=out.jsonl     stream structured log events to a JSON-lines file
+                      (raises the log level to info unless DPZ_LOG_LEVEL
+                      says otherwise); logging never changes output bytes
+  --diagnose          on failure, print the flight-recorder error report
+                      (failing offset/frame/section, active span stack,
+                      and breadcrumb events) to stderr
+
+metrics export prints the metrics registry in the Prometheus text
+exposition format (counters as dpz_<name>_total, histograms with
+cumulative buckets); trace-report summarizes a --trace file: per-stage
+wall and self time, pool queue-wait attribution, a critical-path
+estimate, and per-frame outliers.
 )";
 
 /// Process exit code for a dpz failure class. Exhaustive over
@@ -691,6 +710,226 @@ int cmd_datasets(const CliArgs& args, std::ostream& out) {
   return 0;
 }
 
+
+// `dpz metrics export`: the registry in the Prometheus text exposition
+// format, for node_exporter-style textfile collection (the bench harness
+// writes the same rendering next to its JSON artifacts).
+int cmd_metrics(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2 &&
+                  args.positional()[1] == "export",
+              "metrics needs the 'export' subcommand");
+  out << obs::MetricsRegistry::instance().snapshot().to_prometheus();
+  return 0;
+}
+
+// One parsed Chrome trace event ("X" phase complete events only).
+struct TraceReportEvent {
+  std::string name;
+  std::string cat;
+  int tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  double queue_wait_us = -1.0;  // < 0: no attribution recorded
+};
+
+// Per-stage accumulation for the trace report.
+struct StageTotals {
+  std::size_t count = 0;
+  double wall_us = 0.0;
+  double self_us = 0.0;
+};
+
+// `dpz trace-report <trace.json>`: offline summary of a --trace file.
+// Wall time per span name is the sum of its durations; self time
+// subtracts the durations of immediate children (same thread, nested
+// interval), so a stage that mostly waits on sub-spans shows near-zero
+// self. Queue-wait attribution comes from the pool_task args; the
+// critical-path estimate is the union of top-level span intervals (work
+// no other recorded span overlaps on any thread cannot be hidden by
+// parallelism).
+int cmd_trace_report(const CliArgs& args, std::ostream& out) {
+  DPZ_REQUIRE(args.positional().size() == 2,
+              "trace-report needs <trace.json>");
+  const std::vector<std::uint8_t> bytes = read_bytes(args.positional()[1]);
+  json::Value doc;
+  try {
+    doc = json::parse(std::string(bytes.begin(), bytes.end()));
+  } catch (const std::runtime_error& e) {
+    throw FormatError(std::string("trace-report: ") + e.what());
+  }
+  const json::Value* events = doc.find("traceEvents");
+  DPZ_REQUIRE(events != nullptr && events->is_array(),
+              "trace-report: no traceEvents array in the document");
+
+  std::vector<TraceReportEvent> parsed;
+  parsed.reserve(events->items.size());
+  for (const json::Value& e : events->items) {
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->text != "X") continue;
+    const json::Value* name = e.find("name");
+    const json::Value* ts = e.find("ts");
+    const json::Value* dur = e.find("dur");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number())
+      continue;
+    TraceReportEvent ev;
+    ev.name = name->text;
+    if (const json::Value* cat = e.find("cat");
+        cat != nullptr && cat->is_string())
+      ev.cat = cat->text;
+    if (const json::Value* tid = e.find("tid");
+        tid != nullptr && tid->is_number())
+      ev.tid = static_cast<int>(tid->number);
+    ev.ts_us = ts->number;
+    ev.dur_us = dur->number;
+    if (const json::Value* a = e.find("args")) {
+      if (const json::Value* w = a->find("queue_wait_us");
+          w != nullptr && w->is_number())
+        ev.queue_wait_us = w->number;
+    }
+    parsed.push_back(std::move(ev));
+  }
+  if (parsed.empty()) {
+    out << "trace-report: no complete spans in the trace\n";
+    return 0;
+  }
+
+  // Sort within each thread by start time (ties: longer span first, so a
+  // parent precedes children sharing its start), then sweep a stack of
+  // open intervals to attribute child time to the immediate parent.
+  std::map<int, std::vector<std::size_t>> by_tid;
+  for (std::size_t i = 0; i < parsed.size(); ++i)
+    by_tid[parsed[i].tid].push_back(i);
+
+  std::vector<double> child_us(parsed.size(), 0.0);
+  std::vector<std::pair<double, double>> top_level;  // [start, end) union
+  for (auto& [tid, order] : by_tid) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+      if (parsed[a].ts_us != parsed[b].ts_us)
+        return parsed[a].ts_us < parsed[b].ts_us;
+      return parsed[a].dur_us > parsed[b].dur_us;
+    });
+    std::vector<std::size_t> stack;
+    for (const std::size_t i : order) {
+      const TraceReportEvent& ev = parsed[i];
+      while (!stack.empty() &&
+             ev.ts_us >= parsed[stack.back()].ts_us +
+                             parsed[stack.back()].dur_us)
+        stack.pop_back();
+      if (stack.empty())
+        top_level.emplace_back(ev.ts_us, ev.ts_us + ev.dur_us);
+      else
+        child_us[stack.back()] += ev.dur_us;
+      stack.push_back(i);
+    }
+  }
+
+  std::map<std::string, StageTotals> stages;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    StageTotals& t = stages[parsed[i].name];
+    ++t.count;
+    t.wall_us += parsed[i].dur_us;
+    t.self_us += std::max(0.0, parsed[i].dur_us - child_us[i]);
+  }
+
+  out << "stage                  count        wall ms        self ms\n";
+  for (const auto& [name, t] : stages) {
+    out << "  " << name;
+    for (std::size_t pad = name.size(); pad < 20; ++pad) out << ' ';
+    const std::string count_text = std::to_string(t.count);
+    for (std::size_t pad = count_text.size(); pad < 6; ++pad) out << ' ';
+    out << count_text;
+    const std::string wall = fixed(t.wall_us / 1000.0, 3);
+    for (std::size_t pad = wall.size(); pad < 14; ++pad) out << ' ';
+    out << wall;
+    const std::string self = fixed(t.self_us / 1000.0, 3);
+    for (std::size_t pad = self.size(); pad < 14; ++pad) out << ' ';
+    out << self << "\n";
+  }
+
+  // Queue-wait vs run attribution from the pool_task args.
+  double wait_us = 0.0;
+  double run_us = 0.0;
+  std::size_t pool_spans = 0;
+  for (const TraceReportEvent& ev : parsed) {
+    if (ev.queue_wait_us < 0.0) continue;
+    ++pool_spans;
+    wait_us += ev.queue_wait_us;
+    run_us += ev.dur_us;
+  }
+  if (pool_spans != 0) {
+    out << "pool: " << pool_spans << " tasks, queue-wait "
+        << fixed(wait_us / 1000.0, 3) << " ms, run "
+        << fixed(run_us / 1000.0, 3) << " ms ("
+        << fixed(100.0 * wait_us / std::max(wait_us + run_us, 1e-9), 1)
+        << "% waiting)\n";
+  } else {
+    out << "pool: no queue-wait attribution in the trace\n";
+  }
+
+  // Critical-path estimate: the union of top-level intervals. Wall span
+  // is first start to last end across every thread.
+  std::sort(top_level.begin(), top_level.end());
+  double union_us = 0.0;
+  double cursor = 0.0;
+  bool started = false;
+  for (const auto& [lo, hi] : top_level) {
+    if (!started || lo > cursor) {
+      union_us += hi - lo;
+      cursor = hi;
+      started = true;
+    } else if (hi > cursor) {
+      union_us += hi - cursor;
+      cursor = hi;
+    }
+  }
+  double first = parsed.front().ts_us;
+  double last = first;
+  for (const TraceReportEvent& ev : parsed) {
+    first = std::min(first, ev.ts_us);
+    last = std::max(last, ev.ts_us + ev.dur_us);
+  }
+  out << "critical path: " << fixed(union_us / 1000.0, 3)
+      << " ms estimated over a " << fixed((last - first) / 1000.0, 3)
+      << " ms wall span\n";
+
+  // Per-frame outliers: frame-category spans more than twice the median
+  // duration.
+  std::vector<std::size_t> frames;
+  for (std::size_t i = 0; i < parsed.size(); ++i)
+    if (parsed[i].cat == "frame") frames.push_back(i);
+  if (!frames.empty()) {
+    std::vector<double> durs;
+    durs.reserve(frames.size());
+    for (const std::size_t i : frames) durs.push_back(parsed[i].dur_us);
+    std::sort(durs.begin(), durs.end());
+    const double median = durs[durs.size() / 2];
+    std::vector<std::size_t> outliers;
+    for (const std::size_t i : frames)
+      if (parsed[i].dur_us > 2.0 * median && parsed[i].dur_us > median)
+        outliers.push_back(i);
+    out << "frame spans: " << frames.size() << ", median "
+        << fixed(median / 1000.0, 3) << " ms\n";
+    if (outliers.empty()) {
+      out << "frame outliers: none (no span over 2x the median)\n";
+    } else {
+      std::sort(outliers.begin(), outliers.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return parsed[a].dur_us > parsed[b].dur_us;
+                });
+      out << "frame outliers (over 2x the median):\n";
+      for (const std::size_t i : outliers)
+        out << "  " << parsed[i].name << " tid " << parsed[i].tid
+            << " at " << fixed(parsed[i].ts_us / 1000.0, 3) << " ms: "
+            << fixed(parsed[i].dur_us / 1000.0, 3) << " ms ("
+            << fixed(parsed[i].dur_us / std::max(median, 1e-9), 1)
+            << "x median)\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::vector<std::size_t> parse_shape(const std::string& text) {
@@ -717,6 +956,10 @@ std::vector<std::size_t> parse_shape(const std::string& text) {
 
 int run_cli(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
+  // Honor DPZ_LOG_LEVEL before any command code can emit an event, and
+  // keep the breadcrumb dump decision visible to the catch handler.
+  obs::set_log_level_from_env();
+  bool diagnose = false;
   try {
     const CliArgs args(argc, argv,
                        {"shape", "scheme", "tve", "knee", "sampling",
@@ -725,10 +968,22 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
                         "target-cr", "target-psnr", "chunk", "parity",
                         "threads", "isa", "best-effort", "fill", "scrub",
                         "trace", "metrics", "max-memory", "deadline-ms",
-                        "help"});
+                        "log", "diagnose", "help"});
     if (args.positional().empty() || args.has("help")) {
       out << kUsage;
       return args.has("help") ? 0 : 2;
+    }
+    diagnose = args.get_bool("diagnose", false);
+
+    // Structured-log streaming: mirror every captured event to a JSONL
+    // file for the lifetime of the command. The flight recorder ring
+    // keeps recording either way.
+    const std::string log_path = args.get_string("log", "");
+    std::optional<obs::LogSinkScope> log_sink;
+    if (!log_path.empty()) {
+      log_sink.emplace(log_path);
+      if (!log_sink->ok())
+        throw IoError("cannot open log file: " + log_path);
     }
 
     // Pin the kernel dispatch before any command touches data. Dispatch
@@ -751,6 +1006,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (!trace_path.empty() || want_metrics) telemetry.emplace(true);
 
     const std::string& command = args.positional()[0];
+    obs::log_event(obs::Event::kCommandStart, obs::LogLevel::kInfo,
+                   StatusCode::kOk, {}, command);
     int rc = 2;
     if (command == "compress") {
       rc = cmd_compress(args, out);
@@ -768,6 +1025,10 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       rc = cmd_probe(args, out);
     } else if (command == "datasets") {
       rc = cmd_datasets(args, out);
+    } else if (command == "metrics") {
+      rc = cmd_metrics(args, out);
+    } else if (command == "trace-report") {
+      rc = cmd_trace_report(args, out);
     } else {
       err << "unknown command '" << command << "'\n" << kUsage;
       return 2;
@@ -790,7 +1051,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     }
     return rc;
   } catch (const Error& e) {
+    obs::log_error(obs::Event::kErrorRaised, e.code(), {}, e.what());
     err << "error: " << e.what() << "\n";
+    if (diagnose) err << obs::FlightRecorder::instance().last_error_report();
     return exit_code_for(e.code());
   } catch (const std::bad_alloc&) {
     // The allocator failed before (or without) a configured budget

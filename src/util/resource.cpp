@@ -5,6 +5,7 @@
 #include <new>
 #include <string>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace dpz {
@@ -69,14 +70,19 @@ void ResourceGovernor::checkpoint() const {
   for (const ResourceGovernor* g = this; g != nullptr;
        g = g->parent_.get()) {
     if (g->limits_.cancel.cancel_requested()) {
-      if (!g->reported_.exchange(true, std::memory_order_relaxed))
+      if (!g->reported_.exchange(true, std::memory_order_relaxed)) {
         obs::count(obs::Counter::kCancelledOps);
+        obs::log_error(obs::Event::kOpCancelled, StatusCode::kCancelled);
+      }
       throw Cancelled("operation cancelled by its CancelToken");
     }
     if (g->limits_.deadline_ns != 0 &&
         ResourceLimits::now_ns() >= g->limits_.deadline_ns) {
-      if (!g->reported_.exchange(true, std::memory_order_relaxed))
+      if (!g->reported_.exchange(true, std::memory_order_relaxed)) {
         obs::count(obs::Counter::kDeadlineExceededOps);
+        obs::log_error(obs::Event::kOpDeadline,
+                       StatusCode::kDeadlineExceeded);
+      }
       throw DeadlineExceeded("operation deadline exceeded");
     }
   }
@@ -93,6 +99,12 @@ void ResourceGovernor::admit(std::uint64_t estimated_peak_bytes,
         std::min(in_use, g->limits_.max_memory_bytes);
     if (estimated_peak_bytes > remaining) {
       obs::count(obs::Counter::kAdmissionRejected);
+      obs::LogContext ctx;
+      ctx.section = what;
+      obs::log_error(obs::Event::kAdmissionDenied,
+                     StatusCode::kResourceExhausted, ctx,
+                     "estimate " + bytes_str(estimated_peak_bytes) +
+                         " over remaining " + bytes_str(remaining));
       throw ResourceExhausted(
           std::string(what) + ": pre-flight decode estimate of " +
           bytes_str(estimated_peak_bytes) +
@@ -145,7 +157,11 @@ GovernorScope::~GovernorScope() {
 ScopedCharge::ScopedCharge(std::uint64_t bytes) : bytes_(bytes) {
   const ResourceGovernor* g = t_governor;
   if (g == nullptr || bytes == 0) return;
-  if (detail::consume_alloc_fault()) throw std::bad_alloc();
+  if (detail::consume_alloc_fault()) {
+    obs::log_error(obs::Event::kAllocFault, StatusCode::kResourceExhausted,
+                   {}, "injected allocation fault");
+    throw std::bad_alloc();
+  }
   g->charge(bytes);
   governor_ = g->shared_from_this();
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
+#include "obs/log.h"
 #include "obs/trace.h"
+#include "util/error.h"
 #include "util/annotated_mutex.h"
 #include "util/resource.h"
 
@@ -81,6 +84,26 @@ void record_pool_task(std::uint64_t publish_ns, std::uint64_t start_ns,
                                         end_ns - start_ns, wait);
 }
 
+// Breadcrumb for a pool chunk that died on an exception. Called inside
+// the catch scope so the in-flight exception can be classified; a
+// governance abort keeps its own status code (its checkpoint already
+// logged the primary event at the throw site).
+void log_pool_task_error() {
+  StatusCode status = StatusCode::kInternal;
+  std::string what;
+  try {
+    throw;
+  } catch (const Error& e) {
+    status = e.code();
+    what = e.what();
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+    what = "unknown exception";
+  }
+  obs::log_error(obs::Event::kPoolTaskError, status, {}, what);
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -138,6 +161,7 @@ void ThreadPool::worker_main(unsigned index) const {
           (*body)(i);
         }
       } catch (...) {
+        log_pool_task_error();
         const MutexLock lock(s.m);
         if (!s.error) s.error = std::current_exception();
       }
@@ -216,6 +240,7 @@ void ThreadPool::parallel_for(
         body(i);
       }
     } catch (...) {
+      log_pool_task_error();
       const MutexLock lock(s.m);
       if (!s.error) s.error = std::current_exception();
     }

@@ -1,0 +1,9 @@
+namespace dpz {
+
+void log_event(const char* name, int status);
+
+void abort_decode(int status) {
+  log_event("decode_abort", status);  // planted: telemetry-name
+}
+
+}  // namespace dpz

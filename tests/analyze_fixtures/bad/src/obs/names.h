@@ -20,4 +20,8 @@ inline constexpr const char* kHistNames[] = {
     "chunk_ms",
 };
 
+inline constexpr const char* kEventNames[] = {
+    "decode_abort",
+};
+
 }  // namespace dpz::obs

@@ -1,0 +1,13 @@
+// Compliant: logs through the interned enum, no name literals.
+
+namespace dpz {
+
+enum class Event { kDecodeAbort };
+
+void log_event(Event event, int status);
+
+void abort_decode(int status) {
+  log_event(Event::kDecodeAbort, status);
+}
+
+}  // namespace dpz

@@ -1,0 +1,48 @@
+// Test-failure flight dump: when DPZ_FLIGHT_DUMP_DIR is set, any failed
+// test writes the flight-recorder ring to
+// $DPZ_FLIGHT_DUMP_DIR/<suite>.<test>.flight.jsonl before the next test
+// clears it. The sanitizer CI job sets the variable and uploads the
+// directory as an artifact, so a red run ships its own breadcrumbs.
+// Linked into every test binary (tests/CMakeLists.txt); inert without
+// the environment variable.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/log.h"
+
+namespace dpz {
+namespace {
+
+class FlightDumpListener : public ::testing::EmptyTestEventListener {
+ public:
+  explicit FlightDumpListener(std::string dir) : dir_(std::move(dir)) {}
+
+ private:
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    const ::testing::TestResult* result = info.result();
+    if (result == nullptr || result->Passed()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    const std::string path = dir_ + "/" + info.test_suite_name() + "." +
+                             info.name() + ".flight.jsonl";
+    std::ofstream out(path);
+    if (out.is_open()) obs::FlightRecorder::instance().write_jsonl(out);
+  }
+
+  std::string dir_;
+};
+
+[[maybe_unused]] const bool g_registered = [] {
+  const char* dir = std::getenv("DPZ_FLIGHT_DUMP_DIR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightDumpListener(dir));
+  return true;
+}();
+
+}  // namespace
+}  // namespace dpz

@@ -56,6 +56,8 @@ TEST(Analyze, BadTreeEveryPlantedViolationFlagged) {
       {"raw-memcpy", "src/codec/copy.cpp", 6, "memcpy"},
       {"reinterpret-cast", "src/core/cast.cpp", 6, "reinterpret_cast"},
       {"unguarded-inflate", "src/core/inflate.cpp", 10, "zlib_decompress"},
+      {"telemetry-name", "src/core/log_site.cpp", 6,
+       "\"decode_abort\""},
       {"telemetry-name", "src/core/record.cpp", 6, "\"bytes_in\""},
       {"simd-isolated", "src/core/vector.cpp", 1, "immintrin"},
       {"simd-isolated", "src/core/vector.cpp", 6, "__m256d"},

@@ -20,6 +20,7 @@
 #include "core/dpz.h"
 #include "core/shared_basis.h"
 #include "data/datasets.h"
+#include "obs/log.h"
 #include "obs/telemetry.h"
 #include "simd/simd.h"
 #include "util/rng.h"
@@ -30,6 +31,14 @@ namespace {
 
 [[maybe_unused]] const bool g_telemetry_on = [] {
   obs::set_telemetry_enabled(true);
+  return true;
+}();
+
+// The whole suite also runs with structured logging at its most verbose
+// level: every byte-invariance assertion below doubles as proof that the
+// flight recorder and log sites never touch the data path.
+[[maybe_unused]] const bool g_logging_on = [] {
+  obs::set_log_level(obs::LogLevel::kTrace);
   return true;
 }();
 

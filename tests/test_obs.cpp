@@ -14,6 +14,7 @@
 #include "core/chunked.h"
 #include "core/dpz.h"
 #include "data/datasets.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/stage_clock.h"
 #include "obs/telemetry.h"
@@ -78,6 +79,57 @@ TEST(ObsMetrics, BucketOfIsLog2WithZeroBucket) {
   // The top bucket is open-ended: huge values clamp instead of indexing
   // out of the fixed array.
   EXPECT_EQ(obs::MetricsRegistry::bucket_of(~0ULL), obs::kHistBuckets - 1);
+}
+
+TEST(ObsMetrics, BucketOfAtEveryPowerOfTwoBoundary) {
+  // Exact powers of two open a new bucket; the value just below each
+  // boundary stays in the previous one. Sweep every representable
+  // boundary so an off-by-one in the bit scan cannot hide.
+  for (unsigned b = 1; b < 40; ++b) {
+    const std::uint64_t boundary = 1ULL << b;
+    EXPECT_EQ(obs::MetricsRegistry::bucket_of(boundary - 1), b)
+        << "below boundary 2^" << b;
+    EXPECT_EQ(obs::MetricsRegistry::bucket_of(boundary),
+              std::min<std::size_t>(b + 1, obs::kHistBuckets - 1))
+        << "at boundary 2^" << b;
+  }
+  // Everything at and beyond 2^39 lands deterministically in the open
+  // top bucket (index 40), however extreme.
+  EXPECT_EQ(obs::MetricsRegistry::bucket_of(1ULL << 39),
+            obs::kHistBuckets - 1);
+  EXPECT_EQ(obs::MetricsRegistry::bucket_of(1ULL << 40),
+            obs::kHistBuckets - 1);
+  EXPECT_EQ(obs::MetricsRegistry::bucket_of(1ULL << 63),
+            obs::kHistBuckets - 1);
+}
+
+TEST(ObsMetrics, SnapshotAndResetAreRaceFreeUnderEightThreads) {
+  // Writers hammer a counter and a histogram while other participants
+  // snapshot, render, and reset concurrently. There is no exact count
+  // to assert (resets race with increments by design); the TSan job
+  // proves the absence of data races, and the renderers must never
+  // crash on a half-advanced registry.
+  const obs::ScopedTelemetry telemetry(true);
+  obs::MetricsRegistry::instance().reset();
+
+  const ScopedThreads scope(8);
+  parallel_for(0, 8, [](std::size_t lane) {
+    for (int i = 0; i < 2000; ++i) {
+      if (lane < 6) {
+        obs::count(Counter::kCrcChecks);
+        obs::observe(Hist::kFrameBytes,
+                     static_cast<std::uint64_t>(i % 4096));
+      } else if (lane == 6) {
+        const obs::MetricsSnapshot snap =
+            obs::MetricsRegistry::instance().snapshot();
+        EXPECT_LE(snap.hist_count(Hist::kFrameBytes),
+                  snap.hist_sum(Hist::kFrameBytes) + 6 * 2000ULL);
+        EXPECT_FALSE(snap.to_prometheus().empty());
+      } else {
+        obs::MetricsRegistry::instance().reset();
+      }
+    }
+  });
 }
 
 // ---- trace format -------------------------------------------------------
@@ -311,17 +363,77 @@ TEST(ObsStageClock, AccumulatorIsRaceFreeAcrossEightThreads) {
   EXPECT_EQ(buckets.begin()->first, "stage1_dct");
 }
 
+// ---- repair visibility (trace spans on the recovery paths) --------------
+
+TEST(ObsTrace, RepairAndScrubEmitASpanPerRepairedFrame) {
+  const obs::ScopedTelemetry telemetry(true);
+
+  const Dataset ds = make_dataset("Isotropic", 0.05, 2021);
+  ChunkedConfig config;
+  config.dpz = DpzConfig::strict();
+  config.chunk_values = ds.data.size() / 4;
+  config.parity_k = 4;
+  config.parity_m = 2;
+  std::vector<std::uint8_t> container = chunked_compress(ds.data, config);
+
+  // Damage two frame payloads (within the parity budget).
+  container[container.size() / 3] ^= 0xFF;
+  container[2 * container.size() / 3] ^= 0xFF;
+
+  auto spans_named = [](const char* wanted) {
+    const json::Value doc =
+        json::parse(obs::TraceRecorder::instance().json());
+    const json::Value* events = doc.find("traceEvents");
+    int n = 0;
+    for (const json::Value& e : events->items)
+      if (e.find("name")->text == wanted) ++n;
+    return n;
+  };
+
+  // chunked_repair rewrites the damaged frames: one archive_repair span
+  // for the operation, at least one frame_repair span per rebuilt frame.
+  obs::TraceRecorder::instance().clear();
+  RepairReport report;
+  const std::vector<std::uint8_t> healed =
+      chunked_repair(container, &report);
+  ASSERT_EQ(report.frames_repaired.size(), 2U);
+  EXPECT_GE(spans_named("archive_repair"), 1);
+  EXPECT_GE(spans_named("frame_repair"),
+            static_cast<int>(report.frames_repaired.size()));
+
+  // chunked_scrub recomputes parity per group under the same spans.
+  obs::TraceRecorder::instance().clear();
+  const ScrubReport scrub = chunked_scrub(healed);
+  EXPECT_TRUE(scrub.ok());
+  ASSERT_GE(scrub.groups, 1U);
+  EXPECT_GE(spans_named("archive_repair"), 1);
+  EXPECT_GE(spans_named("frame_repair"), static_cast<int>(scrub.groups));
+
+  // And a strict decode of the damaged container self-heals under
+  // per-frame repair spans too.
+  obs::TraceRecorder::instance().clear();
+  const FloatArray back = chunked_decompress(container);
+  ASSERT_EQ(back.size(), ds.data.size());
+  EXPECT_GE(spans_named("frame_repair"), 2);
+}
+
 // ---- disabled-path cost -------------------------------------------------
 
 TEST(ObsOverhead, DisabledSitesCostNanosecondsPerCall) {
   const obs::ScopedTelemetry telemetry(false);
   ASSERT_FALSE(obs::telemetry_enabled());
+  // Pin the log threshold at the always-on default: the kInfo site in
+  // the loop below must stay disarmed.
+  const obs::ScopedLogLevel quiet(obs::LogLevel::kWarn);
+  ASSERT_FALSE(obs::log_enabled(obs::LogLevel::kInfo));
 
   constexpr std::size_t kIters = 1000000;
   Timer timer;
   for (std::size_t i = 0; i < kIters; ++i) {
     const obs::ScopedSpan span(Span::kCrcCheck);
     obs::count(Counter::kCrcChecks);
+    obs::log_event(obs::Event::kCommandStart, obs::LogLevel::kInfo,
+                   StatusCode::kOk);
   }
   const double ns_per_call = timer.elapsed() * 1e9 /
                              static_cast<double>(kIters);

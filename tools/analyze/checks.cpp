@@ -260,7 +260,8 @@ void check_telemetry_names(const FileMap& files,
 
   std::set<std::string> names;
   std::size_t extracted = 0;
-  for (const char* table : {"kSpanInfo", "kCounterNames", "kHistNames"}) {
+  for (const char* table :
+       {"kSpanInfo", "kCounterNames", "kHistNames", "kEventNames"}) {
     for (const Token* t : table_strings(it->second.tokens, table)) {
       if (!is_telemetry_name(t->text)) continue;
       ++extracted;
@@ -274,7 +275,7 @@ void check_telemetry_names(const FileMap& files,
   if (extracted == 0) {
     add(out, "telemetry-name", kRegistry, 1,
         "could not extract telemetry names from the registry tables "
-        "(kSpanInfo/kCounterNames/kHistNames renamed?)");
+        "(kSpanInfo/kCounterNames/kHistNames/kEventNames renamed?)");
     return;
   }
   for (const auto& [path, file] : files) {

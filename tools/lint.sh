@@ -36,7 +36,7 @@
 #      CRC32C seal before sizing the inflation buffer. A second inflate
 #      call site in core would be a path where corrupted bytes reach
 #      the allocator unchecked.                     [unguarded-inflate]
-#   6. Telemetry span/metric names are declared once, in the
+#   6. Telemetry span/metric/log-event names are declared once, in the
 #      src/obs/names.h tables; production code records through the
 #      interned enums. A quoted telemetry name anywhere else in src/ is
 #      a stray literal that can drift from the registry, and duplicate
